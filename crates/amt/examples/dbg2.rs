@@ -1,0 +1,13 @@
+use bonsai_amt::*;
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::MemoryConfig;
+fn main() {
+    for l in [64usize, 256] {
+        let cfg = SimEngineConfig::with_memory(AmtConfig::new(8, l), 4, MemoryConfig::throttled_to_ssd());
+        let (_, r) = SimEngine::new(cfg).sort(uniform_u32(400_000, 0x55D));
+        for p in &r.passes {
+            println!("l={l} stage {} runs_in {} cycles {} rpc {:.2} in_stall {} out_stall {}",
+                p.stage, p.runs_in, p.cycles, p.records_per_cycle(), p.input_stalls, p.output_stalls);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Fast functional execution of the AMT merge schedule.
+//!
+//! The cycle-approximate [`SimEngine`](crate::SimEngine) is the reference
+//! for timing; this module executes the *same* merge schedule (presort,
+//! then `ceil(log_ℓ)` stages of `ℓ`-way merges) with a software loser
+//! tree, producing bit-identical output orders of magnitude faster. The
+//! sorters crate uses it for gigabyte-scale data and pairs it with the
+//! analytic performance model for timing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bonsai_records::run::RunSet;
+use bonsai_records::Record;
+
+/// Merges `k` sorted runs into one sorted vector (heap-based `k`-way
+/// merge, ties broken by run index for determinism).
+///
+/// # Example
+///
+/// ```
+/// use bonsai_amt::functional::kway_merge;
+/// use bonsai_records::U32Rec;
+///
+/// let a = [1u32, 4].map(U32Rec::new);
+/// let b = [2u32, 3].map(U32Rec::new);
+/// let merged = kway_merge(&[&a, &b]);
+/// assert_eq!(merged, [1u32, 2, 3, 4].map(U32Rec::new).to_vec());
+/// ```
+pub fn kway_merge<R: Record>(runs: &[&[R]]) -> Vec<R> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    // Heap of (record, run index); Reverse turns max-heap into min-heap.
+    let mut heap: BinaryHeap<Reverse<(R, usize)>> = BinaryHeap::with_capacity(runs.len());
+    let mut cursors = vec![0usize; runs.len()];
+    for (i, run) in runs.iter().enumerate() {
+        if let Some(&first) = run.first() {
+            heap.push(Reverse((first, i)));
+            cursors[i] = 1;
+        }
+    }
+    while let Some(Reverse((rec, i))) = heap.pop() {
+        out.push(rec);
+        if let Some(&next) = runs[i].get(cursors[i]) {
+            heap.push(Reverse((next, i)));
+            cursors[i] += 1;
+        }
+    }
+    out
+}
+
+/// Executes one merge stage: every group of `fan_in` consecutive runs is
+/// merged into one run, exactly as the AMT does with `ℓ = fan_in`.
+///
+/// # Panics
+///
+/// Panics if `fan_in < 2`.
+pub fn merge_pass<R: Record>(runs: &RunSet<R>, fan_in: usize) -> RunSet<R> {
+    assert!(fan_in >= 2, "merge fan-in must be at least 2");
+    if runs.num_runs() <= 1 {
+        return RunSet::single_run(runs.records().to_vec());
+    }
+    let mut records = Vec::with_capacity(runs.len());
+    let mut starts = Vec::with_capacity(runs.num_runs().div_ceil(fan_in));
+    let mut group: Vec<&[R]> = Vec::with_capacity(fan_in);
+    for i in (0..runs.num_runs()).step_by(fan_in) {
+        group.clear();
+        for j in i..(i + fan_in).min(runs.num_runs()) {
+            group.push(runs.run(j));
+        }
+        let merged = kway_merge(&group);
+        if !merged.is_empty() {
+            starts.push(records.len());
+            records.extend(merged);
+        }
+    }
+    RunSet::from_parts(records, starts)
+}
+
+/// Sorts `data` with the AMT merge schedule: presort into
+/// `initial_run_len`-record runs, then `ℓ`-way merge stages until one
+/// run remains. Returns the sorted data and the number of merge stages
+/// executed (the `ceil(log_ℓ(N / a))` of Equation 1).
+///
+/// # Panics
+///
+/// Panics if `fan_in < 2` or `initial_run_len == 0`.
+pub fn sort<R: Record>(data: Vec<R>, fan_in: usize, initial_run_len: usize) -> (Vec<R>, u32) {
+    assert!(initial_run_len >= 1, "initial run length must be positive");
+    if data.len() <= 1 {
+        return (data, 0);
+    }
+    let mut runs = RunSet::from_chunks(data, initial_run_len);
+    let mut stages = 0u32;
+    while runs.num_runs() > 1 {
+        runs = merge_pass(&runs, fan_in);
+        stages += 1;
+    }
+    (runs.into_records(), stages)
+}
+
+/// Like [`sort`], but with the balanced per-stage fan-in schedule of
+/// [`crate::schedule::fan_in_schedule`] on an `ℓ`-leaf tree — exactly
+/// the schedule the cycle-approximate [`crate::SimEngine`] executes, so
+/// outputs and stage counts match it bit for bit.
+///
+/// # Panics
+///
+/// Panics if `l < 2` or `initial_run_len == 0`.
+pub fn sort_balanced<R: Record>(data: Vec<R>, l: usize, initial_run_len: usize) -> (Vec<R>, u32) {
+    assert!(initial_run_len >= 1, "initial run length must be positive");
+    if data.len() <= 1 {
+        return (data, 0);
+    }
+    let mut runs = RunSet::from_chunks(data, initial_run_len);
+    let fan_ins = crate::schedule::fan_in_schedule(runs.num_runs() as u64, l as u64);
+    let stages = fan_ins.len() as u32;
+    for &m in &fan_ins {
+        runs = merge_pass(&runs, m as usize);
+    }
+    (runs.into_records(), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_gensort::dist::{uniform_u32, uniform_u64, Distribution};
+    use bonsai_records::run::stages_needed;
+    use bonsai_records::{U32Rec, U64Rec};
+
+    #[test]
+    fn kway_merge_of_empty_and_nonempty_runs() {
+        let a: Vec<U32Rec> = vec![];
+        let b = [5u32, 6].map(U32Rec::new);
+        let c = [1u32].map(U32Rec::new);
+        let out = kway_merge(&[&a, &b, &c]);
+        assert_eq!(out, [1u32, 5, 6].map(U32Rec::new).to_vec());
+    }
+
+    #[test]
+    fn kway_merge_no_runs() {
+        let out: Vec<U32Rec> = kway_merge(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sort_matches_std_sort_u32() {
+        let data = uniform_u32(100_000, 21);
+        let mut expected: Vec<U32Rec> = data.clone();
+        expected.sort_unstable();
+        let (out, _) = sort(data, 16, 16);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sort_matches_std_sort_u64_various_fanins() {
+        let data = uniform_u64(10_000, 22);
+        let mut expected: Vec<U64Rec> = data.clone();
+        expected.sort_unstable();
+        for fan_in in [2, 4, 64, 256] {
+            let (out, _) = sort(data.clone(), fan_in, 1);
+            assert_eq!(out, expected, "fan_in = {fan_in}");
+        }
+    }
+
+    #[test]
+    fn stage_count_matches_formula() {
+        for (n, fan_in, presort) in [(100_000usize, 16usize, 16usize), (4096, 4, 1), (5000, 256, 16)]
+        {
+            let data = uniform_u32(n, 23);
+            let (_, stages) = sort(data, fan_in, presort);
+            let runs0 = (n as u64).div_ceil(presort as u64);
+            assert_eq!(stages, stages_needed(runs0, fan_in as u64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input_is_stable_under_schedule() {
+        let data = Distribution::FewDistinct(2).generate_u32(50_000, 24);
+        let (out, _) = sort(data.clone(), 8, 16);
+        let mut expected = data;
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn merge_pass_groups_runs() {
+        let data = uniform_u32(1000, 25);
+        let runs = bonsai_records::run::RunSet::from_chunks(data, 10); // 100 runs
+        let next = merge_pass(&runs, 16);
+        assert_eq!(next.num_runs(), 7); // ceil(100/16)
+        assert!(next.validate().is_ok());
+        assert_eq!(next.len(), 1000);
+    }
+}

@@ -1,0 +1,204 @@
+//! A software loser tree — the classic tournament structure behind
+//! hardware merge trees.
+//!
+//! The AMT is literally a tournament of comparators in silicon; the
+//! loser tree is its software analogue and the standard structure for
+//! external-merge fan-ins: `k`-way merging with exactly one comparison
+//! path of length `log₂ k` per output record (a binary heap pays up to
+//! `2·log₂ k`). [`LoserTree`] is used as an alternative to the heap in
+//! [`crate::functional`] and benchmarked against it in
+//! `bonsai-bench/benches/components.rs`.
+
+use bonsai_records::Record;
+
+/// A k-way merging loser tree over in-memory sorted runs.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_amt::LoserTree;
+/// use bonsai_records::U32Rec;
+///
+/// let a = [1u32, 4].map(U32Rec::new);
+/// let b = [2u32, 3].map(U32Rec::new);
+/// let merged: Vec<U32Rec> = LoserTree::new(&[&a, &b]).collect();
+/// assert_eq!(merged, [1u32, 2, 3, 4].map(U32Rec::new).to_vec());
+/// ```
+#[derive(Debug)]
+pub struct LoserTree<'a, R> {
+    runs: Vec<&'a [R]>,
+    cursors: Vec<usize>,
+    /// Internal nodes: `tree[i]` holds the *loser* run index of the
+    /// match at node `i`; `winner` is the overall champion.
+    tree: Vec<usize>,
+    winner: usize,
+    /// Number of leaf slots (next power of two ≥ runs).
+    width: usize,
+    remaining: usize,
+}
+
+impl<'a, R: Record> LoserTree<'a, R> {
+    /// Builds a loser tree over `runs` (each must be sorted).
+    pub fn new(runs: &[&'a [R]]) -> Self {
+        let width = runs.len().next_power_of_two().max(1);
+        let mut lt = Self {
+            runs: runs.to_vec(),
+            cursors: vec![0; runs.len()],
+            tree: vec![usize::MAX; width],
+            winner: usize::MAX,
+            width,
+            remaining: runs.iter().map(|r| r.len()).sum(),
+        };
+        lt.rebuild();
+        lt
+    }
+
+    /// Current head record of run `i`, if any.
+    fn head(&self, i: usize) -> Option<&R> {
+        if i >= self.runs.len() {
+            return None;
+        }
+        self.runs[i].get(self.cursors[i])
+    }
+
+    /// `true` if run `a` should win (its head is smaller) against `b`.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => x <= y,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Full rebuild: plays every match bottom-up.
+    fn rebuild(&mut self) {
+        // Seed: winner of each leaf pair rises; losers stay in nodes.
+        // Simple O(k log k) construction by replaying from each leaf.
+        self.winner = usize::MAX;
+        for node in self.tree.iter_mut() {
+            *node = usize::MAX;
+        }
+        for leaf in 0..self.width {
+            self.replay(leaf);
+        }
+    }
+
+    /// Replays run `candidate` from its leaf to the root: at every match
+    /// node the winner continues upward and the loser stays; an empty
+    /// node parks the candidate (initial construction only).
+    fn replay(&mut self, leaf: usize) {
+        let mut candidate = leaf;
+        let mut node = (leaf + self.width) / 2;
+        while node >= 1 {
+            let idx = node - 1;
+            if self.tree[idx] == usize::MAX {
+                self.tree[idx] = candidate;
+                return;
+            }
+            if self.beats(self.tree[idx], candidate) {
+                core::mem::swap(&mut self.tree[idx], &mut candidate);
+            }
+            node /= 2;
+        }
+        self.winner = candidate;
+    }
+
+    /// Records not yet produced.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` when fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<R: Record> Iterator for LoserTree<'_, R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let winner = self.winner;
+        let rec = *self.head(winner)?;
+        self.cursors[winner] += 1;
+        self.remaining -= 1;
+        // Replay the winner's path.
+        let mut candidate = winner;
+        let mut node = (winner + self.width) / 2;
+        while node >= 1 {
+            let idx = node - 1;
+            if self.tree[idx] != usize::MAX && self.beats(self.tree[idx], candidate) {
+                core::mem::swap(&mut self.tree[idx], &mut candidate);
+            }
+            node /= 2;
+        }
+        self.winner = candidate;
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Merges `runs` with a loser tree (drop-in alternative to
+/// [`crate::functional::kway_merge`]).
+pub fn loser_tree_merge<R: Record>(runs: &[&[R]]) -> Vec<R> {
+    LoserTree::new(runs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_gensort::dist::uniform_u32;
+    use bonsai_records::U32Rec;
+
+    #[test]
+    fn merges_like_the_heap() {
+        let mut runs: Vec<Vec<U32Rec>> = (0..7)
+            .map(|i| {
+                let mut r = uniform_u32(100 + i * 13, i as u64);
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        runs.push(Vec::new()); // an empty run
+        let slices: Vec<&[U32Rec]> = runs.iter().map(Vec::as_slice).collect();
+        let ours = loser_tree_merge(&slices);
+        let heap = crate::functional::kway_merge(&slices);
+        let mut expected: Vec<U32Rec> = runs.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        assert_eq!(ours, expected);
+        assert_eq!(ours, heap);
+    }
+
+    #[test]
+    fn single_run_passthrough() {
+        let run: Vec<U32Rec> = (1..=10u32).map(U32Rec::new).collect();
+        assert_eq!(loser_tree_merge(&[run.as_slice()]), run);
+    }
+
+    #[test]
+    fn no_runs_is_empty() {
+        let out: Vec<U32Rec> = loser_tree_merge(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let a = [1u32, 3].map(U32Rec::new);
+        let b = [2u32].map(U32Rec::new);
+        let mut lt = LoserTree::new(&[&a[..], &b[..]]);
+        assert_eq!(lt.size_hint(), (3, Some(3)));
+        lt.next();
+        assert_eq!(lt.len(), 2);
+        assert!(!lt.is_empty());
+    }
+
+    #[test]
+    fn duplicate_heavy_runs() {
+        let runs: Vec<Vec<U32Rec>> = (0..5).map(|_| vec![U32Rec::new(7); 50]).collect();
+        let slices: Vec<&[U32Rec]> = runs.iter().map(Vec::as_slice).collect();
+        assert_eq!(loser_tree_merge(&slices), vec![U32Rec::new(7); 250]);
+    }
+}

@@ -1,0 +1,169 @@
+//! A steppable single-stage pass simulation, shared by [`crate::SimEngine`]
+//! (one tree, private memory) and [`crate::UnrolledSim`] (λ trees
+//! contending for one memory).
+
+use bonsai_memsim::{DataLoader, Memory, WriteDrain};
+use bonsai_merge_hw::stream::split_runs;
+use bonsai_records::run::RunSet;
+use bonsai_records::Record;
+
+use crate::config::SimEngineConfig;
+use crate::report::PassReport;
+use crate::tree::MergeTree;
+
+/// One merge stage of one tree, advanced cycle by cycle against a
+/// caller-provided [`Memory`] (so several passes can share the memory's
+/// ports and contend for bandwidth, as unrolled trees do on real banks).
+#[derive(Debug)]
+pub(crate) struct PassSim<R> {
+    l: usize,
+    n_records: u64,
+    runs_in: u64,
+    leaf_streams: Vec<Vec<R>>,
+    leaf_pos: Vec<usize>,
+    tree: MergeTree<R>,
+    loader: DataLoader,
+    drain: WriteDrain,
+    out_stream: Vec<R>,
+    draining_signalled: bool,
+    done: bool,
+    cycles: u64,
+}
+
+impl<R: Record> PassSim<R> {
+    /// Prepares one stage that merges groups of `fan_in` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= fan_in <= l`.
+    pub(crate) fn new(config: &SimEngineConfig, runs: RunSet<R>, fan_in: usize) -> Self {
+        let l = config.amt.l;
+        assert!(fan_in >= 2 && fan_in <= l, "fan-in must be in [2, l]");
+        let runs_in = runs.num_runs() as u64;
+        let groups = runs.num_runs().div_ceil(fan_in);
+        let n_records = runs.len() as u64;
+
+        // Build the ℓ leaf streams, each terminal-delimited; leaves with
+        // no run in a group get bare terminals so every leaf sees exactly
+        // `groups` runs (run/group alignment). Within a group, run `j` is
+        // placed on leaf `bitrev(j)`: consecutive runs land in opposite
+        // subtrees, so partial groups still feed both root inputs and the
+        // root sustains full throughput (this is the leaf/address mapping
+        // the hardware data loader uses).
+        let log_l = l.trailing_zeros();
+        let bitrev = |j: usize| j.reverse_bits() >> (usize::BITS - log_l);
+        let mut leaf_streams: Vec<Vec<R>> = vec![Vec::new(); l];
+        let mut leaf_payload: Vec<u64> = vec![0; l];
+        for g in 0..groups {
+            for j in 0..fan_in {
+                let leaf = bitrev(j);
+                let run_idx = g * fan_in + j;
+                if run_idx < runs.num_runs() {
+                    let run = runs.run(run_idx);
+                    leaf_streams[leaf].extend_from_slice(run);
+                    leaf_payload[leaf] += run.len() as u64;
+                }
+            }
+            for stream in &mut leaf_streams {
+                stream.push(R::TERMINAL);
+            }
+        }
+        drop(runs);
+
+        Self {
+            l,
+            n_records,
+            runs_in,
+            leaf_pos: vec![0; l],
+            leaf_streams,
+            tree: MergeTree::new(config.amt),
+            loader: DataLoader::new(config.loader, leaf_payload),
+            drain: WriteDrain::new(config.loader),
+            out_stream: Vec::with_capacity(n_records as usize + groups),
+            draining_signalled: false,
+            done: false,
+            cycles: 0,
+        }
+    }
+
+    /// Advances one cycle against `memory`. Returns `true` when done.
+    pub(crate) fn tick(&mut self, cycle: u64, memory: &mut Memory) -> bool {
+        if self.done {
+            return true;
+        }
+        self.cycles += 1;
+        self.loader.tick(cycle, memory);
+
+        // Feed leaves: terminals flow freely (generated on chip by the
+        // zero-append unit); payload is gated by the loader.
+        for leaf in 0..self.l {
+            let stream = &self.leaf_streams[leaf];
+            while self.leaf_pos[leaf] < stream.len() && self.tree.leaf_free(leaf) > 0 {
+                let rec = stream[self.leaf_pos[leaf]];
+                if !rec.is_terminal() {
+                    if self.loader.available(leaf) == 0 {
+                        break;
+                    }
+                    self.loader.consume(leaf, 1);
+                }
+                self.tree.push_leaf(leaf, rec);
+                self.leaf_pos[leaf] += 1;
+            }
+        }
+
+        self.tree.tick();
+
+        // Zero filter + packer: move root output into the write drain;
+        // terminals mark run boundaries and cost no bandwidth.
+        while self.drain.free_space() > 0 {
+            let Some(rec) = self.tree.pop_root() else { break };
+            if !rec.is_terminal() {
+                self.drain.push_records(1);
+            }
+            self.out_stream.push(rec);
+        }
+
+        let input_done = self
+            .leaf_pos
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| p == self.leaf_streams[i].len());
+        if input_done && self.tree.is_drained() && !self.draining_signalled {
+            self.drain.set_draining();
+            self.draining_signalled = true;
+        }
+
+        self.drain.tick(cycle, memory);
+        if input_done && self.tree.is_drained() && self.drain.is_idle() {
+            self.done = true;
+        }
+        self.done
+    }
+
+    /// Consumes the finished pass, returning the output runs and report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pass is not done.
+    pub(crate) fn finish(self, stage: u32) -> (RunSet<R>, PassReport) {
+        assert!(self.done, "pass must run to completion before finish()");
+        debug_assert_eq!(self.drain.completed_records(), self.n_records);
+        let out_runs = split_runs(&self.out_stream).expect("root output is terminal-delimited");
+        debug_assert_eq!(out_runs.len() as u64, self.n_records);
+        let tree_stats = self.tree.stats();
+        let pass = PassReport {
+            stage,
+            cycles: self.cycles,
+            records: self.n_records,
+            runs_in: self.runs_in,
+            runs_out: out_runs.num_runs() as u64,
+            // Byte counters live in the shared Memory; the caller fills
+            // these in when it owns the memory exclusively.
+            bytes_read: 0,
+            bytes_written: 0,
+            input_stalls: tree_stats.total_input_stalls,
+            output_stalls: tree_stats.total_output_stalls,
+        };
+        (out_runs, pass)
+    }
+}

@@ -1,0 +1,175 @@
+//! Timing and traffic reports from the cycle-approximate engine.
+
+use bonsai_memsim::DEFAULT_FREQ_HZ;
+use serde::{Deserialize, Serialize};
+
+/// Measurements from one merge stage (one full pass of the data through
+/// the AMT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// Stage number (1-based, as in §II).
+    pub stage: u32,
+    /// Cycles the stage took.
+    pub cycles: u64,
+    /// Payload records processed.
+    pub records: u64,
+    /// Sorted runs entering the stage.
+    pub runs_in: u64,
+    /// Sorted runs leaving the stage.
+    pub runs_out: u64,
+    /// Bytes read from off-chip memory.
+    pub bytes_read: u64,
+    /// Bytes written to off-chip memory.
+    pub bytes_written: u64,
+    /// Total merger input-stall cycles (across all mergers).
+    pub input_stalls: u64,
+    /// Total merger output-stall cycles (across all mergers).
+    pub output_stalls: u64,
+}
+
+impl PassReport {
+    /// Records per cycle achieved at the root during this stage.
+    pub fn records_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The timing summary of a full sort on the cycle-approximate engine.
+///
+/// All wall-clock conversions use the kernel frequency (250 MHz default,
+/// §VI-A), because the simulator counts kernel-clock cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortReport {
+    /// Per-stage measurements, in execution order.
+    pub passes: Vec<PassReport>,
+    /// Total cycles across all stages.
+    pub total_cycles: u64,
+    /// Number of records sorted.
+    pub n_records: u64,
+    /// Record width in bytes.
+    pub record_bytes: u64,
+    /// Kernel clock in Hz used for time conversions.
+    pub freq_hz: f64,
+}
+
+impl SortReport {
+    /// Builds a report from per-stage passes at the default clock.
+    pub fn from_passes(passes: Vec<PassReport>, n_records: u64, record_bytes: u64) -> Self {
+        let total_cycles = passes.iter().map(|p| p.cycles).sum();
+        Self {
+            passes,
+            total_cycles,
+            n_records,
+            record_bytes,
+            freq_hz: DEFAULT_FREQ_HZ,
+        }
+    }
+
+    /// Number of merge stages executed.
+    pub fn stages(&self) -> u32 {
+        self.passes.len() as u32
+    }
+
+    /// Simulated sort time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.freq_hz
+    }
+
+    /// Total bytes sorted.
+    pub fn total_bytes(&self) -> u64 {
+        self.n_records * self.record_bytes
+    }
+
+    /// End-to-end sorting throughput in bytes/second.
+    pub fn throughput(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.seconds()
+        }
+    }
+
+    /// Sorting time in milliseconds per gigabyte — the metric of Table I
+    /// and Figure 11 (lower is better).
+    pub fn ms_per_gb(&self) -> f64 {
+        let gb = self.total_bytes() as f64 / 1e9;
+        if gb == 0.0 {
+            0.0
+        } else {
+            self.seconds() * 1e3 / gb
+        }
+    }
+
+    /// Bandwidth-efficiency (§VI-C2): sorter throughput divided by
+    /// available off-chip bandwidth `beta_bytes_per_sec`.
+    pub fn bandwidth_efficiency(&self, beta_bytes_per_sec: f64) -> f64 {
+        self.throughput() / beta_bytes_per_sec
+    }
+
+    /// Total off-chip traffic (read + write) across all stages.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.passes
+            .iter()
+            .map(|p| p.bytes_read + p.bytes_written)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(stage: u32, cycles: u64, records: u64) -> PassReport {
+        PassReport {
+            stage,
+            cycles,
+            records,
+            runs_in: 16,
+            runs_out: 1,
+            bytes_read: records * 4,
+            bytes_written: records * 4,
+            input_stalls: 0,
+            output_stalls: 0,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_passes() {
+        let r = SortReport::from_passes(vec![pass(1, 1000, 4000), pass(2, 1000, 4000)], 4000, 4);
+        assert_eq!(r.stages(), 2);
+        assert_eq!(r.total_cycles, 2000);
+        assert_eq!(r.total_bytes(), 16_000);
+        assert_eq!(r.total_traffic_bytes(), 64_000);
+    }
+
+    #[test]
+    fn time_conversions_use_kernel_clock() {
+        let r = SortReport::from_passes(vec![pass(1, 250_000_000, 1_000_000)], 1_000_000, 4);
+        assert!((r.seconds() - 1.0).abs() < 1e-12);
+        assert!((r.throughput() - 4e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ms_per_gb_is_inverse_throughput() {
+        let r = SortReport::from_passes(vec![pass(1, 2_500_000, 10_000_000)], 10_000_000, 4);
+        // 40 MB sorted in 10 ms -> 250 ms/GB.
+        assert!((r.ms_per_gb() - 250.0).abs() < 1e-9, "{}", r.ms_per_gb());
+    }
+
+    #[test]
+    fn bandwidth_efficiency_fraction() {
+        let r = SortReport::from_passes(vec![pass(1, 250_000_000, 2_000_000_000)], 2_000_000_000, 4);
+        // 8 GB/s sorter on a 32 GB/s memory -> 0.25.
+        assert!((r.bandwidth_efficiency(32e9) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn records_per_cycle() {
+        let p = pass(1, 100, 800);
+        assert!((p.records_per_cycle() - 8.0).abs() < 1e-12);
+    }
+}

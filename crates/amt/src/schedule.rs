@@ -1,0 +1,134 @@
+//! Stage scheduling: how many runs to merge per group at each stage.
+//!
+//! Equation 1 of the paper assumes every merge stage streams at the full
+//! tree rate `min(p·f·r, β)`. Microarchitecturally, a stage that merges
+//! only `m` runs activates only `m` leaves, and each run enters the tree
+//! at its leaf-merger width — so a stage with a tiny fan-in is
+//! entry-rate-limited. Greedily merging `ℓ` runs per group can leave a
+//! final stage with as few as 2 enormous runs, crawling at 2 records per
+//! cycle.
+//!
+//! The fix (standard in multi-pass external merge sorting) is a
+//! *balanced* schedule. Fan-ins are kept powers of two so bit-reversed
+//! leaf placement spreads each group's runs perfectly evenly over every
+//! subtree; the required `ceil(log₂ r₀)` halving-bits are distributed as
+//! evenly as possible over the `s = ceil(log_ℓ r₀)` stages, in ascending
+//! order so the later, few-group stages keep the most runs in flight.
+//! The stage count is exactly the paper's `ceil(log_ℓ r₀)`, and whenever
+//! `r₀ ≥ p^s` every stage sustains the full `p` records/cycle the
+//! paper's model assumes.
+
+use bonsai_records::run::stages_needed;
+
+/// Returns the per-stage fan-ins (each a power of two `≤ l`, ascending)
+/// that reduce `r0` runs to one in the minimum `ceil(log_ℓ r0)` stages
+/// while maximizing the smallest fan-in.
+///
+/// Returns an empty vector when no merging is needed (`r0 ≤ 1`).
+///
+/// # Panics
+///
+/// Panics if `l` is not a power of two `≥ 2`.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_amt::schedule::fan_in_schedule;
+///
+/// // 6250 runs on a 16-leaf tree: 4 stages, 13 halving-bits spread as
+/// // 8,8,8,16 — no stage drops below 8 active runs.
+/// assert_eq!(fan_in_schedule(6250, 16), vec![8, 8, 8, 16]);
+/// // 2^25 runs on 64 leaves: five perfectly balanced 32-way stages.
+/// assert_eq!(fan_in_schedule(1 << 25, 64), vec![32; 5]);
+/// ```
+pub fn fan_in_schedule(r0: u64, l: u64) -> Vec<u64> {
+    assert!(
+        l >= 2 && l.is_power_of_two(),
+        "leaf count must be a power of two >= 2"
+    );
+    if r0 <= 1 {
+        return Vec::new();
+    }
+    let s = stages_needed(r0, l);
+    let log_l = l.trailing_zeros();
+    // Bits needed: product of fan-ins must reach r0.
+    let bits = 64 - (r0 - 1).leading_zeros(); // ceil(log2(r0)) for r0 >= 2
+    debug_assert!(bits <= s * log_l, "stage count must cover the bits");
+    let base = bits / s;
+    let extra = bits % s; // this many stages get one extra bit
+    (0..s)
+        .map(|i| {
+            // Ascending: the `extra` larger stages go last.
+            let e = if i >= s - extra { base + 1 } else { base };
+            1u64 << e.clamp(1, log_l)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product_covers(schedule: &[u64], r0: u64) -> bool {
+        let mut acc = 1u128;
+        for &m in schedule {
+            acc = acc.saturating_mul(u128::from(m));
+        }
+        acc >= u128::from(r0)
+    }
+
+    #[test]
+    fn no_merging_needed() {
+        assert!(fan_in_schedule(0, 16).is_empty());
+        assert!(fan_in_schedule(1, 16).is_empty());
+    }
+
+    #[test]
+    fn single_stage_examples() {
+        assert_eq!(fan_in_schedule(2, 16), vec![2]);
+        assert_eq!(fan_in_schedule(13, 16), vec![16]);
+        assert_eq!(fan_in_schedule(16, 16), vec![16]);
+    }
+
+    #[test]
+    fn schedule_is_minimal_and_covering() {
+        for r0 in [2u64, 5, 17, 100, 4097, 6250, 1 << 20, (1 << 30) + 3] {
+            for l in [2u64, 4, 16, 64, 256] {
+                let schedule = fan_in_schedule(r0, l);
+                assert_eq!(
+                    schedule.len() as u32,
+                    stages_needed(r0, l),
+                    "r0={r0} l={l}: stage count must match the paper formula"
+                );
+                assert!(product_covers(&schedule, r0), "r0={r0} l={l}");
+                for &m in &schedule {
+                    assert!(m >= 2 && m <= l && m.is_power_of_two());
+                }
+                assert!(
+                    schedule.windows(2).all(|w| w[0] <= w[1]),
+                    "fan-ins must be ascending"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_beats_greedy_minimum_fan_in() {
+        // Greedy 16,16,16,2 has min fan-in 2; balanced gives 8,8,8,16.
+        assert_eq!(fan_in_schedule(6250, 16), vec![8, 8, 8, 16]);
+        // Greedy 64,64,64,64,2 has min fan-in 2; balanced gives all 32.
+        assert_eq!(fan_in_schedule(1 << 25, 64), vec![32; 5]);
+    }
+
+    #[test]
+    fn run_counts_shrink_to_one() {
+        for (r0, l) in [(6250u64, 16u64), (1 << 25, 64), (999, 4), (257, 256)] {
+            let schedule = fan_in_schedule(r0, l);
+            let mut runs = r0;
+            for &m in &schedule {
+                runs = runs.div_ceil(m);
+            }
+            assert_eq!(runs, 1, "r0={r0} l={l} schedule={schedule:?}");
+        }
+    }
+}

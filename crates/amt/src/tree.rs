@@ -1,0 +1,277 @@
+//! The merge tree: a heap-ordered array of cycle-level mergers.
+
+use bonsai_merge_hw::{KMerger, Side};
+use bonsai_records::Record;
+
+use crate::config::AmtConfig;
+
+/// Aggregated statistics over every merger in a tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Payload records emitted by the root.
+    pub root_records_out: u64,
+    /// Root flushes (terminal records emitted by the root).
+    pub root_flushes: u64,
+    /// Sum of input-stall cycles across all mergers.
+    pub total_input_stalls: u64,
+    /// Sum of output-stall cycles across all mergers.
+    pub total_output_stalls: u64,
+}
+
+/// A complete binary tree of [`KMerger`]s implementing one `AMT(p, ℓ)`
+/// (§II, Figure 1).
+///
+/// Mergers are stored in heap order: node 0 is the root `p`-merger; node
+/// `i` has children `2i+1` and `2i+2`; the deepest level's `ℓ/2` mergers
+/// expose `ℓ` leaf input ports. Each [`MergeTree::tick`] advances every
+/// merger one cycle and moves records up one level (the couplers' job in
+/// hardware).
+///
+/// Input streams must be terminal-delimited runs, one terminal per run
+/// per leaf, with every leaf carrying the same number of runs; the root
+/// then emits one terminal-delimited merged run per input "wave".
+#[derive(Debug, Clone)]
+pub struct MergeTree<R> {
+    config: AmtConfig,
+    /// Heap-ordered mergers, length `ℓ - 1`.
+    nodes: Vec<KMerger<R>>,
+    /// Index of the first deepest-level merger.
+    first_leaf_node: usize,
+}
+
+impl<R: Record> MergeTree<R> {
+    /// Builds the tree for the given shape.
+    pub fn new(config: AmtConfig) -> Self {
+        let levels = config.levels();
+        let mut nodes = Vec::with_capacity(config.total_mergers());
+        for level in 0..levels {
+            let k = config.merger_width_at_level(level);
+            // FIFO capacity: a few k-record tuples of skid buffering.
+            // The hardware's inter-level FIFOs (Figure 7) smooth the
+            // data-dependent demand bursts of downstream mergers; eight
+            // tuples is enough that deeper buffers no longer help.
+            let fifo = (8 * k).max(16);
+            for _ in 0..config.mergers_at_level(level) {
+                nodes.push(KMerger::new(k, fifo));
+            }
+        }
+        let first_leaf_node = (config.l / 2) - 1;
+        Self {
+            config,
+            nodes,
+            first_leaf_node,
+        }
+    }
+
+    /// The tree's shape.
+    pub fn config(&self) -> AmtConfig {
+        self.config
+    }
+
+    /// Number of leaf input ports (`ℓ`).
+    pub fn leaves(&self) -> usize {
+        self.config.l
+    }
+
+    fn leaf_port(&self, leaf: usize) -> (usize, Side) {
+        assert!(leaf < self.config.l, "leaf index out of range");
+        let node = self.first_leaf_node + leaf / 2;
+        let side = if leaf.is_multiple_of(2) { Side::Left } else { Side::Right };
+        (node, side)
+    }
+
+    /// Free FIFO space (records) at leaf port `leaf`.
+    pub fn leaf_free(&self, leaf: usize) -> usize {
+        let (node, side) = self.leaf_port(leaf);
+        self.nodes[node].input_free(side)
+    }
+
+    /// Pushes one record (payload or terminal) into leaf `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf FIFO is full — call [`MergeTree::leaf_free`]
+    /// first.
+    pub fn push_leaf(&mut self, leaf: usize, rec: R) {
+        let (node, side) = self.leaf_port(leaf);
+        self.nodes[node]
+            .push_input(side, rec)
+            .unwrap_or_else(|_| panic!("leaf {leaf} FIFO overflow"));
+    }
+
+    /// Pops the next root output record, if any.
+    pub fn pop_root(&mut self) -> Option<R> {
+        self.nodes[0].pop_output()
+    }
+
+    /// Records currently queued at the root output.
+    pub fn root_output_len(&self) -> usize {
+        self.nodes[0].output_len()
+    }
+
+    /// Advances the whole tree one cycle: mergers tick deepest level
+    /// first, each level's output moving straight into its parent's input
+    /// FIFO (the couplers), so the root sees this cycle's production —
+    /// modeling the fully pipelined hardware datapath.
+    pub fn tick(&mut self) {
+        for node_idx in (0..self.nodes.len()).rev() {
+            self.nodes[node_idx].tick();
+            if node_idx == 0 {
+                break;
+            }
+            let parent = (node_idx - 1) / 2;
+            let side = if node_idx % 2 == 1 { Side::Left } else { Side::Right };
+            while self.nodes[parent].input_free(side) > 0 {
+                let Some(rec) = self.nodes[node_idx].pop_output() else {
+                    break;
+                };
+                self.nodes[parent]
+                    .push_input(side, rec)
+                    .expect("space checked above");
+            }
+        }
+    }
+
+    /// Returns `true` when no records remain anywhere in the tree.
+    pub fn is_drained(&self) -> bool {
+        self.nodes.iter().all(KMerger::is_drained)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> TreeStats {
+        let root = self.nodes[0].stats();
+        let mut s = TreeStats {
+            root_records_out: root.records_out,
+            root_flushes: root.flushes,
+            ..TreeStats::default()
+        };
+        for node in &self.nodes {
+            let st = node.stats();
+            s.total_input_stalls += st.input_stalls;
+            s.total_output_stalls += st.output_stalls;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_records::U32Rec;
+
+    /// Feeds one run per leaf and collects the merged output.
+    fn merge_once(config: AmtConfig, runs: Vec<Vec<u32>>) -> Vec<u32> {
+        assert_eq!(runs.len(), config.l);
+        let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+        let mut streams: Vec<Vec<U32Rec>> = runs
+            .into_iter()
+            .map(|r| {
+                let mut s: Vec<U32Rec> = r.into_iter().map(U32Rec::new).collect();
+                s.push(U32Rec::TERMINAL);
+                s.reverse();
+                s
+            })
+            .collect();
+        let mut out = Vec::new();
+        for _ in 0..1_000_000u64 {
+            for (leaf, stream) in streams.iter_mut().enumerate() {
+                while tree.leaf_free(leaf) > 0 && !stream.is_empty() {
+                    let rec = stream.pop().expect("nonempty");
+                    tree.push_leaf(leaf, rec);
+                }
+            }
+            tree.tick();
+            while let Some(r) = tree.pop_root() {
+                out.push(r);
+            }
+            if streams.iter().all(Vec::is_empty) && tree.is_drained() {
+                break;
+            }
+        }
+        assert!(out.last().expect("output nonempty").is_terminal());
+        out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect()
+    }
+
+    #[test]
+    fn figure_1_tree_merges_16_runs() {
+        let config = AmtConfig::new(4, 16);
+        let runs: Vec<Vec<u32>> = (0..16u32)
+            .map(|i| (0..8u32).map(|j| 16 * j + i + 1).collect())
+            .collect();
+        let out = merge_once(config, runs);
+        let expected: Vec<u32> = (1..=128).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn tree_with_p_larger_than_leaves() {
+        // p=8, l=2: a single 8-merger.
+        let out = merge_once(AmtConfig::new(8, 2), vec![vec![1, 3, 5], vec![2, 4, 6]]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn tree_handles_empty_runs() {
+        let mut runs = vec![vec![]; 8];
+        runs[3] = vec![7, 9];
+        runs[5] = vec![8];
+        let out = merge_once(AmtConfig::new(2, 8), runs);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tree_handles_duplicate_heavy_input() {
+        let runs: Vec<Vec<u32>> = (0..4).map(|_| vec![5; 20]).collect();
+        let out = merge_once(AmtConfig::new(2, 4), runs);
+        assert_eq!(out, vec![5; 80]);
+    }
+
+    #[test]
+    fn root_throughput_approaches_p() {
+        // Saturated AMT(4, 4) merging 4 long runs: total cycles should be
+        // close to N/p.
+        let config = AmtConfig::new(4, 4);
+        let n_per_run = 4096u32;
+        let runs: Vec<Vec<u32>> = (0..4u32)
+            .map(|i| (0..n_per_run).map(|j| 4 * j + i + 1).collect())
+            .collect();
+        let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+        let mut streams: Vec<Vec<U32Rec>> = runs
+            .into_iter()
+            .map(|r| {
+                let mut s: Vec<U32Rec> = r.into_iter().map(U32Rec::new).collect();
+                s.push(U32Rec::TERMINAL);
+                s.reverse();
+                s
+            })
+            .collect();
+        let mut cycles = 0u64;
+        let mut out_count = 0u64;
+        while out_count < u64::from(4 * n_per_run) + 1 {
+            for (leaf, stream) in streams.iter_mut().enumerate() {
+                while tree.leaf_free(leaf) > 0 && !stream.is_empty() {
+                    let rec = stream.pop().expect("nonempty");
+                    tree.push_leaf(leaf, rec);
+                }
+            }
+            tree.tick();
+            cycles += 1;
+            while tree.pop_root().is_some() {
+                out_count += 1;
+            }
+            assert!(cycles < 1_000_000, "tree livelock");
+        }
+        let ideal = u64::from(4 * n_per_run) / 4;
+        assert!(
+            cycles < ideal * 12 / 10,
+            "throughput too low: {cycles} cycles vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn push_to_invalid_leaf_panics() {
+        let mut tree: MergeTree<U32Rec> = MergeTree::new(AmtConfig::new(2, 4));
+        tree.push_leaf(4, U32Rec::new(1));
+    }
+}

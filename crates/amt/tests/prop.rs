@@ -1,0 +1,66 @@
+//! Property-based cross-validation inside the AMT crate: the cycle
+//! engine, the functional schedule, the loser tree and the heap merge
+//! are interchangeable.
+
+use bonsai_amt::{functional, loser_tree_merge, AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_records::U32Rec;
+use proptest::prelude::*;
+
+fn sorted_runs(max_runs: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<U32Rec>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(1u32..u32::MAX, 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v.into_iter().map(U32Rec::new).collect()
+        }),
+        0..max_runs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn loser_tree_equals_heap_merge(runs in sorted_runs(12, 80)) {
+        let slices: Vec<&[U32Rec]> = runs.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(
+            loser_tree_merge(&slices),
+            functional::kway_merge(&slices)
+        );
+    }
+
+    #[test]
+    fn engine_equals_functional_schedule(
+        vals in proptest::collection::vec(1u32..u32::MAX, 0..2_000),
+        p_log in 0usize..4,
+        l_log in 1usize..7,
+        presort in prop::sample::select(vec![1usize, 16]),
+    ) {
+        let data: Vec<U32Rec> = vals.into_iter().map(U32Rec::new).collect();
+        let amt = AmtConfig::new(1 << p_log, 1 << l_log);
+        let mut cfg = SimEngineConfig::dram_sorter(amt, 4);
+        cfg.presort = (presort > 1).then_some(presort);
+        let (sim, sim_report) = SimEngine::new(cfg).sort(data.clone());
+        let (func, func_stages) = functional::sort_balanced(data, amt.l, presort);
+        prop_assert_eq!(&sim, &func, "identical merge schedules must agree");
+        prop_assert_eq!(sim_report.stages(), func_stages);
+    }
+
+    #[test]
+    fn merge_pass_preserves_multiset_and_shrinks_runs(
+        vals in proptest::collection::vec(1u32..u32::MAX, 1..1_500),
+        chunk in 1usize..40,
+        fan_in in 2usize..20,
+    ) {
+        let data: Vec<U32Rec> = vals.into_iter().map(U32Rec::new).collect();
+        let runs = bonsai_records::run::RunSet::from_chunks(data.clone(), chunk);
+        let before = runs.num_runs();
+        let after = functional::merge_pass(&runs, fan_in);
+        prop_assert!(after.validate().is_ok());
+        prop_assert_eq!(after.num_runs(), before.div_ceil(fan_in));
+        let mut a: Vec<U32Rec> = data;
+        let mut b = after.into_records();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Stall-injection robustness tests.
+//!
+//! §V-A of the paper: "In case one input buffer becomes empty, the AMT
+//! will automatically stall until the data loader feeds the buffer with
+//! more data. … we were pausing the data loader in order to ensure the
+//! AMT behaves correctly with empty input buffers." These tests inject
+//! randomized input droughts and output back-pressure into the tree and
+//! verify the merged output never changes.
+
+use bonsai_amt::{AmtConfig, MergeTree};
+use bonsai_records::{Record, U32Rec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Drives a tree over one group of runs with randomized per-cycle
+/// input-feed and output-drain decisions.
+fn merge_with_stalls(
+    config: AmtConfig,
+    runs: Vec<Vec<u32>>,
+    stall_seed: u64,
+    input_stall_pct: u32,
+    output_stall_pct: u32,
+) -> Vec<u32> {
+    assert_eq!(runs.len(), config.l);
+    let mut rng = StdRng::seed_from_u64(stall_seed);
+    let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+    let mut streams: Vec<Vec<U32Rec>> = runs
+        .into_iter()
+        .map(|r| {
+            let mut s: Vec<U32Rec> = r.into_iter().map(U32Rec::new).collect();
+            s.push(U32Rec::TERMINAL);
+            s.reverse();
+            s
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut guard = 0u64;
+    loop {
+        for (leaf, stream) in streams.iter_mut().enumerate() {
+            // Simulated loader drought on this leaf this cycle.
+            if rng.random_range(0..100) < input_stall_pct {
+                continue;
+            }
+            while tree.leaf_free(leaf) > 0 && !stream.is_empty() {
+                let rec = stream.pop().expect("nonempty");
+                tree.push_leaf(leaf, rec);
+            }
+        }
+        tree.tick();
+        // Simulated write-path back-pressure.
+        if rng.random_range(0..100) >= output_stall_pct {
+            while let Some(r) = tree.pop_root() {
+                out.push(r);
+            }
+        }
+        if streams.iter().all(Vec::is_empty) && tree.is_drained() {
+            while let Some(r) = tree.pop_root() {
+                out.push(r);
+            }
+            break;
+        }
+        guard += 1;
+        assert!(guard < 10_000_000, "stalled tree never finished");
+    }
+    out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn output_is_invariant_under_stall_schedules(
+        raw in proptest::collection::vec(proptest::collection::vec(1u32..u32::MAX, 0..60), 8..=8),
+        seed_a: u64,
+        seed_b: u64,
+        input_pct in 0u32..90,
+        output_pct in 0u32..90,
+    ) {
+        let runs: Vec<Vec<u32>> = raw
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let config = AmtConfig::new(4, 8);
+        let clean = merge_with_stalls(config, runs.clone(), seed_a, 0, 0);
+        let stalled = merge_with_stalls(config, runs.clone(), seed_b, input_pct, output_pct);
+        prop_assert_eq!(&clean, &stalled, "stalls must never change output");
+
+        let mut expected: Vec<u32> = runs.into_iter().flatten().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(clean, expected);
+    }
+}
+
+#[test]
+fn tree_survives_total_drought_then_resumes() {
+    // Feed nothing for thousands of cycles, then deliver everything.
+    let config = AmtConfig::new(2, 4);
+    let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+    for _ in 0..5_000 {
+        tree.tick();
+    }
+    assert_eq!(tree.pop_root(), None);
+    let out = merge_with_stalls(config, vec![vec![3, 5], vec![1], vec![], vec![2, 4]], 7, 50, 50);
+    assert_eq!(out, vec![1, 2, 3, 4, 5]);
+}

@@ -1,0 +1,19 @@
+//! Baseline sorters that Bonsai is compared against.
+//!
+//! Table I / Figures 11–12 of the paper compare Bonsai with the best
+//! published sorter on each platform. Two kinds of baselines live here:
+//!
+//! - [`radix`]: a real, runnable parallel LSD radix sorter in the spirit
+//!   of PARADIS (Cho et al., VLDB 2015), the paper's CPU baseline. It
+//!   runs on the host CPU, so the comparison methodology (measured CPU
+//!   time vs. modeled accelerator time) mirrors the paper's.
+//! - [`published`]: calibrated throughput models of the sorters the
+//!   paper could only cite (HRS on GPU, SampleSort and TerabyteSort on
+//!   FPGA, distributed sorters), using exactly the numbers the paper
+//!   itself reports in Table I.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod published;
+pub mod radix;

@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the hardware component models.
+
+use bonsai_amt::functional::kway_merge;
+use bonsai_amt::loser_tree_merge;
+use bonsai_bitonic::{sorter_network, HalfMerger, Presorter};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_merge_hw::{KMerger, Side};
+use bonsai_records::{Record, U32Rec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_bitonic_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitonic");
+    for width in [16usize, 64, 256] {
+        let net = sorter_network(width);
+        let data = uniform_u32(width, 1);
+        g.throughput(Throughput::Elements(width as u64));
+        g.bench_with_input(BenchmarkId::new("sorter_network", width), &width, |b, _| {
+            b.iter(|| {
+                let mut lanes = data.clone();
+                net.apply(black_box(&mut lanes));
+                lanes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_half_merger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("half_merger");
+    for k in [4usize, 16, 32] {
+        let hm = HalfMerger::new(k);
+        let mut a = uniform_u32(k, 2);
+        let mut b2 = uniform_u32(k, 3);
+        a.sort_unstable();
+        b2.sort_unstable();
+        g.throughput(Throughput::Elements(2 * k as u64));
+        g.bench_with_input(BenchmarkId::new("merge", k), &k, |b, _| {
+            b.iter(|| hm.merge(black_box(&a), black_box(&b2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_presorter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("presorter");
+    let ps = Presorter::new(16);
+    let data = uniform_u32(65_536, 4);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("presort_64k", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            ps.presort(black_box(&mut d));
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_kmerger_cycles(c: &mut Criterion) {
+    // End-to-end cycle simulation rate of one 8-merger on long runs.
+    let mut g = c.benchmark_group("kmerger");
+    let n = 32_768u32;
+    let left: Vec<U32Rec> = (0..n).map(|i| U32Rec::new(2 * i + 1)).collect();
+    let right: Vec<U32Rec> = (0..n).map(|i| U32Rec::new(2 * i + 2)).collect();
+    g.throughput(Throughput::Elements(2 * n as u64));
+    g.bench_function("simulate_8_merger_64k_records", |b| {
+        b.iter(|| {
+            let mut m: KMerger<U32Rec> = KMerger::new(8, 32);
+            let mut li = 0usize;
+            let mut ri = 0usize;
+            let mut out = 0u64;
+            while out < u64::from(2 * n) + 1 {
+                while m.input_free(Side::Left) > 0 && li <= left.len() {
+                    if li < left.len() {
+                        m.push_left(left[li]).expect("space checked");
+                    } else {
+                        m.push_left(U32Rec::TERMINAL).expect("space checked");
+                    }
+                    li += 1;
+                }
+                while m.input_free(Side::Right) > 0 && ri <= right.len() {
+                    if ri < right.len() {
+                        m.push_right(right[ri]).expect("space checked");
+                    } else {
+                        m.push_right(U32Rec::TERMINAL).expect("space checked");
+                    }
+                    ri += 1;
+                }
+                m.tick();
+                while m.pop_output().is_some() {
+                    out += 1;
+                }
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kway_merge");
+    for fan_in in [4usize, 64, 256] {
+        let runs: Vec<Vec<U32Rec>> = (0..fan_in)
+            .map(|i| {
+                let mut r = uniform_u32(4096, i as u64);
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let slices: Vec<&[U32Rec]> = runs.iter().map(Vec::as_slice).collect();
+        g.throughput(Throughput::Elements((fan_in * 4096) as u64));
+        g.bench_with_input(BenchmarkId::new("heap", fan_in), &fan_in, |b, _| {
+            b.iter(|| kway_merge(black_box(&slices)))
+        });
+        g.bench_with_input(BenchmarkId::new("loser_tree", fan_in), &fan_in, |b, _| {
+            b.iter(|| loser_tree_merge(black_box(&slices)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitonic_networks,
+    bench_half_merger,
+    bench_presorter,
+    bench_kmerger_cycles,
+    bench_kway_merge
+);
+criterion_main!(benches);

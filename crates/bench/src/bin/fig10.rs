@@ -1,0 +1,5 @@
+//! Regenerates fig10 of the Bonsai paper. Run with `--release`.
+
+fn main() {
+    print!("{}", bonsai_bench::experiments::fig10::render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig12 of the Bonsai paper. Run with `--release`.
+
+fn main() {
+    print!("{}", bonsai_bench::experiments::fig12::render());
+}

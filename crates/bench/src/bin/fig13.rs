@@ -1,0 +1,5 @@
+//! Regenerates fig13 of the Bonsai paper. Run with `--release`.
+
+fn main() {
+    print!("{}", bonsai_bench::experiments::fig13::render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figures 8/9 (simulated vs predicted AMT sort times).
+//!
+//! Pass a record count to override the default scale, e.g.
+//! `cargo run -p bonsai-bench --bin fig8_9 --release -- 4000000`.
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    print!("{}", bonsai_bench::experiments::fig8_9::render(n));
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure in one run (used to produce
+//! EXPERIMENTS.md). Run with `--release`.
+
+fn main() {
+    use bonsai_bench::experiments as e;
+    let sections: Vec<String> = vec![
+        e::table1::render(),
+        e::table4::render(),
+        e::table5::render(),
+        e::table6::render(),
+        e::fig5::render(),
+        e::fig8_9::render(2_000_000),
+        e::fig10::render(),
+        e::fig11::render(),
+        e::fig12::render(),
+        e::fig13::render(),
+        e::hbm_validation::render(800_000),
+        e::ssd_validation::render(800_000),
+        e::width_scaling::render(8_000_000),
+        e::host_baseline::render(4_000_000),
+    ];
+    for s in sections {
+        println!("{s}");
+        println!("{}", "=".repeat(78));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates table1 of the Bonsai paper. Run with `--release`.
+
+fn main() {
+    print!("{}", bonsai_bench::experiments::table1::render());
+}

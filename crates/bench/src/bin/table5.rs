@@ -1,0 +1,5 @@
+//! Regenerates table5 of the Bonsai paper. Run with `--release`.
+
+fn main() {
+    print!("{}", bonsai_bench::experiments::table5::render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §VI-D (unrolling) and §VI-E (throttled SSD) hardware
+//! validation experiments. Run with `--release`.
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800_000);
+    println!("{}", bonsai_bench::experiments::hbm_validation::render(n));
+    println!("{}", bonsai_bench::experiments::ssd_validation::render(n));
+}

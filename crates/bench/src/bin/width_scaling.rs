@@ -1,0 +1,10 @@
+//! Regenerates the §VI-F2 record-width scaling experiment. Run with
+//! `--release`; pass a byte count to change the dataset size.
+
+fn main() {
+    let bytes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000_000);
+    print!("{}", bonsai_bench::experiments::width_scaling::render(bytes));
+}

@@ -1,0 +1,147 @@
+//! Figure 10: LUT utilization of AMTs — component-measured versus the
+//! closed-form resource model.
+//!
+//! The paper compares Vivado synthesis reports against Equation 8. We
+//! have no synthesis tool, so the "measured" series is Equation 8
+//! evaluated with the paper's *measured component costs* (Table VI),
+//! anchored by the one full-tree hardware measurement the paper prints
+//! (Table IV's AMT(32, 64) merge tree at 102 158 LUTs); the "model"
+//! series replaces the component table with the `Θ(k·log 2k)` closed
+//! form fitted by least squares — demonstrating, like the figure, that
+//! the analytic growth law predicts tree cost within a few percent.
+
+use bonsai_model::resource::amt_lut;
+use bonsai_model::{ComponentLibrary, TABLE_VI_32BIT};
+
+use crate::table::Table;
+
+/// Least-squares fit of `lut ≈ a·k·log₂(2k) + b·k + c` to the measured
+/// 32-bit merger costs (`c` captures fixed per-merger control logic).
+pub fn fitted_merger_cost() -> (f64, f64, f64) {
+    // Design matrix rows: (k·log2(2k), k, 1); observations: Table VI.
+    let xs: Vec<[f64; 3]> = (0..6)
+        .map(|log_k| {
+            let k = (1usize << log_k) as f64;
+            [k * (2.0 * k).log2(), k, 1.0]
+        })
+        .collect();
+    let ys: Vec<f64> = TABLE_VI_32BIT.merger_lut.iter().map(|&v| v as f64).collect();
+    // Normal equations A^T A x = A^T y for 3 parameters, solved by
+    // Gaussian elimination.
+    let mut m = [[0.0f64; 4]; 3];
+    for (x, y) in xs.iter().zip(&ys) {
+        // Weight by 1/y²: minimize *relative* error so the cheap small
+        // mergers (which dominate tree counts) are fitted as well as the
+        // expensive wide ones.
+        let w = 1.0 / (y * y);
+        for i in 0..3 {
+            for j in 0..3 {
+                m[i][j] += w * x[i] * x[j];
+            }
+            m[i][3] += w * x[i] * y;
+        }
+    }
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .expect("nonempty");
+        m.swap(col, pivot);
+        for row in 0..3 {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (cell, pivot) in m[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                    *cell -= f * pivot;
+                }
+            }
+        }
+    }
+    (m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2])
+}
+
+/// Closed-form model LUT cost of an `AMT(p, ℓ)` using the fitted growth
+/// law for mergers and the measured coupler/FIFO ratios.
+pub fn closed_form_lut(p: usize, l: usize) -> f64 {
+    let (a, b, c) = fitted_merger_cost();
+    let lib = ComponentLibrary::paper();
+    let levels = l.trailing_zeros() as usize;
+    let mut total = 0.0;
+    for n in 0..levels {
+        let width = (p >> n).max(1) as f64;
+        let mergers = (1u64 << n) as f64;
+        let merger = a * width * (2.0 * width).log2() + b * width + c;
+        let coupler = lib.coupler_lut((p >> n).max(1), 32) as f64;
+        total += mergers * (merger + 2.0 * coupler);
+    }
+    total + l as f64 * lib.fifo_lut(32) as f64
+}
+
+/// The AMT grid shown in Figure 10 (every synthesizable shape class).
+pub fn figure_amts() -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for p in [4usize, 8, 16, 32] {
+        for l in [16usize, 64, 256] {
+            v.push((p, l));
+        }
+    }
+    v
+}
+
+/// Renders the Figure 10 comparison.
+pub fn render() -> String {
+    let lib = ComponentLibrary::paper();
+    let mut t = Table::new(vec!["AMT", "component-measured LUT", "model LUT", "error"]);
+    let mut max_err = 0.0f64;
+    for (p, l) in figure_amts() {
+        let measured = amt_lut(&lib, p, l, 32) as f64;
+        let model = closed_form_lut(p, l);
+        let err = (model - measured).abs() / measured;
+        max_err = max_err.max(err);
+        t.row(vec![
+            format!("AMT({p}, {l})"),
+            format!("{measured:.0}"),
+            format!("{model:.0}"),
+            format!("{:.1}%", err * 100.0),
+        ]);
+    }
+    let anchor = amt_lut(&lib, 32, 64, 32) as f64;
+    format!(
+        "Figure 10: AMT LUT utilization, component-measured vs closed-form model\n\n{}\nmax model error: {:.1}%  (paper: within 5%)\nhardware anchor: AMT(32, 64) predicted {:.0} vs 102158 measured on F1 ({:+.1}%)\n",
+        t.render(),
+        max_err * 100.0,
+        anchor,
+        (anchor - 102_158.0) / 102_158.0 * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_reproduces_measured_mergers_closely() {
+        let (a, b, c) = fitted_merger_cost();
+        for log_k in 0..6 {
+            let k = (1usize << log_k) as f64;
+            let fitted = a * k * (2.0 * k).log2() + b * k + c;
+            let measured = TABLE_VI_32BIT.merger_lut[log_k] as f64;
+            assert!(
+                (fitted - measured).abs() / measured < 0.25,
+                "k={k}: {fitted:.0} vs {measured:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_tracks_component_sum_within_5_percent() {
+        let lib = ComponentLibrary::paper();
+        for (p, l) in figure_amts() {
+            let measured = amt_lut(&lib, p, l, 32) as f64;
+            let model = closed_form_lut(p, l);
+            assert!(
+                (model - measured).abs() / measured < 0.05,
+                "AMT({p},{l}): {model:.0} vs {measured:.0}"
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 11: the DRAM sorter against the best CPU / GPU / FPGA
+//! sorters, 4–32 GB.
+
+use bonsai_baselines::published::{HRS, PARADIS, SAMPLE_SORT};
+use bonsai_model::HardwareParams;
+use bonsai_sorters::DramSorter;
+
+use crate::table::{ms_cell, size_label, Table};
+
+/// The 4–32 GB sizes of Figure 11, in bytes.
+pub const SIZES_BYTES: &[u64] = &[
+    4_000_000_000,
+    8_000_000_000,
+    16_000_000_000,
+    32_000_000_000,
+];
+
+/// Our DRAM sorter's ms/GB at `bytes`.
+pub fn bonsai_ms(bytes: u64) -> f64 {
+    DramSorter::new(HardwareParams::aws_f1())
+        .project(bytes, 4)
+        .expect("4-32 GB fits DRAM")
+        .ms_per_gb()
+}
+
+/// Renders Figure 11 plus the headline speedup claims.
+pub fn render() -> String {
+    let mut t = Table::new(vec!["size", "PARADIS", "HRS", "SampleSort", "Bonsai (ours)"]);
+    for &bytes in SIZES_BYTES {
+        t.row(vec![
+            size_label(bytes),
+            ms_cell(PARADIS.ms_per_gb(bytes)),
+            ms_cell(HRS.ms_per_gb(bytes)),
+            ms_cell(SAMPLE_SORT.ms_per_gb(bytes)),
+            ms_cell(Some(bonsai_ms(bytes))),
+        ]);
+    }
+    let (mut cpu, mut gpu, mut fpga): (Vec<f64>, Vec<f64>, Vec<f64>) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for &bytes in SIZES_BYTES {
+        let ours = bonsai_ms(bytes);
+        cpu.push(PARADIS.ms_per_gb(bytes).expect("in range") / ours);
+        gpu.push(HRS.ms_per_gb(bytes).expect("in range") / ours);
+        fpga.push(SAMPLE_SORT.ms_per_gb(bytes).expect("in range") / ours);
+    }
+    let minmax = |v: &[f64]| {
+        (
+            v.iter().copied().fold(f64::INFINITY, f64::min),
+            v.iter().copied().fold(0.0, f64::max),
+        )
+    };
+    let (cpu_lo, cpu_hi) = minmax(&cpu);
+    let (gpu_lo, gpu_hi) = minmax(&gpu);
+    let (fpga_lo, fpga_hi) = minmax(&fpga);
+    format!(
+        "Figure 11: DRAM sorter vs state-of-the-art (ms/GB, lower is better)\n\n{}\nspeedups: CPU {cpu_lo:.1}x-{cpu_hi:.1}x, GPU {gpu_lo:.1}x-{gpu_hi:.1}x, FPGA {fpga_lo:.1}x-{fpga_hi:.1}x\n(paper: CPU 2.3x-2.5x, GPU 1.2x-1.3x, FPGA 1.3x-3.7x)\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_speedups_match_paper() {
+        // §I / §VI-C1: minimum 2.3x/1.3x/1.2x, up to 2.5x/3.7x/1.3x over
+        // CPU/FPGA/GPU respectively (4-32 GB).
+        let at = |bytes: u64| bonsai_ms(bytes);
+        let cpu32 = PARADIS.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
+        assert!((2.0..2.6).contains(&cpu32), "CPU speedup at 32 GB: {cpu32:.2}");
+        let fpga32 = SAMPLE_SORT.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
+        assert!((3.3..4.1).contains(&fpga32), "FPGA speedup at 32 GB: {fpga32:.2}");
+        let gpu32 = HRS.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
+        assert!((1.15..1.45).contains(&gpu32), "GPU speedup at 32 GB: {gpu32:.2}");
+    }
+
+    #[test]
+    fn bonsai_is_fastest_at_every_size() {
+        for &bytes in SIZES_BYTES {
+            let ours = bonsai_ms(bytes);
+            for baseline in [&PARADIS, &HRS, &SAMPLE_SORT] {
+                let ms = baseline.ms_per_gb(bytes).expect("in range");
+                assert!(ours < ms, "{}: {ours} !< {ms}", baseline.name);
+            }
+        }
+    }
+}

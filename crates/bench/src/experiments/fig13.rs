@@ -1,0 +1,146 @@
+//! Figure 13: latency per GB of latency-optimized Bonsai sorters across
+//! 0.5 GB–1024 TB, with the reasons for each latency step.
+
+use bonsai_model::HardwareParams;
+use bonsai_sorters::{DramSorter, SsdSorter};
+
+use crate::table::{size_label, Table};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Array size in bytes.
+    pub bytes: u64,
+    /// Which sorter handles this size.
+    pub sorter: &'static str,
+    /// Latency per GB in ms.
+    pub ms_per_gb: f64,
+    /// Total merge stages (DRAM) or phase-two stages + 1 (SSD).
+    pub stages: u32,
+}
+
+/// Latency-optimal latency/GB at `bytes`, choosing DRAM vs SSD sorter
+/// automatically (the "switch to SSD sorter" step of the figure).
+pub fn point(bytes: u64) -> Point {
+    let dram = DramSorter::new(HardwareParams::aws_f1());
+    match dram.project(bytes, 4) {
+        Ok(report) => Point {
+            bytes,
+            sorter: "DRAM",
+            ms_per_gb: report.ms_per_gb(),
+            stages: report.phases.len() as u32,
+        },
+        Err(_) => {
+            // Dual-FPGA deployment (Figure 6): the figure's SSD plateaus
+            // are pure multiples of the SSD round-trip time.
+            let ssd = SsdSorter::new(HardwareParams::aws_f1_ssd()).with_dual_fpga();
+            let report = ssd.project(bytes, 4);
+            Point {
+                bytes,
+                sorter: "SSD",
+                ms_per_gb: report.ms_per_gb(),
+                stages: report.phases.len() as u32,
+            }
+        }
+    }
+}
+
+/// The size grid: 0.5 GB to 1024 TB in octaves.
+pub fn default_sizes() -> Vec<u64> {
+    (0..=21).map(|e| 500_000_000u64 << e).collect()
+}
+
+/// Runs the sweep and annotates every latency increase.
+pub fn sweep() -> Vec<(Point, Option<String>)> {
+    let mut out: Vec<(Point, Option<String>)> = Vec::new();
+    for bytes in default_sizes() {
+        let p = point(bytes);
+        let note = match out.last() {
+            Some((prev, _)) if p.ms_per_gb > prev.ms_per_gb * 1.02 => {
+                Some(if prev.sorter == "DRAM" && p.sorter == "SSD" {
+                    format!("switch to SSD sorter ({:.2}x)", p.ms_per_gb / prev.ms_per_gb)
+                } else if prev.sorter == "SSD" {
+                    format!(
+                        "extra stage in second phase ({:.2}x)",
+                        p.ms_per_gb / prev.ms_per_gb
+                    )
+                } else {
+                    format!("extra stage ({:.2}x)", p.ms_per_gb / prev.ms_per_gb)
+                })
+            }
+            _ => None,
+        };
+        out.push((p, note));
+    }
+    out
+}
+
+/// Renders the Figure 13 sweep.
+pub fn render() -> String {
+    let mut t = Table::new(vec!["size", "sorter", "stages", "ms/GB", "latency step"]);
+    for (p, note) in sweep() {
+        t.row(vec![
+            size_label(p.bytes),
+            p.sorter.to_string(),
+            p.stages.to_string(),
+            format!("{:.0}", p.ms_per_gb),
+            note.unwrap_or_default(),
+        ]);
+    }
+    format!(
+        "Figure 13: latency per GB of latency-optimized Bonsai sorters, 0.5 GB-1024 TB\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arrays_run_at_129_ms_per_gb() {
+        let p = point(500_000_000);
+        assert_eq!(p.sorter, "DRAM");
+        assert!((p.ms_per_gb - 129.0).abs() < 10.0, "{}", p.ms_per_gb);
+    }
+
+    #[test]
+    fn extra_stage_step_exists_in_dram_range() {
+        // The paper's first step: an extra merge stage at ~2 GB with a
+        // ~1.33x penalty.
+        let small = point(1_000_000_000);
+        let large = point(4_000_000_000);
+        let ratio = large.ms_per_gb / small.ms_per_gb;
+        assert!((1.25..1.45).contains(&ratio), "ratio {ratio}");
+        assert_eq!(large.stages, small.stages + 1);
+    }
+
+    #[test]
+    fn ssd_switch_happens_past_dram_capacity() {
+        let last_dram = point(64_000_000_000);
+        assert_eq!(last_dram.sorter, "DRAM");
+        let first_ssd = point(128_000_000_000);
+        assert_eq!(first_ssd.sorter, "SSD");
+        assert!(first_ssd.ms_per_gb > last_dram.ms_per_gb);
+    }
+
+    #[test]
+    fn phase_two_extra_stage_penalty_is_1_5x() {
+        // 2 TB: one phase-two stage (250 ms/GB); 8 TB: two (375).
+        let one = point(2_000_000_000_000);
+        let two = point(8_000_000_000_000);
+        let ratio = two.ms_per_gb / one.ms_per_gb;
+        assert!((1.4..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_is_monotone_nondecreasing() {
+        let pts = sweep();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].0.ms_per_gb >= w[0].0.ms_per_gb * 0.99,
+                "latency/GB must not decrease with size"
+            );
+        }
+    }
+}

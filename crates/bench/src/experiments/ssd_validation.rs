@@ -1,0 +1,74 @@
+//! §VI-E: SSD-sorter validation on throttled memory.
+//!
+//! The paper validates its SSD projections without an SSD by throttling
+//! the F1 DRAM to flash speed (8 GB/s) and checking that each phase
+//! still saturates the bound: the phase-one pipeline stage (AMT(8, 64)
+//! on one bank) and the phase-two wide merge (AMT(8, 256)) both operate
+//! at ~8 GB/s. We run the identical experiment on the cycle simulator.
+
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::MemoryConfig;
+
+use crate::table::Table;
+
+/// Simulated sustained streaming rate (bytes/s while merging) of an AMT
+/// on memory throttled to 8 GB/s.
+pub fn throttled_rate(amt: AmtConfig, n: usize) -> f64 {
+    let cfg = SimEngineConfig::with_memory(amt, 4, MemoryConfig::throttled_to_ssd());
+    let data = uniform_u32(n, 0x55D);
+    let (_, report) = SimEngine::new(cfg).sort(data);
+    report.throughput() * report.stages() as f64
+}
+
+/// Renders the §VI-E validation.
+pub fn render(n: usize) -> String {
+    let mut t = Table::new(vec!["phase", "design", "simulated GB/s", "paper GB/s"]);
+    let phase1 = throttled_rate(AmtConfig::new(8, 64), n);
+    t.row(vec![
+        "phase one (per pipeline stage)".into(),
+        "AMT(8, 64), 1 bank".into(),
+        format!("{:.2}", phase1 / 1e9),
+        "7.19".into(),
+    ]);
+    let phase2 = throttled_rate(AmtConfig::new(8, 256), n);
+    t.row(vec![
+        "phase two (wide merge)".into(),
+        "AMT(8, 256), throttled".into(),
+        format!("{:.2}", phase2 / 1e9),
+        "~8".into(),
+    ]);
+    format!(
+        "§VI-E validation: both SSD-sorter phases saturate the 8 GB/s flash bound\n(DRAM throttled to SSD speed, {n} records)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_one_stage_matches_paper_7_19() {
+        let rate = throttled_rate(AmtConfig::new(8, 64), 400_000);
+        // Paper measures 7.19 GB/s against the nominal 8.
+        assert!(
+            (rate - 7.19e9).abs() < 0.6e9,
+            "phase-one rate {:.2} GB/s",
+            rate / 1e9
+        );
+    }
+
+    #[test]
+    fn phase_two_saturates_throttled_memory() {
+        // 256 leaf buffers fill serially over the single throttled port,
+        // so the start-of-stage fill is visible at small scale; 1.5M
+        // records amortize it (at hardware scale it vanishes entirely).
+        let rate = throttled_rate(AmtConfig::new(8, 256), 1_500_000);
+        assert!(
+            rate > 6.4e9 && rate <= 8.1e9,
+            "phase-two rate {:.2} GB/s",
+            rate / 1e9
+        );
+    }
+}

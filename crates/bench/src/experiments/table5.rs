@@ -1,0 +1,53 @@
+//! Table V: execution-time breakdown of sorting 2 TB of data.
+
+use bonsai_model::HardwareParams;
+use bonsai_sorters::{SorterReport, SsdSorter};
+
+use crate::table::Table;
+
+/// The 2 TB (2048 GB) workload of Table V.
+pub const BYTES_2TB: u64 = 2_048_000_000_000;
+
+/// Runs the SSD-sorter projection for 2 TB.
+pub fn report() -> SorterReport {
+    SsdSorter::new(HardwareParams::aws_f1_ssd()).project(BYTES_2TB, 4)
+}
+
+/// Renders Table V with the paper's measured numbers alongside.
+pub fn render() -> String {
+    let r = report();
+    let total = r.seconds();
+    let mut t = Table::new(vec!["phase", "time (model)", "share", "time (paper)"]);
+    let paper = ["256s", "4.3s", "256s"];
+    for (phase, paper_time) in r.phases.iter().zip(paper) {
+        t.row(vec![
+            phase.name.clone(),
+            format!("{:.1}s", phase.seconds),
+            format!("{:.1}%", phase.seconds / total * 100.0),
+            paper_time.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        format!("{total:.1}s"),
+        "100.0%".into(),
+        "516.3s".into(),
+    ]);
+    format!("Table V: execution time breakdown of sorting 2 TB\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_v() {
+        let r = report();
+        assert!((r.seconds() - 516.3).abs() < 1.0, "total {}", r.seconds());
+        assert_eq!(r.phases.len(), 3);
+        // Phase shares: 49.6% / 0.8% / 49.6%.
+        let total = r.seconds();
+        assert!((r.phases[0].seconds / total - 0.496).abs() < 0.005);
+        assert!((r.phases[1].seconds / total - 0.008).abs() < 0.005);
+    }
+}

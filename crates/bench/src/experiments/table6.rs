@@ -1,0 +1,79 @@
+//! Table VI: LUT utilization and throughput of the building blocks.
+
+use bonsai_model::{ComponentLibrary, TABLE_VI_128BIT, TABLE_VI_32BIT};
+
+use crate::table::Table;
+
+fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.0} GB/s", bytes_per_sec / 1e9)
+}
+
+/// Renders Table VI for one record width.
+pub fn render_width(record_bits: u32) -> String {
+    let lib = ComponentLibrary::paper();
+    let table = if record_bits == 32 {
+        &TABLE_VI_32BIT
+    } else {
+        &TABLE_VI_128BIT
+    };
+    let mut t = Table::new(vec!["element", "throughput", "LUT"]);
+    for log_k in 0..6 {
+        let k = 1usize << log_k;
+        t.row(vec![
+            format!("{k}-merger"),
+            gbps(lib.merger_throughput(k, record_bits, 250e6)),
+            table.merger_lut[log_k].to_string(),
+        ]);
+    }
+    t.row(vec![
+        "FIFO".into(),
+        gbps(lib.merger_throughput(1, record_bits, 250e6)),
+        table.fifo_lut.to_string(),
+    ]);
+    for log_k in 1..6 {
+        let k = 1usize << log_k;
+        t.row(vec![
+            format!("{k}-coupler"),
+            gbps(lib.merger_throughput(k / 2, record_bits, 250e6)),
+            table.coupler_lut[log_k].to_string(),
+        ]);
+    }
+    format!("({record_bits}-bit records)\n{}", t.render())
+}
+
+/// Renders both halves of Table VI plus the §VI-F2 wide-record
+/// observation.
+pub fn render() -> String {
+    let lib = ComponentLibrary::paper();
+    let l128 = lib.merger_lut(4, 128);
+    let l32 = lib.merger_lut(16, 32);
+    format!(
+        "Table VI: LUT utilization and throughput of building-block elements\n\n{}\n{}\n§VI-F2 check: a 128-bit 4-merger ({l128} LUTs) matches the throughput of a\n32-bit 16-merger ({l32} LUTs) with {:.0}% less logic.\n",
+        render_width(32),
+        render_width(128),
+        (1.0 - l128 as f64 / l32 as f64) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_column_matches_paper() {
+        // Table VI(a): 32-merger moves 32 GB/s of 32-bit records.
+        let lib = ComponentLibrary::paper();
+        assert!((lib.merger_throughput(32, 32, 250e6) - 32e9).abs() < 1.0);
+        // Table VI(b): 32-merger moves 128 GB/s of 128-bit records.
+        assert!((lib.merger_throughput(32, 128, 250e6) - 128e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn render_lists_all_elements() {
+        let s = render();
+        for e in ["1-merger", "32-merger", "FIFO", "2-coupler", "32-coupler"] {
+            assert!(s.contains(e), "missing {e}");
+        }
+        assert!(s.contains("less logic"));
+    }
+}

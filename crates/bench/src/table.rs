@@ -1,0 +1,124 @@
+//! Minimal aligned-table printing for the experiment binaries.
+
+/// An aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["size", "ms/GB"]);
+/// t.row(vec!["4 GB".into(), "172".into()]);
+/// let s = t.render();
+/// assert!(s.contains("4 GB"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&'static str>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(
+            self.headers.iter().map(|h| h.to_string()).collect(),
+            &widths,
+        ));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row.clone(), &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an optional ms/GB figure, using `-` for "no reported result"
+/// exactly as Table I does.
+pub fn ms_cell(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.0}"),
+        None => "-".into(),
+    }
+}
+
+/// Formats a byte count as the paper writes sizes ("4 GB", "2 TB").
+pub fn size_label(bytes: u64) -> String {
+    const GB: f64 = 1e9;
+    let gb = bytes as f64 / GB;
+    if gb >= 1000.0 {
+        format!("{:.0} TB", gb / 1000.0)
+    } else if gb >= 1.0 {
+        format!("{gb:.0} GB")
+    } else {
+        format!("{:.0} MB", gb * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "bbb"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["long".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("   1") || lines[2].contains("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn cells_and_labels() {
+        assert_eq!(ms_cell(Some(171.6)), "172");
+        assert_eq!(ms_cell(None), "-");
+        assert_eq!(size_label(4_000_000_000), "4 GB");
+        assert_eq!(size_label(2_048_000_000_000), "2 TB");
+        assert_eq!(size_label(500_000_000), "500 MB");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the bitonic networks.
+
+use bonsai_bitonic::{merge_network, sorter_network, HalfMerger, Presorter};
+use bonsai_records::U32Rec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sorter_network_sorts_random_input(mut vals in proptest::collection::vec(any::<u32>(), 32..=32)) {
+        let net = sorter_network(32);
+        let mut expected = vals.clone();
+        expected.sort_unstable();
+        net.apply(&mut vals);
+        prop_assert_eq!(vals, expected);
+    }
+
+    #[test]
+    fn merge_network_equals_std_merge(mut a in proptest::collection::vec(any::<u32>(), 16..=16),
+                                      mut b in proptest::collection::vec(any::<u32>(), 16..=16)) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut expected: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expected.sort_unstable();
+
+        let net = merge_network(32);
+        let mut lanes = a.clone();
+        lanes.extend(b.iter().rev());
+        net.apply(&mut lanes);
+        prop_assert_eq!(lanes, expected);
+    }
+
+    #[test]
+    fn half_merger_equals_std_merge_any_lengths(
+        mut a in proptest::collection::vec(any::<u32>(), 0..8),
+        mut b in proptest::collection::vec(any::<u32>(), 0..8),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let hm = HalfMerger::new(8);
+        let ra: Vec<U32Rec> = a.iter().map(|&v| U32Rec::new(v)).collect();
+        let rb: Vec<U32Rec> = b.iter().map(|&v| U32Rec::new(v)).collect();
+        let out = hm.merge(&ra, &rb);
+
+        let mut expected: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expected.sort_unstable();
+        let expected: Vec<U32Rec> = expected.into_iter().map(U32Rec::new).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn presorter_output_is_chunkwise_sorted_permutation(
+        vals in proptest::collection::vec(any::<u32>(), 0..200),
+        log_chunk in 1usize..6,
+    ) {
+        let chunk = 1usize << log_chunk;
+        let ps = Presorter::new(chunk);
+        let mut data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+        ps.presort(&mut data);
+
+        for c in data.chunks(chunk) {
+            prop_assert!(c.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let mut sorted_in = vals.clone();
+        sorted_in.sort_unstable();
+        let mut sorted_out: Vec<u32> = data.iter().map(|r| r.0).collect();
+        sorted_out.sort_unstable();
+        prop_assert_eq!(sorted_in, sorted_out);
+    }
+}

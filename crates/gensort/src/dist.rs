@@ -1,0 +1,168 @@
+//! Synthetic key distributions for robustness and scalability testing.
+//!
+//! The paper's headline numbers use uniform random keys; merge sort's
+//! behavior is data-oblivious, but the test suite exercises adversarial
+//! distributions (sorted, reversed, heavy duplicates, skew) to verify the
+//! simulator's correctness on all of them.
+
+use bonsai_records::{Record, U32Rec, U64Rec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A key distribution for synthetic workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Independent uniform keys over the full domain (§VI-A).
+    Uniform,
+    /// Already sorted ascending (best case for run detection).
+    Sorted,
+    /// Sorted descending (worst case for naive run detection).
+    Reverse,
+    /// Only `distinct` different key values (heavy duplicates).
+    FewDistinct(u32),
+    /// A sorted array with `fraction` of elements randomly displaced.
+    AlmostSorted(f64),
+    /// Zipf-like skew: 90% of records drawn from the lowest
+    /// `hot_fraction` of the key space.
+    Skewed {
+        /// Fraction of the key space that is "hot" (0 < f < 1).
+        hot_fraction: f64,
+    },
+}
+
+impl Distribution {
+    /// Generates `n` 32-bit records from this distribution, sanitized so
+    /// none equals the reserved terminal record.
+    pub fn generate_u32(&self, n: usize, seed: u64) -> Vec<U32Rec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw: Vec<u32> = match *self {
+            Distribution::Uniform => (0..n).map(|_| rng.random()).collect(),
+            Distribution::Sorted => {
+                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                v.sort_unstable();
+                v
+            }
+            Distribution::Reverse => {
+                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v
+            }
+            Distribution::FewDistinct(distinct) => {
+                let distinct = distinct.max(1);
+                (0..n).map(|_| rng.random_range(0..distinct)).collect()
+            }
+            Distribution::AlmostSorted(fraction) => {
+                assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                v.sort_unstable();
+                let swaps = ((n as f64) * fraction / 2.0) as usize;
+                for _ in 0..swaps {
+                    if n >= 2 {
+                        let i = rng.random_range(0..n);
+                        let j = rng.random_range(0..n);
+                        v.swap(i, j);
+                    }
+                }
+                v
+            }
+            Distribution::Skewed { hot_fraction } => {
+                assert!(
+                    hot_fraction > 0.0 && hot_fraction < 1.0,
+                    "hot fraction must be in (0, 1)"
+                );
+                let hot_max = (u32::MAX as f64 * hot_fraction) as u32;
+                (0..n)
+                    .map(|_| {
+                        if rng.random_range(0..10) < 9 {
+                            rng.random_range(0..hot_max.max(1))
+                        } else {
+                            rng.random()
+                        }
+                    })
+                    .collect()
+            }
+        };
+        raw.into_iter().map(|v| U32Rec::new(v).sanitize()).collect()
+    }
+
+    /// Generates `n` 64-bit records from this distribution (uniform key
+    /// construction, same shapes as [`Distribution::generate_u32`]).
+    pub fn generate_u64(&self, n: usize, seed: u64) -> Vec<U64Rec> {
+        self.generate_u32(n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| U64Rec::new((u64::from(r.0) << 20) | (i as u64 & 0xFFFFF)).sanitize())
+            .collect()
+    }
+}
+
+/// Convenience: `n` uniform 32-bit records (the paper's main workload).
+pub fn uniform_u32(n: usize, seed: u64) -> Vec<U32Rec> {
+    Distribution::Uniform.generate_u32(n, seed)
+}
+
+/// Convenience: `n` uniform 64-bit records.
+pub fn uniform_u64(n: usize, seed: u64) -> Vec<U64Rec> {
+    Distribution::Uniform.generate_u64(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_reproducible() {
+        assert_eq!(uniform_u32(100, 9), uniform_u32(100, 9));
+        assert_ne!(uniform_u32(100, 9), uniform_u32(100, 10));
+    }
+
+    #[test]
+    fn no_distribution_emits_terminal_records() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Sorted,
+            Distribution::Reverse,
+            Distribution::FewDistinct(4),
+            Distribution::AlmostSorted(0.1),
+            Distribution::Skewed { hot_fraction: 0.1 },
+        ] {
+            let recs = d.generate_u32(500, 1);
+            assert_eq!(recs.len(), 500);
+            assert!(recs.iter().all(|r| !r.is_terminal()), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_reverse_is_reversed() {
+        let s = Distribution::Sorted.generate_u32(200, 2);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let r = Distribution::Reverse.generate_u32(200, 2);
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn few_distinct_has_few_values() {
+        let recs = Distribution::FewDistinct(3).generate_u32(1000, 3);
+        let mut vals: Vec<u32> = recs.iter().map(|r| r.0).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() <= 3);
+    }
+
+    #[test]
+    fn skewed_concentrates_mass() {
+        let recs = Distribution::Skewed { hot_fraction: 0.01 }.generate_u32(10_000, 4);
+        let hot_max = (u32::MAX as f64 * 0.01) as u32;
+        let hot = recs.iter().filter(|r| r.0 < hot_max).count();
+        assert!(hot > 8_000, "expected ~90% hot, got {hot}");
+    }
+
+    #[test]
+    fn u64_generation_produces_mostly_distinct_keys() {
+        let recs = uniform_u64(1000, 5);
+        let mut vals: Vec<u64> = recs.iter().map(|r| r.0).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() > 990);
+    }
+}

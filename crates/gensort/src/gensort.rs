@@ -1,0 +1,216 @@
+//! Gensort-style 100-byte records (Jim Gray's sort benchmark).
+
+use bonsai_records::{Packed16, Record};
+use bytes::{BufMut, Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Width of a gensort record: 10-byte key + 90-byte value.
+pub const GENSORT_RECORD_BYTES: usize = 100;
+
+const KEY_BYTES: usize = 10;
+const VALUE_BYTES: usize = 90;
+
+/// One 100-byte sort-benchmark record: a 10-byte binary key and a 90-byte
+/// value (§VI-A of the paper, after <http://sortbenchmark.org/>).
+///
+/// The paper's pipeline hashes the value down to a 6-byte index and sorts
+/// `(key, index)` as a 16-byte record; [`GensortRecord::to_packed16`]
+/// performs exactly that transformation.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_gensort::GensortRecord;
+///
+/// let rec = GensortRecord::new([1u8; 10], [2u8; 90]);
+/// assert_eq!(rec.to_bytes().len(), 100);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GensortRecord {
+    key: [u8; KEY_BYTES],
+    value: [u8; VALUE_BYTES],
+}
+
+impl core::fmt::Debug for GensortRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GensortRecord {{ key: {:02x?}, value: [..90] }}", self.key)
+    }
+}
+
+impl GensortRecord {
+    /// Builds a record from its raw key and value.
+    pub const fn new(key: [u8; KEY_BYTES], value: [u8; VALUE_BYTES]) -> Self {
+        Self { key, value }
+    }
+
+    /// Parses a record from a 100-byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != 100`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), GENSORT_RECORD_BYTES, "gensort records are 100 bytes");
+        let mut key = [0u8; KEY_BYTES];
+        let mut value = [0u8; VALUE_BYTES];
+        key.copy_from_slice(&bytes[..KEY_BYTES]);
+        value.copy_from_slice(&bytes[KEY_BYTES..]);
+        Self { key, value }
+    }
+
+    /// Serializes the record into its 100-byte wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(GENSORT_RECORD_BYTES);
+        buf.put_slice(&self.key);
+        buf.put_slice(&self.value);
+        buf.freeze()
+    }
+
+    /// The 10-byte binary key.
+    pub const fn key(&self) -> &[u8; KEY_BYTES] {
+        &self.key
+    }
+
+    /// The 90-byte value.
+    pub const fn value(&self) -> &[u8; VALUE_BYTES] {
+        &self.value
+    }
+
+    /// The key interpreted as an 80-bit big-endian integer.
+    pub fn key_u128(&self) -> u128 {
+        let mut k = 0u128;
+        for &b in &self.key {
+            k = (k << 8) | u128::from(b);
+        }
+        k
+    }
+
+    /// Hashes the 90-byte value to a 6-byte (48-bit) index with FNV-1a.
+    ///
+    /// The index lets the sorted output locate the original wide value
+    /// without moving 90 bytes through the merge tree.
+    pub fn value_index(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in &self.value {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h & ((1u64 << 48) - 1) // keep low 48 bits
+    }
+
+    /// Packs the record into the 16-byte AMT representation of §VI-A:
+    /// 80-bit key (most significant) + 48-bit hashed value index,
+    /// sanitized so it never equals the reserved terminal record.
+    pub fn to_packed16(&self) -> Packed16 {
+        Packed16::from_parts(self.key_u128(), self.value_index()).sanitize()
+    }
+}
+
+/// A deterministic generator of random [`GensortRecord`]s.
+///
+/// Mirrors `gensort -b` behaviour in spirit: uniformly random binary
+/// keys, pseudo-random printable values, reproducible from a seed.
+#[derive(Debug)]
+pub struct GensortGenerator {
+    rng: StdRng,
+}
+
+impl GensortGenerator {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the next record.
+    pub fn next_record(&mut self) -> GensortRecord {
+        let mut key = [0u8; KEY_BYTES];
+        self.rng.fill(&mut key[..]);
+        let mut value = [0u8; VALUE_BYTES];
+        self.rng.fill(&mut value[..]);
+        // Printable-ish values, as gensort's ASCII mode produces.
+        for b in &mut value {
+            *b = b' ' + (*b % 95);
+        }
+        GensortRecord { key, value }
+    }
+
+    /// Generates `n` records.
+    pub fn take_records(&mut self, n: usize) -> Vec<GensortRecord> {
+        (0..n).map(|_| self.next_record()).collect()
+    }
+
+    /// Generates `n` records already packed for the AMT datapath.
+    pub fn take_packed(&mut self, n: usize) -> Vec<Packed16> {
+        (0..n).map(|_| self.next_record().to_packed16()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut generator = GensortGenerator::seeded(7);
+        let rec = generator.next_record();
+        let bytes = rec.to_bytes();
+        assert_eq!(bytes.len(), GENSORT_RECORD_BYTES);
+        assert_eq!(GensortRecord::from_bytes(&bytes), rec);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<_> = GensortGenerator::seeded(1).take_records(16);
+        let b: Vec<_> = GensortGenerator::seeded(1).take_records(16);
+        assert_eq!(a, b);
+        let c: Vec<_> = GensortGenerator::seeded(2).take_records(16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn packed_order_matches_key_order() {
+        let mut generator = GensortGenerator::seeded(3);
+        let mut recs = generator.take_records(256);
+        recs.sort_by(|a, b| a.key().cmp(b.key()));
+        let packed: Vec<_> = recs.iter().map(GensortRecord::to_packed16).collect();
+        // Keys are distinct with overwhelming probability, so packed
+        // records must already be sorted.
+        assert!(packed.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn value_index_fits_48_bits() {
+        let mut generator = GensortGenerator::seeded(4);
+        for _ in 0..64 {
+            let rec = generator.next_record();
+            assert!(rec.value_index() < (1 << 48));
+        }
+    }
+
+    #[test]
+    fn values_are_printable() {
+        let mut generator = GensortGenerator::seeded(5);
+        let rec = generator.next_record();
+        assert!(rec.value().iter().all(|&b| (b' '..=b'~').contains(&b)));
+    }
+
+    #[test]
+    fn key_u128_is_big_endian() {
+        let mut key = [0u8; 10];
+        key[0] = 1;
+        let rec = GensortRecord::new(key, [b'x'; 90]);
+        assert_eq!(rec.key_u128(), 1u128 << 72);
+    }
+
+    #[test]
+    fn packed_never_terminal() {
+        use bonsai_records::Record;
+        let rec = GensortRecord::new([0; 10], [b' '; 90]);
+        // Even a zero key must not produce the terminal record.
+        assert!(!rec.to_packed16().is_terminal());
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generation for the Bonsai benchmarks.
+//!
+//! The paper evaluates on two workloads (§VI-A):
+//!
+//! 1. *"32-bit integers generated uniformly at random"*, and
+//! 2. gensort-style 100-byte records (10-byte key, 90-byte value) per Jim
+//!    Gray's sort benchmark, where the 90-byte value is hashed to a 6-byte
+//!    index so the pair fits a 16-byte AMT record.
+//!
+//! [`GensortRecord`] reproduces the 100-byte layout and the key+hash
+//! packing; [`dist`] provides uniform and adversarial key distributions
+//! for robustness testing.
+//!
+//! # Example
+//!
+//! ```
+//! use bonsai_gensort::GensortGenerator;
+//! use bonsai_records::Record;
+//!
+//! let mut generator = GensortGenerator::seeded(42);
+//! let rec = generator.next_record();
+//! let packed = rec.to_packed16();
+//! assert_eq!(packed.key(), rec.key_u128());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+mod gensort;
+pub mod io;
+
+pub use gensort::{GensortGenerator, GensortRecord, GENSORT_RECORD_BYTES};

@@ -1,0 +1,416 @@
+//! The batched data loader (§V-A) and its write-side counterpart.
+
+use std::collections::VecDeque;
+
+use crate::config::LoaderConfig;
+use crate::memory::Memory;
+
+/// Introspection snapshot of one leaf buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafStatus {
+    /// Records still in off-chip memory, not yet requested.
+    pub remaining: u64,
+    /// Records currently in transit from memory.
+    pub in_flight: u64,
+    /// Records buffered on-chip, ready to consume.
+    pub buffered: u64,
+}
+
+impl LeafStatus {
+    /// Returns `true` when the leaf has no data anywhere in the pipeline.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining == 0 && self.in_flight == 0 && self.buffered == 0
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LeafState {
+    remaining: u64,
+    in_flight: VecDeque<(u64, u64)>, // (completion cycle, records)
+    in_flight_records: u64,
+    buffered: u64,
+}
+
+/// The data loader of §V-A: issues batched reads round-robin into
+/// per-leaf input buffers so off-chip memory operates at peak bandwidth.
+///
+/// Each AMT leaf reads a contiguous run from memory. The loader checks
+/// leaves "in a round-robin fashion" for buffers with space for a full
+/// read batch, issues a burst on any free bank read port, and delivers
+/// the records `burst_latency` cycles later. The consumer (the AMT leaf)
+/// pulls from [`DataLoader::available`] via [`DataLoader::consume`].
+///
+/// # Example
+///
+/// ```
+/// use bonsai_memsim::{DataLoader, LoaderConfig, Memory, MemoryConfig};
+///
+/// let cfg = LoaderConfig::paper_default(4);
+/// let mut mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+/// let mut loader = DataLoader::new(cfg, vec![10_000, 10_000]);
+/// let mut cycle = 0;
+/// while loader.available(0) == 0 {
+///     loader.tick(cycle, &mut mem);
+///     cycle += 1;
+/// }
+/// assert!(loader.available(0) >= cfg.batch_records());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    cfg: LoaderConfig,
+    leaves: Vec<LeafState>,
+    rr: usize,
+}
+
+impl DataLoader {
+    /// Creates a loader for one merge pass: `per_leaf_records[i]` records
+    /// stream into leaf `i`.
+    pub fn new(cfg: LoaderConfig, per_leaf_records: Vec<u64>) -> Self {
+        let leaves = per_leaf_records
+            .into_iter()
+            .map(|remaining| LeafState {
+                remaining,
+                ..LeafState::default()
+            })
+            .collect();
+        Self { cfg, leaves, rr: 0 }
+    }
+
+    /// The loader configuration.
+    pub fn config(&self) -> &LoaderConfig {
+        &self.cfg
+    }
+
+    /// Number of leaves being fed.
+    pub fn leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Snapshot of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn leaf_status(&self, i: usize) -> LeafStatus {
+        let l = &self.leaves[i];
+        LeafStatus {
+            remaining: l.remaining,
+            in_flight: l.in_flight_records,
+            buffered: l.buffered,
+        }
+    }
+
+    /// Records ready to consume at leaf `i`.
+    pub fn available(&self, i: usize) -> u64 {
+        self.leaves[i].buffered
+    }
+
+    /// Returns `true` when leaf `i` will never produce more records.
+    pub fn is_exhausted(&self, i: usize) -> bool {
+        self.leaf_status(i).is_exhausted()
+    }
+
+    /// Returns `true` when every leaf is exhausted.
+    pub fn all_exhausted(&self) -> bool {
+        (0..self.leaves.len()).all(|i| self.is_exhausted(i))
+    }
+
+    /// Consumes `n` buffered records from leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` records are buffered.
+    pub fn consume(&mut self, i: usize, n: u64) {
+        let l = &mut self.leaves[i];
+        assert!(l.buffered >= n, "consuming more records than buffered");
+        l.buffered -= n;
+    }
+
+    /// Advances one cycle: completes arrivals, then issues new batched
+    /// reads round-robin on every free read port.
+    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) {
+        // Deliver completed bursts.
+        for leaf in &mut self.leaves {
+            while let Some(&(done, records)) = leaf.in_flight.front() {
+                if done > cycle {
+                    break;
+                }
+                leaf.in_flight.pop_front();
+                leaf.in_flight_records -= records;
+                leaf.buffered += records;
+            }
+        }
+
+        // Issue new bursts while ports and hungry leaves remain.
+        let n_leaves = self.leaves.len();
+        if n_leaves == 0 {
+            return;
+        }
+        let batch = self.cfg.batch_records();
+        let capacity = self.cfg.buffer_records();
+        while let Some(port_idx) = memory.free_read_port(cycle) {
+            // Find the next leaf (round-robin) with work and buffer space.
+            let mut chosen = None;
+            for off in 0..n_leaves {
+                let i = (self.rr + off) % n_leaves;
+                let l = &self.leaves[i];
+                let committed = l.buffered + l.in_flight_records;
+                if l.remaining > 0 && capacity.saturating_sub(committed) >= batch.min(l.remaining)
+                {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = chosen else { break };
+            self.rr = (i + 1) % n_leaves;
+            let l = &mut self.leaves[i];
+            let records = batch.min(l.remaining);
+            let bytes = records * self.cfg.record_bytes;
+            let done = memory
+                .read_port_mut(port_idx)
+                .try_start(cycle, bytes)
+                .expect("port reported free");
+            l.remaining -= records;
+            l.in_flight.push_back((done, records));
+            l.in_flight_records += records;
+        }
+    }
+}
+
+/// The write-side drain: collects root-output records and writes them
+/// back to memory in batched bursts (the packer + write path of Fig. 7).
+#[derive(Debug, Clone)]
+pub struct WriteDrain {
+    cfg: LoaderConfig,
+    pending: u64,
+    in_flight: VecDeque<(u64, u64)>,
+    completed: u64,
+    draining: bool,
+}
+
+impl WriteDrain {
+    /// Creates an empty drain.
+    pub fn new(cfg: LoaderConfig) -> Self {
+        Self {
+            cfg,
+            pending: 0,
+            in_flight: VecDeque::new(),
+            completed: 0,
+            draining: false,
+        }
+    }
+
+    /// Free space (in records) in the on-chip write buffer.
+    pub fn free_space(&self) -> u64 {
+        self.cfg.buffer_records().saturating_sub(self.pending)
+    }
+
+    /// Buffers `n` records for write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`WriteDrain::free_space`].
+    pub fn push_records(&mut self, n: u64) {
+        assert!(n <= self.free_space(), "write buffer overflow");
+        self.pending += n;
+    }
+
+    /// Signals that no more records will arrive, so partial batches
+    /// should be written out.
+    pub fn set_draining(&mut self) {
+        self.draining = true;
+    }
+
+    /// Records whose write burst has completed.
+    pub fn completed_records(&self) -> u64 {
+        self.completed
+    }
+
+    /// Returns `true` when nothing is buffered or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.pending == 0 && self.in_flight.is_empty()
+    }
+
+    /// Advances one cycle: retires finished bursts and issues new ones.
+    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) {
+        while let Some(&(done, records)) = self.in_flight.front() {
+            if done > cycle {
+                break;
+            }
+            self.in_flight.pop_front();
+            self.completed += records;
+        }
+
+        let batch = self.cfg.batch_records();
+        while self.pending >= batch || (self.draining && self.pending > 0) {
+            let Some(port_idx) = memory.free_write_port(cycle) else {
+                break;
+            };
+            let records = batch.min(self.pending);
+            let bytes = records * self.cfg.record_bytes;
+            let done = memory
+                .write_port_mut(port_idx)
+                .try_start(cycle, bytes)
+                .expect("port reported free");
+            self.pending -= records;
+            self.in_flight.push_back((done, records));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+
+    fn run_loader(mut loader: DataLoader, mut mem: Memory, cycles: u64) -> (DataLoader, Memory) {
+        for c in 0..cycles {
+            loader.tick(c, &mut mem);
+        }
+        (loader, mem)
+    }
+
+    #[test]
+    fn loader_fills_all_leaf_buffers() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        let loader = DataLoader::new(cfg, vec![100_000; 8]);
+        let (loader, _) = run_loader(loader, mem, 2_000);
+        for i in 0..8 {
+            assert_eq!(
+                loader.available(i),
+                cfg.buffer_records(),
+                "leaf {i} should be double-buffered full"
+            );
+        }
+    }
+
+    #[test]
+    fn loader_respects_buffer_capacity() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        let loader = DataLoader::new(cfg, vec![1_000_000]);
+        let (loader, _) = run_loader(loader, mem, 5_000);
+        assert!(loader.available(0) <= cfg.buffer_records());
+    }
+
+    #[test]
+    fn loader_delivers_exact_record_counts() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        // 2.5 batches in leaf 0, half a batch in leaf 1.
+        let n0 = cfg.batch_records() * 2 + cfg.batch_records() / 2;
+        let n1 = cfg.batch_records() / 2;
+        let mut loader = DataLoader::new(cfg, vec![n0, n1]);
+        let mut mem = mem;
+        let mut got0 = 0;
+        let mut got1 = 0;
+        for c in 0..50_000 {
+            loader.tick(c, &mut mem);
+            let a0 = loader.available(0);
+            let a1 = loader.available(1);
+            loader.consume(0, a0);
+            loader.consume(1, a1);
+            got0 += a0;
+            got1 += a1;
+            if loader.all_exhausted() {
+                break;
+            }
+        }
+        assert_eq!(got0, n0);
+        assert_eq!(got1, n1);
+        assert!(loader.all_exhausted());
+    }
+
+    #[test]
+    fn consuming_frees_space_for_more_batches() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        let total = cfg.batch_records() * 10;
+        let mut loader = DataLoader::new(cfg, vec![total]);
+        let mut consumed = 0;
+        for c in 0..100_000 {
+            loader.tick(c, &mut mem);
+            let a = loader.available(0);
+            loader.consume(0, a);
+            consumed += a;
+            if loader.all_exhausted() {
+                break;
+            }
+        }
+        assert_eq!(consumed, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "more records than buffered")]
+    fn consume_more_than_available_panics() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut loader = DataLoader::new(cfg, vec![100]);
+        loader.consume(0, 1);
+    }
+
+    #[test]
+    fn drain_writes_all_records_including_partial_tail() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        let mut drain = WriteDrain::new(cfg);
+        let total = cfg.batch_records() * 3 + 7;
+        let mut pushed = 0;
+        let mut cycle = 0;
+        while drain.completed_records() < total {
+            let n = (total - pushed).min(drain.free_space()).min(64);
+            drain.push_records(n);
+            pushed += n;
+            if pushed == total {
+                drain.set_draining();
+            }
+            drain.tick(cycle, &mut mem);
+            cycle += 1;
+            assert!(cycle < 100_000, "drain did not finish");
+        }
+        assert_eq!(drain.completed_records(), total);
+        assert!(drain.is_idle());
+        assert_eq!(mem.bytes_written(), total * 4);
+    }
+
+    #[test]
+    fn drain_holds_partial_batch_until_draining() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+        let mut drain = WriteDrain::new(cfg);
+        drain.push_records(10); // less than one batch
+        for c in 0..100 {
+            drain.tick(c, &mut mem);
+        }
+        assert_eq!(drain.completed_records(), 0, "partial batch must wait");
+        drain.set_draining();
+        for c in 100..300 {
+            drain.tick(c, &mut mem);
+        }
+        assert_eq!(drain.completed_records(), 10);
+    }
+
+    #[test]
+    fn loader_saturates_single_bank_bandwidth() {
+        // With one bank and plenty of leaves, achieved read efficiency
+        // should approach the burst efficiency bound.
+        let cfg = LoaderConfig::paper_default(4);
+        let mcfg = MemoryConfig::ddr4_single_bank();
+        let mut mem = Memory::new(mcfg);
+        let mut loader = DataLoader::new(cfg, vec![u64::MAX / 2; 4]);
+        let horizon = 100_000;
+        for c in 0..horizon {
+            loader.tick(c, &mut mem);
+            for i in 0..4 {
+                let a = loader.available(i);
+                loader.consume(i, a);
+            }
+        }
+        let eff = mem.read_efficiency(horizon);
+        let bound = mcfg.burst_efficiency(cfg.batch_bytes);
+        assert!(
+            eff > bound * 0.95,
+            "loader must keep the port busy: eff = {eff}, bound = {bound}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The coupler: a serial-to-parallel width adapter between tree levels.
+
+use bonsai_records::Record;
+
+/// A `k`-coupler concatenates adjacent `k/2`-record tuples coming out of a
+/// child `k/2`-merger into `k`-record tuples suitable for the parent
+/// `k`-merger (§II of the paper, Figure 1).
+///
+/// Functionally the coupler only regroups records — it performs no
+/// comparisons — but it costs LUTs (Table VI) and one pipeline stage,
+/// which the resource model accounts for. Terminal records flush a partial
+/// tuple through immediately so run boundaries are never delayed.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_merge_hw::Coupler;
+/// use bonsai_records::U32Rec;
+///
+/// let mut c = Coupler::new(4);
+/// for v in 1u32..=4 {
+///     c.push(U32Rec::new(v));
+/// }
+/// assert_eq!(c.pop_tuple().unwrap().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Coupler<R> {
+    k: usize,
+    pending: Vec<R>,
+    ready: std::collections::VecDeque<Vec<R>>,
+}
+
+impl<R: Record> Coupler<R> {
+    /// Creates a coupler emitting `k`-record output tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k` is not a power of two.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_power_of_two(),
+            "coupler width must be a power of two >= 2"
+        );
+        Self {
+            k,
+            pending: Vec::with_capacity(k),
+            ready: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Output tuple width.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Feeds one record into the coupler. A terminal record flushes any
+    /// partial tuple first, then passes through as its own 1-record tuple.
+    pub fn push(&mut self, rec: R) {
+        if rec.is_terminal() {
+            if !self.pending.is_empty() {
+                self.ready.push_back(std::mem::take(&mut self.pending));
+            }
+            self.ready.push_back(vec![rec]);
+            return;
+        }
+        self.pending.push(rec);
+        if self.pending.len() == self.k {
+            self.ready
+                .push_back(std::mem::replace(&mut self.pending, Vec::with_capacity(self.k)));
+        }
+    }
+
+    /// Pops the next complete output tuple, if one is ready.
+    pub fn pop_tuple(&mut self) -> Option<Vec<R>> {
+        self.ready.pop_front()
+    }
+
+    /// Number of records buffered waiting to complete a tuple.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_records::U32Rec;
+
+    #[test]
+    fn groups_records_into_k_tuples() {
+        let mut c = Coupler::new(2);
+        for v in 1u32..=5 {
+            c.push(U32Rec::new(v));
+        }
+        assert_eq!(c.pop_tuple(), Some(vec![U32Rec::new(1), U32Rec::new(2)]));
+        assert_eq!(c.pop_tuple(), Some(vec![U32Rec::new(3), U32Rec::new(4)]));
+        assert_eq!(c.pop_tuple(), None);
+        assert_eq!(c.pending_len(), 1);
+    }
+
+    #[test]
+    fn terminal_flushes_partial_tuple() {
+        let mut c = Coupler::new(4);
+        c.push(U32Rec::new(1));
+        c.push(U32Rec::new(2));
+        c.push(U32Rec::TERMINAL);
+        assert_eq!(c.pop_tuple(), Some(vec![U32Rec::new(1), U32Rec::new(2)]));
+        assert_eq!(c.pop_tuple(), Some(vec![U32Rec::TERMINAL]));
+        assert_eq!(c.pending_len(), 0);
+    }
+
+    #[test]
+    fn terminal_alone_passes_through() {
+        let mut c = Coupler::new(8);
+        c.push(U32Rec::TERMINAL);
+        assert_eq!(c.pop_tuple(), Some(vec![U32Rec::TERMINAL]));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_width() {
+        let _ = Coupler::<U32Rec>::new(3);
+    }
+}

@@ -1,0 +1,176 @@
+//! A bounded FIFO with occupancy statistics.
+
+use std::collections::VecDeque;
+
+/// Error returned by [`Fifo::push`] when the queue is at capacity.
+///
+/// Carries the rejected item back to the caller so nothing is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError<T>(pub T);
+
+impl<T> core::fmt::Display for FifoFullError<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: core::fmt::Debug> std::error::Error for FifoFullError<T> {}
+
+/// A bounded FIFO queue modeling the on-chip BRAM FIFOs of the datapath
+/// (Figure 7 of the paper).
+///
+/// Each AMT leaf input buffer "is as wide as the DRAM bus (512 bits) and
+/// can hold two full read batches" (§V-A); intra-tree FIFOs hold a couple
+/// of `k`-record tuples. The capacity is configured per instance and the
+/// FIFO records high-water occupancy for buffer-sizing experiments.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_merge_hw::Fifo;
+///
+/// let mut f = Fifo::new(2);
+/// f.push(1).unwrap();
+/// f.push(2).unwrap();
+/// assert!(f.push(3).is_err());
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    total_pushed: u64,
+    max_occupancy: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            total_pushed: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Maximum number of items the FIFO can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of additional items that fit right now.
+    pub fn free(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Returns `true` when the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Enqueues an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] (containing the item) when at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError<T>> {
+        if self.is_full() {
+            return Err(FifoFullError(item));
+        }
+        self.buf.push_back(item);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Total number of items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// High-water mark of occupancy since construction.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_order() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn push_to_full_returns_item() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert_eq!(f.push("b"), Err(FifoFullError("b")));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_stats_track_high_water() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        for _ in 0..3 {
+            f.pop();
+        }
+        f.push(9).unwrap();
+        assert_eq!(f.max_occupancy(), 5);
+        assert_eq!(f.total_pushed(), 6);
+        assert_eq!(f.free(), 5);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,376 @@
+//! The cycle-level `k`-merger model.
+
+use bonsai_records::Record;
+
+use crate::fifo::{Fifo, FifoFullError};
+
+/// Runtime statistics accumulated by a [`KMerger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergerStats {
+    /// Total cycles ticked.
+    pub cycles: u64,
+    /// Cycles in which at least one record (or terminal) moved.
+    pub busy_cycles: u64,
+    /// Cycles fully stalled waiting for input data.
+    pub input_stalls: u64,
+    /// Cycles fully stalled on output back-pressure.
+    pub output_stalls: u64,
+    /// Payload records emitted (terminals excluded).
+    pub records_out: u64,
+    /// Terminal records emitted — equals completed run-pair merges, each
+    /// costing the single flush cycle of §V-B.
+    pub flushes: u64,
+}
+
+/// Which of the two input ports of a merger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left (first) input port.
+    Left,
+    /// The right (second) input port.
+    Right,
+}
+
+/// A hardware `k`-merger: merges two streams of terminal-delimited sorted
+/// runs, emitting up to `k` records per cycle (§II-A of the paper).
+///
+/// The model reproduces the hardware's externally visible behavior:
+///
+/// - **Throughput**: at most `k` records leave per cycle, and exactly `k`
+///   leave whenever both inputs have data and the output FIFO has room.
+/// - **Stalls**: if an input run is not finished and its FIFO is empty,
+///   the merger stalls (it cannot know the next record is not smaller).
+/// - **Flush**: when both current runs have ended, one terminal record is
+///   emitted and the internal state resets — a single-cycle flush,
+///   improving on multi-cycle flush schemes (§V-B).
+///
+/// Input runs **must** each be followed by exactly one terminal record
+/// ([`Record::TERMINAL`]); the output run is likewise terminal-delimited.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct KMerger<R> {
+    k: usize,
+    left: Fifo<R>,
+    right: Fifo<R>,
+    out: Fifo<R>,
+    left_run_done: bool,
+    right_run_done: bool,
+    stats: MergerStats,
+}
+
+impl<R: Record> KMerger<R> {
+    /// Creates a `k`-merger whose input FIFOs each hold `fifo_capacity`
+    /// records (the hardware default is two `k`-record tuples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or `fifo_capacity < k`.
+    pub fn new(k: usize, fifo_capacity: usize) -> Self {
+        assert!(k > 0, "merger width k must be positive");
+        assert!(
+            fifo_capacity >= k,
+            "fifo must hold at least one k-record tuple"
+        );
+        Self {
+            k,
+            left: Fifo::new(fifo_capacity),
+            right: Fifo::new(fifo_capacity),
+            // Output holds two tuples plus a terminal slot so a full
+            // tuple can always be produced while the parent drains.
+            out: Fifo::new(2 * k + 1),
+            left_run_done: false,
+            right_run_done: false,
+            stats: MergerStats::default(),
+        }
+    }
+
+    /// Records-per-cycle width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MergerStats {
+        self.stats
+    }
+
+    /// Free space in the given input FIFO.
+    pub fn input_free(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.left.free(),
+            Side::Right => self.right.free(),
+        }
+    }
+
+    /// Pushes a record into the given input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when that input FIFO is full.
+    pub fn push_input(&mut self, side: Side, rec: R) -> Result<(), FifoFullError<R>> {
+        match side {
+            Side::Left => self.left.push(rec),
+            Side::Right => self.right.push(rec),
+        }
+    }
+
+    /// Pushes a record into the left input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the left input FIFO is full.
+    pub fn push_left(&mut self, rec: R) -> Result<(), FifoFullError<R>> {
+        self.left.push(rec)
+    }
+
+    /// Pushes a record into the right input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the right input FIFO is full.
+    pub fn push_right(&mut self, rec: R) -> Result<(), FifoFullError<R>> {
+        self.right.push(rec)
+    }
+
+    /// Pops the next output record (payload or terminal), if ready.
+    pub fn pop_output(&mut self) -> Option<R> {
+        self.out.pop()
+    }
+
+    /// Number of records currently waiting at the output.
+    pub fn output_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Returns `true` when no records are buffered anywhere inside.
+    pub fn is_drained(&self) -> bool {
+        self.left.is_empty()
+            && self.right.is_empty()
+            && self.out.is_empty()
+            && !self.left_run_done
+            && !self.right_run_done
+    }
+
+    /// Consume a leading terminal (if any) on `side`, marking the run done.
+    /// Returns `true` if progress is still possible on that side.
+    fn absorb_terminal(&mut self, side: Side) {
+        let (fifo, done) = match side {
+            Side::Left => (&mut self.left, &mut self.left_run_done),
+            Side::Right => (&mut self.right, &mut self.right_run_done),
+        };
+        if !*done {
+            if let Some(head) = fifo.peek() {
+                if head.is_terminal() {
+                    fifo.pop();
+                    *done = true;
+                }
+            }
+        }
+    }
+
+    /// Advances the merger by one cycle.
+    pub fn tick(&mut self) {
+        self.stats.cycles += 1;
+        if self.out.is_full() {
+            self.stats.output_stalls += 1;
+            return;
+        }
+
+        let mut moved = 0usize;
+        let mut input_starved = false;
+        while moved < self.k && !self.out.is_full() {
+            self.absorb_terminal(Side::Left);
+            self.absorb_terminal(Side::Right);
+
+            if self.left_run_done && self.right_run_done {
+                // Both runs exhausted: emit the terminal and flush state.
+                // The flush consumes the remainder of the cycle (§V-B).
+                self.out
+                    .push(R::TERMINAL)
+                    .expect("output space checked by loop condition");
+                self.left_run_done = false;
+                self.right_run_done = false;
+                self.stats.flushes += 1;
+                moved += 1;
+                break;
+            }
+
+            let left_head = if self.left_run_done {
+                None
+            } else {
+                match self.left.peek() {
+                    Some(h) => Some(*h),
+                    None => {
+                        input_starved = true;
+                        break;
+                    }
+                }
+            };
+            let right_head = if self.right_run_done {
+                None
+            } else {
+                match self.right.peek() {
+                    Some(h) => Some(*h),
+                    None => {
+                        input_starved = true;
+                        break;
+                    }
+                }
+            };
+
+            let take_left = match (left_head, right_head) {
+                (Some(l), Some(r)) => l <= r,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("both-done case handled above"),
+            };
+            let rec = if take_left {
+                self.left.pop().expect("peeked nonempty")
+            } else {
+                self.right.pop().expect("peeked nonempty")
+            };
+            self.out
+                .push(rec)
+                .expect("output space checked by loop condition");
+            self.stats.records_out += 1;
+            moved += 1;
+        }
+
+        if moved > 0 {
+            self.stats.busy_cycles += 1;
+        } else if input_starved {
+            self.stats.input_stalls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_records::U32Rec;
+
+    fn run_to_completion(m: &mut KMerger<U32Rec>, max_cycles: usize) -> Vec<U32Rec> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            m.tick();
+            while let Some(r) = m.pop_output() {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn feed_run(m: &mut KMerger<U32Rec>, side: Side, vals: &[u32]) {
+        for &v in vals {
+            m.push_input(side, U32Rec::new(v)).unwrap();
+        }
+        m.push_input(side, U32Rec::TERMINAL).unwrap();
+    }
+
+    #[test]
+    fn merges_two_runs() {
+        let mut m = KMerger::new(4, 32);
+        feed_run(&mut m, Side::Left, &[1, 4, 7]);
+        feed_run(&mut m, Side::Right, &[2, 3, 9]);
+        let out = run_to_completion(&mut m, 16);
+        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 7, 9]);
+        assert_eq!(out.iter().filter(|r| r.is_terminal()).count(), 1);
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn full_rate_is_k_records_per_cycle() {
+        let k = 8;
+        let mut m = KMerger::new(k, 64);
+        feed_run(&mut m, Side::Left, &(0..24).map(|i| 2 * i + 1).collect::<Vec<_>>());
+        feed_run(&mut m, Side::Right, &(0..24).map(|i| 2 * i + 2).collect::<Vec<_>>());
+        // 48 records at 8/cycle = 6 busy cycles + 1 flush cycle.
+        let out = run_to_completion(&mut m, 8);
+        assert_eq!(out.len(), 49);
+        let stats = m.stats();
+        assert_eq!(stats.records_out, 48);
+        assert_eq!(stats.flushes, 1);
+        assert!(stats.busy_cycles <= 7, "busy = {}", stats.busy_cycles);
+    }
+
+    #[test]
+    fn stalls_when_one_input_is_empty() {
+        let mut m = KMerger::new(2, 8);
+        feed_run(&mut m, Side::Left, &[1, 2, 3]);
+        // Right side has no data at all: merger cannot emit anything.
+        m.tick();
+        assert_eq!(m.output_len(), 0);
+        assert_eq!(m.stats().input_stalls, 1);
+        // Now give right its (empty) run.
+        m.push_right(U32Rec::TERMINAL).unwrap();
+        let out = run_to_completion(&mut m, 8);
+        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn output_backpressure_stalls_merger() {
+        let mut m = KMerger::new(2, 16);
+        feed_run(&mut m, Side::Left, &[1, 2, 3, 4, 5, 6]);
+        feed_run(&mut m, Side::Right, &[7, 8, 9, 10, 11, 12]);
+        // Never pop: output fills (capacity 2k+1 = 5) and the merger stalls.
+        for _ in 0..10 {
+            m.tick();
+        }
+        assert_eq!(m.output_len(), 5);
+        assert!(m.stats().output_stalls > 0);
+        // Drain and finish.
+        let out = run_to_completion(&mut m, 20);
+        assert_eq!(out.len(), 13); // 12 records + 1 terminal
+    }
+
+    #[test]
+    fn consecutive_run_pairs_flush_in_one_cycle_each() {
+        let mut m = KMerger::new(4, 64);
+        for _ in 0..4 {
+            feed_run(&mut m, Side::Left, &[1, 3]);
+            feed_run(&mut m, Side::Right, &[2, 4]);
+        }
+        let out = run_to_completion(&mut m, 32);
+        assert_eq!(out.iter().filter(|r| r.is_terminal()).count(), 4);
+        assert_eq!(m.stats().flushes, 4);
+        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        assert_eq!(vals, [1, 2, 3, 4].repeat(4));
+    }
+
+    #[test]
+    fn empty_runs_produce_bare_terminal() {
+        let mut m = KMerger::new(2, 8);
+        m.push_left(U32Rec::TERMINAL).unwrap();
+        m.push_right(U32Rec::TERMINAL).unwrap();
+        let out = run_to_completion(&mut m, 4);
+        assert_eq!(out, vec![U32Rec::TERMINAL]);
+        assert_eq!(m.stats().flushes, 1);
+    }
+
+    #[test]
+    fn unbalanced_runs_merge_correctly() {
+        let mut m = KMerger::new(4, 64);
+        feed_run(&mut m, Side::Left, &[5]);
+        feed_run(&mut m, Side::Right, &(10..40).collect::<Vec<_>>());
+        let out = run_to_completion(&mut m, 32);
+        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        let mut expected = vec![5u32];
+        expected.extend(10..40);
+        assert_eq!(vals, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KMerger::<U32Rec>::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one k-record tuple")]
+    fn undersized_fifo_rejected() {
+        let _ = KMerger::<U32Rec>::new(8, 4);
+    }
+}

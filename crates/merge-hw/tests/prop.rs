@@ -1,0 +1,127 @@
+//! Property-based tests: the cycle-level merger is functionally a perfect
+//! 2-way merge for arbitrary run shapes, and its throughput is k/cycle.
+
+use bonsai_merge_hw::stream::{append_terminals, split_runs};
+use bonsai_merge_hw::{KMerger, Side};
+use bonsai_records::run::RunSet;
+use bonsai_records::{Record, U32Rec};
+use proptest::prelude::*;
+
+/// Drives a merger feeding whole runs lazily (respecting FIFO capacity)
+/// and collecting output until all input is consumed and drained.
+fn drive_merger(k: usize, left_runs: &[Vec<u32>], right_runs: &[Vec<u32>]) -> Vec<U32Rec> {
+    let mut m: KMerger<U32Rec> = KMerger::new(k, 2 * k);
+    let mut lstream: Vec<U32Rec> = left_runs
+        .iter()
+        .flat_map(|r| {
+            r.iter()
+                .map(|&v| U32Rec::new(v))
+                .chain(std::iter::once(U32Rec::TERMINAL))
+        })
+        .collect();
+    let mut rstream: Vec<U32Rec> = right_runs
+        .iter()
+        .flat_map(|r| {
+            r.iter()
+                .map(|&v| U32Rec::new(v))
+                .chain(std::iter::once(U32Rec::TERMINAL))
+        })
+        .collect();
+    lstream.reverse(); // pop from the back
+    rstream.reverse();
+
+    let mut out = Vec::new();
+    let mut idle = 0;
+    while idle < 4 {
+        while m.input_free(Side::Left) > 0 && !lstream.is_empty() {
+            m.push_left(lstream.pop().expect("nonempty")).expect("space checked");
+        }
+        while m.input_free(Side::Right) > 0 && !rstream.is_empty() {
+            m.push_right(rstream.pop().expect("nonempty")).expect("space checked");
+        }
+        m.tick();
+        let before = out.len();
+        while let Some(r) = m.pop_output() {
+            out.push(r);
+        }
+        if out.len() == before && lstream.is_empty() && rstream.is_empty() {
+            idle += 1;
+        } else {
+            idle = 0;
+        }
+    }
+    out
+}
+
+fn sorted_runs(max_runs: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(1u32..u32::MAX, 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v
+        }),
+        1..max_runs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merger_merges_runs_pairwise(
+        k_log in 0usize..4,
+        left in sorted_runs(5, 40),
+        right in sorted_runs(5, 40),
+    ) {
+        let k = 1 << k_log;
+        let n_pairs = left.len().min(right.len());
+        let out = drive_merger(k, &left[..n_pairs], &right[..n_pairs]);
+        let runs = split_runs(&out).expect("terminal-delimited output");
+
+        // Each output run must be the sorted multiset union of the pair.
+        let mut run_idx = 0;
+        for i in 0..n_pairs {
+            let mut expected: Vec<u32> = left[i].iter().chain(right[i].iter()).copied().collect();
+            expected.sort_unstable();
+            if expected.is_empty() {
+                continue; // empty merged runs vanish in split_runs
+            }
+            let got: Vec<u32> = runs.run(run_idx).iter().map(|r| r.0).collect();
+            prop_assert_eq!(&got, &expected, "pair {}", i);
+            run_idx += 1;
+        }
+        prop_assert_eq!(run_idx, runs.num_runs());
+    }
+
+    #[test]
+    fn merger_emits_one_terminal_per_pair(
+        left in sorted_runs(4, 20),
+        right in sorted_runs(4, 20),
+    ) {
+        let n_pairs = left.len().min(right.len());
+        let out = drive_merger(4, &left[..n_pairs], &right[..n_pairs]);
+        let terminals = out.iter().filter(|r| r.is_terminal()).count();
+        prop_assert_eq!(terminals, n_pairs);
+    }
+
+    #[test]
+    fn zero_append_filter_roundtrip(vals in proptest::collection::vec(1u32..u32::MAX, 0..100),
+                                    chunk in 1usize..16) {
+        let recs: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+        let runs = RunSet::from_chunks(recs, chunk);
+        let stream = append_terminals(&runs);
+        let back = split_runs(&stream).expect("well-formed stream");
+        prop_assert_eq!(back.records(), runs.records());
+    }
+}
+
+#[test]
+fn long_streams_sustain_full_throughput() {
+    // With deep input FIFOs and continuous refill, an 8-merger must move
+    // very close to 8 records/cycle.
+    let k = 8;
+    let n = 4096u32;
+    let left: Vec<u32> = (0..n).map(|i| 2 * i + 1).collect();
+    let right: Vec<u32> = (0..n).map(|i| 2 * i + 2).collect();
+    let out = drive_merger(k, &[left], &[right]);
+    assert_eq!(out.len() as u32, 2 * n + 1);
+}

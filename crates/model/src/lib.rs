@@ -1,0 +1,46 @@
+//! Bonsai: the analytical performance and resource models, and the AMT
+//! configuration optimizer (§III of the paper).
+//!
+//! Bonsai takes three groups of input parameters (Table II):
+//!
+//! - array parameters — record count `N` and record width `r`
+//!   ([`ArrayParams`]),
+//! - hardware parameters — off-chip bandwidth `β_DRAM`, I/O bandwidth
+//!   `β_I/O`, capacities `C_DRAM`/`C_BRAM`/`C_LUT`, batch size `b`
+//!   ([`HardwareParams`]),
+//! - merger-architecture parameters — frequency `f` and per-component
+//!   LUT costs `m_k`, `c_k` ([`ComponentLibrary`], seeded with the
+//!   measured Table VI values),
+//!
+//! and searches the AMT configuration space (Table III: `p`, `ℓ`,
+//! `λ_unrl`, `λ_pipe`) for the latency- or throughput-optimal
+//! configuration, subject to the resource constraints of Equations 8–10
+//! and the pipeline capacity constraint of Equation 5.
+//!
+//! # Example
+//!
+//! ```
+//! use bonsai_model::{ArrayParams, BonsaiOptimizer, HardwareParams};
+//!
+//! let optimizer = BonsaiOptimizer::new(HardwareParams::aws_f1());
+//! let array = ArrayParams::from_bytes(16 << 30, 4); // 16 GB of u32
+//! let best = optimizer.latency_optimal(&array).expect("feasible");
+//! // §IV-A: the latency-optimal DRAM configuration is a single AMT with
+//! // p = 32 (saturating 32 GB/s) and as many leaves as BRAM permits.
+//! assert_eq!(best.config.throughput_p, 32);
+//! assert_eq!(best.config.unroll, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod components;
+mod optimizer;
+mod params;
+pub mod perf;
+pub mod reconfig;
+pub mod resource;
+
+pub use components::{ComponentLibrary, TABLE_VI_128BIT, TABLE_VI_32BIT};
+pub use optimizer::{BonsaiOptimizer, FullConfig, OptimizerError, RankedConfig};
+pub use params::{ArrayParams, HardwareParams};

@@ -1,0 +1,426 @@
+//! The Bonsai optimizer (§III-C): exhaustive search over AMT
+//! configurations subject to the resource constraints.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::ComponentLibrary;
+use crate::params::{ArrayParams, HardwareParams};
+use crate::perf;
+use crate::resource;
+
+/// A complete AMT configuration (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FullConfig {
+    /// Tree throughput `p` (records/cycle).
+    pub throughput_p: usize,
+    /// Tree leaves `ℓ`.
+    pub leaves_l: usize,
+    /// Unrolled copies `λ_unrl`.
+    pub unroll: usize,
+    /// Pipeline depth `λ_pipe`.
+    pub pipeline: usize,
+}
+
+impl core::fmt::Display for FullConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x {}-pipe AMT({}, {})",
+            self.unroll, self.pipeline, self.throughput_p, self.leaves_l
+        )
+    }
+}
+
+/// One scored configuration from the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedConfig {
+    /// The configuration.
+    pub config: FullConfig,
+    /// Presorted run length feeding the first stage (1 = no presorter).
+    pub presort: usize,
+    /// Predicted sorting latency in seconds (Equation 2/4).
+    pub latency_s: f64,
+    /// Predicted sustained throughput in bytes/second (Equation 7).
+    pub throughput: f64,
+    /// Total LUTs across all tree copies (Equation 9 left side).
+    pub lut: u64,
+    /// Total leaf-buffer BRAM bytes (Equation 10 left side).
+    pub bram_bytes: u64,
+    /// Number of merge stages per tree.
+    pub stages: u32,
+}
+
+/// Error returned when no configuration fits the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerError;
+
+impl core::fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no AMT configuration fits the given hardware")
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+/// The Bonsai optimizer: exhaustively enumerates implementable AMT
+/// configurations and ranks them by sorting time (latency-optimal) or
+/// sustained throughput (throughput-optimal), per §III-C.
+///
+/// "Importantly, Bonsai can list all implementable AMT configurations in
+/// decreasing order of performance" — [`BonsaiOptimizer::ranked_by_latency`]
+/// provides exactly that, so near-optimal fallbacks are available when
+/// the best design fails synthesis for reasons outside the model.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct BonsaiOptimizer {
+    hw: HardwareParams,
+    lib: ComponentLibrary,
+    /// Presorted run length fed to the first stage (16 in the paper).
+    presort: usize,
+}
+
+impl BonsaiOptimizer {
+    /// Creates an optimizer for the given hardware with the paper's
+    /// component library and 16-record presorter.
+    pub fn new(hw: HardwareParams) -> Self {
+        Self {
+            hw,
+            lib: ComponentLibrary::paper(),
+            presort: 16,
+        }
+    }
+
+    /// Replaces the component cost library.
+    #[must_use]
+    pub fn with_library(mut self, lib: ComponentLibrary) -> Self {
+        self.lib = lib;
+        self
+    }
+
+    /// Sets the presorted run length (1 disables the presorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `presort` is zero.
+    #[must_use]
+    pub fn with_presort(mut self, presort: usize) -> Self {
+        assert!(presort >= 1, "presort run length must be positive");
+        self.presort = presort;
+        self
+    }
+
+    /// The hardware this optimizer targets.
+    pub fn hardware(&self) -> &HardwareParams {
+        &self.hw
+    }
+
+    fn presort_choices(&self) -> Vec<usize> {
+        if self.presort > 1 {
+            vec![self.presort, 1]
+        } else {
+            vec![1]
+        }
+    }
+
+    fn candidate_ps(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..=self.hw.max_p.trailing_zeros()).map(|e| 1usize << e)
+    }
+
+    fn candidate_ls(&self) -> impl Iterator<Item = usize> + '_ {
+        (1..=self.hw.max_l.trailing_zeros()).map(|e| 1usize << e)
+    }
+
+    fn score(&self, array: &ArrayParams, config: FullConfig, presort: usize) -> RankedConfig {
+        let FullConfig {
+            throughput_p: p,
+            leaves_l: l,
+            unroll,
+            pipeline,
+        } = config;
+        let latency_s = if pipeline == 1 {
+            perf::eq2_latency(array, &self.hw, p, l, presort, unroll)
+        } else {
+            perf::eq4_pipeline_latency(array, &self.hw, p, pipeline)
+        };
+        let throughput = perf::eq7_throughput(&self.hw, p, array.record_bytes, pipeline, unroll);
+        let copies = (unroll * pipeline) as u64;
+        let per_tree = resource::amt_lut(&self.lib, p, l, array.record_bits())
+            + if presort > 1 {
+                resource::presorter_lut(presort, array.record_bits())
+            } else {
+                0
+            };
+        RankedConfig {
+            config,
+            presort,
+            latency_s,
+            throughput,
+            lut: copies * per_tree,
+            bram_bytes: copies * self.hw.loader_bram_bytes(l as u64),
+            stages: perf::stages(array.n_records.div_ceil(unroll as u64), l, presort),
+        }
+    }
+
+    /// Enumerates every implementable (Eq. 9, Eq. 10) configuration for
+    /// the given pipeline depths.
+    fn enumerate(&self, array: &ArrayParams, pipelines: &[usize]) -> Vec<RankedConfig> {
+        let mut out = Vec::new();
+        for &pipeline in pipelines {
+            for p in self.candidate_ps() {
+                for l in self.candidate_ls() {
+                    for unroll_log in 0..=6 {
+                        let unroll = 1usize << unroll_log;
+                        let copies = unroll * pipeline;
+                        for presort in self.presort_choices() {
+                            let chunk = (presort > 1).then_some(presort);
+                            if !resource::config_fits(
+                                &self.lib,
+                                &self.hw,
+                                p,
+                                l,
+                                array.record_bits(),
+                                copies,
+                                chunk,
+                            ) {
+                                continue;
+                            }
+                            out.push(self.score(
+                                array,
+                                FullConfig {
+                                    throughput_p: p,
+                                    leaves_l: l,
+                                    unroll,
+                                    pipeline,
+                                },
+                                presort,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scores one specific configuration for `array`, if it fits the
+    /// device (Equations 9 and 10) — used to evaluate keeping an
+    /// already-programmed design on a new workload.
+    pub fn evaluate(
+        &self,
+        array: &ArrayParams,
+        config: FullConfig,
+        presort: usize,
+    ) -> Option<RankedConfig> {
+        let chunk = (presort > 1).then_some(presort);
+        let copies = config.unroll * config.pipeline;
+        if !resource::config_fits(
+            &self.lib,
+            &self.hw,
+            config.throughput_p,
+            config.leaves_l,
+            array.record_bits(),
+            copies,
+            chunk,
+        ) {
+            return None;
+        }
+        Some(self.score(array, config, presort))
+    }
+
+    /// All implementable configurations in increasing order of predicted
+    /// sorting time (ties broken by LUT count, then BRAM).
+    pub fn ranked_by_latency(&self, array: &ArrayParams) -> Vec<RankedConfig> {
+        // Pipelining does not improve single-array sorting time (§III-C),
+        // so the latency search fixes λ_pipe = 1.
+        let mut configs = self.enumerate(array, &[1]);
+        configs.sort_by(|a, b| {
+            // Latency first; on ties prefer more leaves (robust to larger
+            // N, the paper's stated §IV-A choice), then fewer LUTs.
+            a.latency_s
+                .total_cmp(&b.latency_s)
+                .then(b.config.leaves_l.cmp(&a.config.leaves_l))
+                .then(a.lut.cmp(&b.lut))
+                .then(a.bram_bytes.cmp(&b.bram_bytes))
+        });
+        configs
+    }
+
+    /// The latency-optimal configuration (§III-C latency model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError`] when nothing fits the device.
+    pub fn latency_optimal(&self, array: &ArrayParams) -> Result<RankedConfig, OptimizerError> {
+        self.ranked_by_latency(array)
+            .into_iter()
+            .next()
+            .ok_or(OptimizerError)
+    }
+
+    /// All implementable configurations in decreasing order of sustained
+    /// throughput, subject to the Eq. 5 capacity constraint for `array`.
+    pub fn ranked_by_throughput(&self, array: &ArrayParams) -> Vec<RankedConfig> {
+        let mut configs = self.enumerate(array, &[1, 2, 3, 4, 6, 8]);
+        configs.retain(|c| {
+            // §IV-C assumes phase one presorts into 256-record runs
+            // before the pipeline's first merge stage (Equation 5).
+            perf::eq5_max_pipeline_records(
+                &self.hw,
+                array.record_bytes,
+                c.config.leaves_l,
+                256,
+                c.config.pipeline,
+                c.config.unroll,
+            ) >= array.n_records
+        });
+        configs.sort_by(|a, b| {
+            b.throughput
+                .total_cmp(&a.throughput)
+                .then(a.lut.cmp(&b.lut))
+                .then(a.bram_bytes.cmp(&b.bram_bytes))
+        });
+        configs
+    }
+
+    /// The throughput-optimal configuration (§III-C throughput model),
+    /// used for phase one of the SSD sorter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError`] when nothing fits the device or no
+    /// configuration can hold the array (Equation 5).
+    pub fn throughput_optimal(&self, array: &ArrayParams) -> Result<RankedConfig, OptimizerError> {
+        self.ranked_by_throughput(array)
+            .into_iter()
+            .next()
+            .ok_or(OptimizerError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u32_array(gib: u64) -> ArrayParams {
+        ArrayParams::from_bytes(gib << 30, 4)
+    }
+
+    #[test]
+    fn dram_latency_optimal_matches_section_iv_a() {
+        // §IV-A: "The latency-optimized configuration for this setup uses
+        // a single AMT(32, 256)".
+        let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+        let best = opt.latency_optimal(&u32_array(16)).expect("feasible");
+        assert_eq!(best.config.throughput_p, 32);
+        assert_eq!(best.config.leaves_l, 256);
+        assert_eq!(best.config.unroll, 1);
+        assert_eq!(best.config.pipeline, 1);
+    }
+
+    #[test]
+    fn hbm_latency_optimal_unrolls_to_saturate_bandwidth() {
+        // §IV-B: the HBM optimum unrolls p=32 trees until the 512 GB/s
+        // tile is saturated (the paper reports λ_unrl = 16).
+        let opt = BonsaiOptimizer::new(HardwareParams::hbm_u50());
+        let best = opt.latency_optimal(&u32_array(8)).expect("feasible");
+        assert_eq!(best.config.throughput_p, 32);
+        assert!(
+            best.config.unroll >= 4,
+            "expected heavy unrolling, got {}",
+            best.config
+        );
+        // Aggregate tree bandwidth reaches a large share of HBM's
+        // 512 GB/s (LUTs bound the unroll factor before bandwidth does,
+        // as in §IV-B where lambda = 16 forces tiny trees).
+        let aggregate = best.config.unroll as f64 * 32e9;
+        assert!(aggregate >= 128e9, "aggregate {aggregate}");
+        // The throughput model (many 1 GiB arrays streamed through HBM)
+        // must pipeline to satisfy Equation 5 and unroll to multiply
+        // throughput; each pipeline is capped by the 16 GB/s host I/O
+        // bus, and DRAM capacity caps the product of the lambdas.
+        let small = ArrayParams::from_bytes(1 << 30, 4);
+        let tp = opt.throughput_optimal(&small).expect("feasible");
+        assert!(tp.config.pipeline >= 2, "{}", tp.config);
+        assert!(tp.config.unroll >= 2, "{}", tp.config);
+        assert!(tp.throughput >= 32e9, "throughput {}", tp.throughput);
+    }
+
+    #[test]
+    fn ssd_phase_two_uses_max_leaves_low_p() {
+        // §IV-C: with SSD as off-chip memory (8 GB/s), the
+        // latency-optimal AMT is (8, 256): p just high enough for the
+        // low bandwidth, l as large as possible.
+        let hw = HardwareParams::aws_f1_ssd().with_beta_dram(8e9);
+        let opt = BonsaiOptimizer::new(hw).with_presort(1);
+        let best = opt.latency_optimal(&u32_array(16)).expect("feasible");
+        assert_eq!(best.config.leaves_l, 256);
+        assert!(
+            best.config.throughput_p * 4 >= 8,
+            "p must cover 8 GB/s: {}",
+            best.config
+        );
+        // p need not exceed the bandwidth-matching value by much: the
+        // optimizer breaks latency ties toward fewer LUTs.
+        assert!(best.config.throughput_p <= 16, "{}", best.config);
+    }
+
+    #[test]
+    fn throughput_optimal_pipelines_for_ssd_phase_one() {
+        // §IV-C phase one: a 4-deep pipeline of AMT(8, 64) saturates the
+        // 8 GB/s I/O bus on the 4-bank DRAM.
+        let opt = BonsaiOptimizer::new(HardwareParams::aws_f1_ssd());
+        let best = opt.throughput_optimal(&u32_array(8)).expect("feasible");
+        assert!(
+            (best.throughput - 8e9).abs() < 1.0,
+            "phase one must reach 8 GB/s, got {}",
+            best.throughput
+        );
+    }
+
+    #[test]
+    fn ranked_list_is_sorted_and_feasible() {
+        let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+        let ranked = opt.ranked_by_latency(&u32_array(4));
+        assert!(ranked.len() > 20, "search space should be broad");
+        assert!(ranked.windows(2).all(|w| w[0].latency_s <= w[1].latency_s));
+        for c in &ranked {
+            assert!(c.lut <= opt.hardware().c_lut);
+            assert!(c.bram_bytes <= opt.hardware().c_bram);
+        }
+    }
+
+    #[test]
+    fn infeasible_hardware_yields_error() {
+        let mut hw = HardwareParams::aws_f1();
+        hw.c_lut = 100; // nothing fits
+        let opt = BonsaiOptimizer::new(hw);
+        assert_eq!(opt.latency_optimal(&u32_array(1)), Err(OptimizerError));
+    }
+
+    #[test]
+    fn wide_records_remain_feasible() {
+        // §II: any width up to 512 bits works; the optimizer must find
+        // configurations for 16-byte records too.
+        let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+        let array = ArrayParams::from_bytes(16 << 30, 16);
+        let best = opt.latency_optimal(&array).expect("feasible");
+        // 16-byte records reach 32 GB/s with p = 8.
+        assert!(best.config.throughput_p >= 8);
+    }
+
+    #[test]
+    fn low_bandwidth_shifts_resources_to_leaves() {
+        // Figure 5's insight: at low beta the optimizer picks small p
+        // (cheap) and max leaves; at high beta it grows p.
+        let a = u32_array(16);
+        let low = BonsaiOptimizer::new(HardwareParams::aws_f1().with_beta_dram(2e9))
+            .latency_optimal(&a)
+            .expect("feasible");
+        let high = BonsaiOptimizer::new(HardwareParams::aws_f1().with_beta_dram(32e9))
+            .latency_optimal(&a)
+            .expect("feasible");
+        assert!(low.config.throughput_p < high.config.throughput_p);
+        assert_eq!(low.config.leaves_l, 256);
+    }
+}

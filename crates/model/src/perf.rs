@@ -1,0 +1,284 @@
+//! The performance model (Equations 1–7 of the paper).
+//!
+//! All latency equations use the physical per-tree reading of unrolling:
+//! each of the `λ_unrl` trees sorts its own `N/λ_unrl`-record partition
+//! at bandwidth `min(p·f·r, β_DRAM/λ_unrl)`, so
+//!
+//! ```text
+//! Latency = (N/λ)·r·⌈log_ℓ(N/(λ·a))⌉ / min(p·f·r, β_DRAM/λ)     (Eq. 2)
+//! ```
+//!
+//! with `a` the presorted run length (1 without a presorter). With
+//! `λ = 1` this is exactly Equation 1.
+
+use bonsai_records::run::{initial_runs, stages_needed};
+
+use crate::params::{ArrayParams, HardwareParams};
+
+/// Number of merge stages: `⌈log_ℓ(N/a)⌉` for an `a`-record presorter
+/// (§II; the presorter removes one stage, §VI-C1).
+pub fn stages(n_records: u64, l: usize, presort: usize) -> u32 {
+    stages_needed(initial_runs(n_records, presort as u64), l as u64)
+}
+
+/// AMT root throughput `p·f·r` in bytes/second.
+pub fn amt_throughput(p: usize, record_bytes: u64, freq_hz: f64) -> f64 {
+    p as f64 * freq_hz * record_bytes as f64
+}
+
+/// Equation 1: single-AMT sorting latency in seconds.
+///
+/// # Example
+///
+/// ```
+/// use bonsai_model::perf::eq1_latency;
+/// use bonsai_model::{ArrayParams, HardwareParams};
+///
+/// // §IV-A: AMT(32, 256) with a 16-record presorter sorts 4 GiB of u32
+/// // in 4 stages at 32 GB/s -> 0.54 s (134 ms/GB of pure merge time).
+/// let hw = HardwareParams::aws_f1();
+/// let array = ArrayParams::from_bytes(4 << 30, 4);
+/// let secs = eq1_latency(&array, &hw, 32, 256, 16);
+/// assert!((secs - 0.537).abs() < 0.01, "{secs}");
+/// ```
+pub fn eq1_latency(
+    array: &ArrayParams,
+    hw: &HardwareParams,
+    p: usize,
+    l: usize,
+    presort: usize,
+) -> f64 {
+    eq2_latency(array, hw, p, l, presort, 1)
+}
+
+/// Equation 2: latency with `λ_unrl` unrolled trees (per-tree form).
+pub fn eq2_latency(
+    array: &ArrayParams,
+    hw: &HardwareParams,
+    p: usize,
+    l: usize,
+    presort: usize,
+    lambda_unrl: usize,
+) -> f64 {
+    assert!(lambda_unrl >= 1, "unroll factor must be at least 1");
+    let n_per_tree = array.n_records.div_ceil(lambda_unrl as u64);
+    let s = stages(n_per_tree, l, presort);
+    if s == 0 {
+        return 0.0;
+    }
+    let bytes_per_tree = n_per_tree as f64 * array.record_bytes as f64;
+    let rate = amt_throughput(p, array.record_bytes, hw.freq_hz)
+        .min(hw.beta_dram / lambda_unrl as f64);
+    bytes_per_tree * f64::from(s) / rate
+}
+
+/// Equation 3: throughput of one `λ_pipe`-deep AMT pipeline in bytes/s:
+/// `min(p·f·r, β_DRAM/λ_pipe, β_I/O)`.
+pub fn eq3_pipeline_throughput(
+    hw: &HardwareParams,
+    p: usize,
+    record_bytes: u64,
+    lambda_pipe: usize,
+) -> f64 {
+    assert!(lambda_pipe >= 1, "pipeline depth must be at least 1");
+    amt_throughput(p, record_bytes, hw.freq_hz)
+        .min(hw.beta_dram / lambda_pipe as f64)
+        .min(hw.beta_io)
+}
+
+/// Equation 4: latency of sorting one array through a `λ_pipe`-deep
+/// pipeline: `N·r·λ_pipe / throughput`.
+pub fn eq4_pipeline_latency(
+    array: &ArrayParams,
+    hw: &HardwareParams,
+    p: usize,
+    lambda_pipe: usize,
+) -> f64 {
+    array.total_bytes() as f64 * lambda_pipe as f64
+        / eq3_pipeline_throughput(hw, p, array.record_bytes, lambda_pipe)
+}
+
+/// Equation 5: the largest record count a `λ_pipe`-pipelined
+/// `AMT(p, ℓ)` configuration (with an `a`-record presorter and
+/// `λ_unrl` replicas) can sort:
+/// `min(C_DRAM/(r·λ_pipe·λ_unrl), a·ℓ^λ_pipe)`.
+pub fn eq5_max_pipeline_records(
+    hw: &HardwareParams,
+    record_bytes: u64,
+    l: usize,
+    presort: usize,
+    lambda_pipe: usize,
+    lambda_unrl: usize,
+) -> u64 {
+    let dram_limit = hw.c_dram / (record_bytes * (lambda_pipe * lambda_unrl) as u64);
+    let stage_limit = (presort as u128)
+        .saturating_mul((l as u128).saturating_pow(lambda_pipe as u32))
+        .min(u128::from(u64::MAX)) as u64;
+    dram_limit.min(stage_limit)
+}
+
+/// Equation 7: throughput of a `λ_unrl × λ_pipe` configuration:
+/// `λ_unrl · min(p·f·r, β_DRAM/(λ_pipe·λ_unrl), β_I/O)`.
+pub fn eq7_throughput(
+    hw: &HardwareParams,
+    p: usize,
+    record_bytes: u64,
+    lambda_pipe: usize,
+    lambda_unrl: usize,
+) -> f64 {
+    assert!(lambda_pipe >= 1 && lambda_unrl >= 1, "lambdas must be >= 1");
+    let per_tree = amt_throughput(p, record_bytes, hw.freq_hz)
+        .min(hw.beta_dram / (lambda_pipe * lambda_unrl) as f64)
+        .min(hw.beta_io);
+    lambda_unrl as f64 * per_tree
+}
+
+/// The microarchitecturally *refined* stage rate in records/cycle.
+///
+/// Equation 1 assumes every stage streams `p` records/cycle; in the real
+/// tree a stage merging `m` runs activates `m` leaves, each entering at
+/// the leaf-merger width `max(2p/ℓ, 1)`, and stages with little
+/// entry-rate slack lose some throughput to data-dependent queueing.
+/// `refined_stage_rate` caps the root rate at the aggregate entry rate;
+/// the cycle-accurate simulator measures the queueing loss on top.
+pub fn refined_stage_rate(p: usize, l: usize, fan_in: usize) -> f64 {
+    let leaf_width = ((2 * p) as f64 / l as f64).max(1.0);
+    (fan_in as f64 * leaf_width).min(p as f64)
+}
+
+/// Refined single-tree latency: Eq. 1 with per-stage entry-rate caps and
+/// the balanced fan-in schedule actually executed by the engine.
+pub fn refined_latency(
+    array: &ArrayParams,
+    hw: &HardwareParams,
+    p: usize,
+    l: usize,
+    presort: usize,
+) -> f64 {
+    let r0 = initial_runs(array.n_records, presort as u64);
+    let schedule = bonsai_amt::schedule::fan_in_schedule(r0, l as u64);
+    let bytes = array.total_bytes() as f64;
+    schedule
+        .iter()
+        .map(|&m| {
+            let rate_rpc = refined_stage_rate(p, l, m as usize);
+            let rate = (rate_rpc * hw.freq_hz * array.record_bytes as f64).min(hw.beta_dram);
+            bytes / rate
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u32_array(gb: u64) -> ArrayParams {
+        ArrayParams::from_bytes(gb << 30, 4)
+    }
+
+    #[test]
+    fn stage_counts() {
+        // 4 GB of u32 = 2^30 records; presort 16 -> 2^26 runs; l=256 ->
+        // ceil(26/8) = 4 stages.
+        assert_eq!(stages(1 << 30, 256, 16), 4);
+        assert_eq!(stages(1 << 30, 64, 16), 5);
+        assert_eq!(stages(1 << 30, 64, 1), 5);
+        assert_eq!(stages(16, 16, 16), 0);
+    }
+
+    #[test]
+    fn eq1_is_bandwidth_bound_for_large_p() {
+        let hw = HardwareParams::aws_f1();
+        let a = u32_array(4);
+        // p = 32 saturates 32 GB/s; p = 64 cannot go faster.
+        let l32 = eq1_latency(&a, &hw, 32, 256, 16);
+        let l64 = eq1_latency(&a, &hw, 64, 256, 16);
+        assert!((l32 - l64).abs() < 1e-12);
+        // p = 16 is compute-bound at 16 GB/s: twice the time.
+        let l16 = eq1_latency(&a, &hw, 16, 256, 16);
+        assert!((l16 / l32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_leaves_reduce_latency_via_fewer_stages() {
+        let hw = HardwareParams::aws_f1();
+        let a = u32_array(16);
+        assert!(eq1_latency(&a, &hw, 32, 256, 16) < eq1_latency(&a, &hw, 32, 16, 16));
+    }
+
+    #[test]
+    fn unrolling_splits_bandwidth() {
+        let hw = HardwareParams::aws_f1();
+        let a = u32_array(4);
+        // At lambda = 4, each tree gets 8 GB/s; stage count may drop by
+        // one but the latency cannot beat the bandwidth bound.
+        let l1 = eq2_latency(&a, &hw, 32, 256, 16, 1);
+        let l4 = eq2_latency(&a, &hw, 32, 256, 16, 4);
+        // Unrolling can save one stage via partitioning (log of N/lambda)
+        // but cannot beat the bandwidth bound by more than that stage.
+        assert!(l4 >= l1 * 0.70, "l1={l1} l4={l4}");
+    }
+
+    #[test]
+    fn unrolling_wins_on_high_bandwidth_memory() {
+        let hbm = HardwareParams::hbm_u50();
+        let a = u32_array(8);
+        // A single p=32 tree uses 32 of 512 GB/s; 16 trees use it all.
+        let l1 = eq2_latency(&a, &hbm, 32, 256, 16, 1);
+        let l16 = eq2_latency(&a, &hbm, 32, 16, 16, 16);
+        assert!(l16 < l1 / 2.0, "l1={l1} l16={l16}");
+    }
+
+    #[test]
+    fn pipeline_throughput_and_latency() {
+        let hw = HardwareParams::aws_f1_ssd();
+        // §IV-C phase one: 4 AMT(8, 64) pipelined -> throughput
+        // min(8 GB/s, 32/4, 8) = 8 GB/s.
+        let t = eq3_pipeline_throughput(&hw, 8, 4, 4);
+        assert!((t - 8e9).abs() < 1.0);
+        let a = u32_array(8);
+        let lat = eq4_pipeline_latency(&a, &hw, 8, 4);
+        // 8 GB * 4 / 8 GB/s ≈ 4.3 s (GiB vs GB).
+        assert!((lat - 4.0 * (8u64 << 30) as f64 / 8e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq5_capacity_limits() {
+        let hw = HardwareParams::aws_f1_ssd();
+        // §IV-C: lambda_pipe = 4, l = 64, presorted 256-record runs:
+        // stage limit 256·64^4 = 2^42 records; DRAM limit 64 GB/4/4B =
+        // 2^32 records -> DRAM-bound at 16 GB of u32.
+        let n = eq5_max_pipeline_records(&hw, 4, 64, 256, 4, 1);
+        assert_eq!(n, 1 << 32);
+        // With only 2 pipeline stages and no presort, l^2 binds.
+        let n = eq5_max_pipeline_records(&hw, 4, 64, 1, 2, 1);
+        assert_eq!(n, 64 * 64);
+    }
+
+    #[test]
+    fn eq7_matches_paper_ssd_phase_one() {
+        let hw = HardwareParams::aws_f1_ssd();
+        // 4-pipelined AMT(8, 64): min(8, 32/4, 8) = 8 GB/s (§IV-C).
+        let t = eq7_throughput(&hw, 8, 4, 4, 1);
+        assert!((t - 8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn refined_rate_caps_small_fan_in() {
+        // AMT(32, 256): leaf width 1; a 32-run stage enters at 32 = p.
+        assert!((refined_stage_rate(32, 256, 32) - 32.0).abs() < 1e-12);
+        // A 4-run stage crawls at 4 records/cycle.
+        assert!((refined_stage_rate(32, 256, 4) - 4.0).abs() < 1e-12);
+        // AMT(8, 4): leaf width 4; two runs enter at 8 = p.
+        assert!((refined_stage_rate(8, 4, 2) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refined_latency_at_least_eq1() {
+        let hw = HardwareParams::aws_f1();
+        let a = u32_array(4);
+        let refined = refined_latency(&a, &hw, 32, 256, 16);
+        let eq1 = eq1_latency(&a, &hw, 32, 256, 16);
+        assert!(refined >= eq1 * 0.999, "refined={refined} eq1={eq1}");
+    }
+}

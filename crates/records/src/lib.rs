@@ -1,0 +1,33 @@
+//! Record and key abstractions for the Bonsai adaptive merge tree sorter.
+//!
+//! The Bonsai paper (ISCA 2020) sorts fixed-width records whose width ranges
+//! from 32 bits up to 512 bits. The hardware datapath reserves one record
+//! value — the all-zero *terminal record* — to delimit sorted runs as they
+//! flow through the merge tree (§V-B of the paper). This crate defines:
+//!
+//! - [`Record`]: the trait every sortable record type implements, including
+//!   the terminal-record convention,
+//! - concrete record types ([`U32Rec`], [`U64Rec`], [`U128Rec`],
+//!   [`KvRec`], [`W256Rec`], [`W512Rec`], [`Packed16`]),
+//! - [`run`]: utilities for describing and validating sorted runs.
+//!
+//! # Example
+//!
+//! ```
+//! use bonsai_records::{Record, U32Rec};
+//!
+//! let a = U32Rec::new(7);
+//! let b = U32Rec::new(9);
+//! assert!(a < b);
+//! assert_eq!(U32Rec::WIDTH_BYTES, 4);
+//! assert!(U32Rec::TERMINAL.is_terminal());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod record;
+pub mod run;
+pub mod wire;
+
+pub use record::{KvRec, Packed16, Record, U128Rec, U32Rec, U64Rec, W256Rec, W512Rec};

@@ -1,0 +1,78 @@
+//! Property-based tests for record ordering and run-set invariants.
+
+use bonsai_records::run::{initial_runs, is_sorted, stages_needed, RunSet};
+use bonsai_records::{KvRec, Packed16, Record, U32Rec, U64Rec, W256Rec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u32_order_agrees_with_key_order(a: u32, b: u32) {
+        let (ra, rb) = (U32Rec::new(a), U32Rec::new(b));
+        prop_assert_eq!(ra.cmp(&rb), a.cmp(&b));
+        prop_assert_eq!(ra.key().cmp(&rb.key()), a.cmp(&b));
+    }
+
+    #[test]
+    fn kv_order_is_key_major(k1: u64, v1: u64, k2: u64, v2: u64) {
+        let (ra, rb) = (KvRec::new(k1, v1), KvRec::new(k2, v2));
+        if k1 != k2 {
+            prop_assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
+        }
+    }
+
+    #[test]
+    fn packed16_order_is_key_major(k1 in 0u128..(1 << 80), i1 in 0u64..(1 << 48),
+                                   k2 in 0u128..(1 << 80), i2 in 0u64..(1 << 48)) {
+        let (ra, rb) = (Packed16::from_parts(k1, i1), Packed16::from_parts(k2, i2));
+        if k1 != k2 {
+            prop_assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
+        } else {
+            prop_assert_eq!(ra.cmp(&rb), i1.cmp(&i2));
+        }
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_and_nonterminal(v: u64) {
+        let r = U64Rec::new(v).sanitize();
+        prop_assert!(!r.is_terminal());
+        prop_assert_eq!(r.sanitize(), r);
+    }
+
+    #[test]
+    fn wide_sanitize_nonterminal(limbs: [u64; 4]) {
+        prop_assert!(!W256Rec::new(limbs).sanitize().is_terminal());
+    }
+
+    #[test]
+    fn stages_needed_is_minimal(n_runs in 1u64..1_000_000, fan_in in 2u64..512) {
+        let s = stages_needed(n_runs, fan_in);
+        // fan_in^s >= n_runs > fan_in^(s-1)
+        let covers = fan_in.checked_pow(s).is_none_or(|c| c >= n_runs);
+        prop_assert!(covers, "fan_in^s must cover all runs");
+        if s > 0 {
+            let prev = fan_in.checked_pow(s - 1).expect("small exponent");
+            prop_assert!(prev < n_runs, "s must be minimal");
+        }
+    }
+
+    #[test]
+    fn initial_runs_covers_all_records(n in 1u64..10_000_000, presort in 1u64..64) {
+        let runs = initial_runs(n, presort);
+        prop_assert!(runs * presort >= n);
+        prop_assert!((runs - 1) * presort < n);
+    }
+
+    #[test]
+    fn from_chunks_yields_sorted_runs(mut vals in proptest::collection::vec(1u32..u32::MAX, 0..200),
+                                      chunk in 1usize..32) {
+        vals.iter_mut().for_each(|v| *v = v.max(&mut 1u32).to_owned());
+        let data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+        let rs = RunSet::from_chunks(data, chunk);
+        prop_assert!(rs.validate().is_ok());
+        for run in rs.iter_runs() {
+            prop_assert!(is_sorted(run));
+            prop_assert!(run.len() <= chunk);
+        }
+        prop_assert_eq!(rs.len(), vals.len());
+    }
+}

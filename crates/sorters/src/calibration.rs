@@ -1,0 +1,45 @@
+//! Calibration constants tying the analytic model to measured behavior.
+
+/// Decimal gigabyte, the unit of all Table I / figure axes.
+pub const GB: f64 = 1e9;
+
+/// Effective fraction of nominal DRAM bandwidth a merge stage sustains
+/// end to end.
+///
+/// Two sources agree on this value:
+///
+/// 1. **The paper's own numbers**: Figure 13 reports 129 ms/GB for
+///    3-stage sorts and 172 ms/GB for 4-stage sorts on the 32 GB/s F1
+///    DRAM, implying `3 / 0.129 ≈ 4 / 0.172 ≈ 23.3 GB/s` sustained —
+///    0.727 of nominal (the paper's footnote already concedes 29 GB/s
+///    measured peak; burst setup, run boundaries and queueing take the
+///    rest).
+/// 2. **Our cycle-level simulator**: full-tree stages sustain 0.72–0.92
+///    of nominal depending on entry-rate slack (see
+///    `bonsai-amt::schedule`).
+pub const DRAM_STAGE_EFFICIENCY: f64 = 0.727;
+
+/// FPGA reprogramming time between SSD-sorter phases (measured 4.3 s in
+/// §VI-E, Table V).
+pub const REPROGRAM_SECONDS: f64 = 4.3;
+
+/// Streaming (single-pass, pipelined) efficiency against nominal
+/// bandwidth: the paper measures its phase-one pipeline at 7.19 GB/s on
+/// the nominal 8 GB/s bound (§VI-C2), i.e. ~0.9 — higher than
+/// [`DRAM_STAGE_EFFICIENCY`] because a unidirectional stream suffers no
+/// run-boundary or queueing losses, only burst setup.
+pub const STREAM_EFFICIENCY: f64 = 0.9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_reproduces_figure_13_steps() {
+        let beta_eff = 32.0 * DRAM_STAGE_EFFICIENCY; // GB/s
+        let ms_per_gb_3 = 3.0 / beta_eff * 1e3;
+        let ms_per_gb_4 = 4.0 / beta_eff * 1e3;
+        assert!((ms_per_gb_3 - 129.0).abs() < 2.0, "{ms_per_gb_3}");
+        assert!((ms_per_gb_4 - 172.0).abs() < 2.0, "{ms_per_gb_4}");
+    }
+}

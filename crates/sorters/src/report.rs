@@ -1,0 +1,120 @@
+//! Sorter-level reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calibration::GB;
+
+/// Where a report's timing came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Timing {
+    /// Cycle-approximate simulation of the full datapath on real data.
+    Simulated,
+    /// The validated analytic model (the paper's methodology for sizes
+    /// beyond what can be run directly, e.g. its SSD projections).
+    Modeled,
+}
+
+/// One phase of a sorting system (e.g. "phase one", "reprogramming").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable phase name.
+    pub name: String,
+    /// Phase duration in seconds.
+    pub seconds: f64,
+    /// Bytes moved through off-chip memory or I/O during the phase.
+    pub bytes_moved: u64,
+}
+
+/// Timing report of an end-to-end sorter run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SorterReport {
+    /// Sorter name ("Bonsai DRAM sorter", …).
+    pub name: String,
+    /// AMT configuration description.
+    pub config: String,
+    /// Bytes sorted.
+    pub bytes: u64,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+    /// Timing provenance.
+    pub timing: Timing,
+}
+
+impl SorterReport {
+    /// Total sorting time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Sorting time in milliseconds per (decimal) gigabyte — the Table I
+    /// metric, lower is better.
+    pub fn ms_per_gb(&self) -> f64 {
+        if self.bytes == 0 {
+            return 0.0;
+        }
+        self.seconds() * 1e3 / (self.bytes as f64 / GB)
+    }
+
+    /// End-to-end throughput in bytes/second.
+    pub fn throughput(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / s
+        }
+    }
+
+    /// Bandwidth-efficiency (§VI-C2): throughput over the available
+    /// off-chip bandwidth.
+    pub fn bandwidth_efficiency(&self, beta_bytes_per_sec: f64) -> f64 {
+        self.throughput() / beta_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SorterReport {
+        SorterReport {
+            name: "test".into(),
+            config: "AMT(32, 256)".into(),
+            bytes: 8_000_000_000,
+            phases: vec![
+                Phase {
+                    name: "merge".into(),
+                    seconds: 1.0,
+                    bytes_moved: 16_000_000_000,
+                },
+                Phase {
+                    name: "io".into(),
+                    seconds: 1.0,
+                    bytes_moved: 8_000_000_000,
+                },
+            ],
+            timing: Timing::Modeled,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = report();
+        assert!((r.seconds() - 2.0).abs() < 1e-12);
+        assert!((r.ms_per_gb() - 250.0).abs() < 1e-9);
+        assert!((r.throughput() - 4e9).abs() < 1e-3);
+        assert!((r.bandwidth_efficiency(32e9) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = SorterReport {
+            bytes: 0,
+            phases: vec![],
+            ..report()
+        };
+        assert_eq!(r.seconds(), 0.0);
+        assert_eq!(r.ms_per_gb(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Memory-hierarchy explorer: how the optimal AMT changes with the
+//! platform (the Figure 5 insight, interactively).
+//!
+//! Bonsai's value is adaptivity: give it a different memory system and
+//! it re-shapes the tree — more throughput `p` when bandwidth grows,
+//! more leaves `ℓ` when stages are expensive, unrolling when one tree
+//! cannot use the bandwidth, pipelining when arrays stream over I/O.
+//!
+//! ```sh
+//! cargo run --release --example memory_explorer
+//! ```
+
+use bonsai::model::{ArrayParams, BonsaiOptimizer, HardwareParams};
+
+fn show(name: &str, hw: HardwareParams, array: &ArrayParams) {
+    let opt = BonsaiOptimizer::new(hw);
+    match opt.latency_optimal(array) {
+        Ok(best) => println!(
+            "{name:<28} -> {:<24} {} stages, {:>7.2} s predicted",
+            best.config.to_string(),
+            best.stages,
+            best.latency_s
+        ),
+        Err(e) => println!("{name:<28} -> {e}"),
+    }
+}
+
+fn main() {
+    let array = ArrayParams::from_bytes(8 << 30, 4);
+    println!("latency-optimal configurations for 8 GiB of 32-bit records:\n");
+
+    show("AWS F1 DDR4 (32 GB/s)", HardwareParams::aws_f1(), &array);
+    show(
+        "single DDR4 bank (8 GB/s)",
+        HardwareParams::aws_f1_single_bank(),
+        &array,
+    );
+    show("HBM tile (512 GB/s)", HardwareParams::hbm_u50(), &array);
+    for gbps in [1.0, 4.0, 64.0, 128.0] {
+        show(
+            Box::leak(format!("custom DRAM ({gbps:.0} GB/s)").into_boxed_str()),
+            HardwareParams::aws_f1().with_beta_dram(gbps * 1e9),
+            &array,
+        );
+    }
+
+    println!("\nrecord-width scaling (16 GiB, same F1):\n");
+    for record_bytes in [4u64, 8, 16, 32, 64] {
+        let wide = ArrayParams::from_bytes(16 << 30, record_bytes);
+        let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+        if let Ok(best) = opt.latency_optimal(&wide) {
+            println!(
+                "{record_bytes:>3} B records -> {:<24} ({} LUTs)",
+                best.config.to_string(),
+                best.lut
+            );
+        }
+    }
+
+    println!("\nranked alternatives on F1 (top 5) — §III-C: Bonsai lists all");
+    println!("implementable configurations so near-optimal fallbacks exist:\n");
+    let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+    for (i, c) in opt.ranked_by_latency(&array).into_iter().take(5).enumerate() {
+        println!(
+            "  #{} {:<24} {:.2} s, {} LUTs",
+            i + 1,
+            c.config.to_string(),
+            c.latency_s,
+            c.lut
+        );
+    }
+}

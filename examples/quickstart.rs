@@ -1,0 +1,57 @@
+//! Quickstart: let Bonsai pick the optimal merge tree for your hardware
+//! and sort with it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bonsai::core::Bonsai;
+use bonsai::gensort::dist::uniform_u32;
+use bonsai::model::ArrayParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the platform. `aws_f1` is the paper's AWS EC2 F1
+    //    instance: 32 GB/s DDR4, 64 GB capacity, VU9P FPGA.
+    let bonsai = Bonsai::aws_f1();
+
+    // 2. Ask the optimizer what it would build for a 16 GB sort.
+    let array = ArrayParams::from_bytes(16 << 30, 4);
+    let plan = bonsai.optimizer().latency_optimal(&array)?;
+    println!("planned configuration for 16 GiB of u32: {}", plan.config);
+    println!(
+        "  {} merge stages, {} LUTs, {:.1} KiB leaf-buffer BRAM",
+        plan.stages,
+        plan.lut,
+        plan.bram_bytes as f64 / 1024.0
+    );
+    println!("  predicted sort time: {:.2} s\n", plan.latency_s);
+
+    // 3. Sort real data. The library executes the exact merge schedule
+    //    the hardware would run and reports timing for the target FPGA.
+    let data = uniform_u32(2_000_000, 42);
+    let (sorted, report) = bonsai.sort(data)?;
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    println!(
+        "sorted {} records with {} in {} modeled stages",
+        sorted.len(),
+        report.config,
+        report.phases.len()
+    );
+    println!(
+        "modeled wall-clock on F1: {:.2} ms ({:.0} ms/GB)",
+        report.seconds() * 1e3,
+        report.ms_per_gb()
+    );
+
+    // 4. For validation-sized inputs you can also run the full
+    //    cycle-approximate hardware simulation.
+    let small = uniform_u32(100_000, 43);
+    let (_, sim_report) = bonsai.dram_sorter().simulate(small)?;
+    println!(
+        "cycle simulation: {:.0} ms/GB across {} stages ({:?} timing)",
+        sim_report.ms_per_gb(),
+        sim_report.phases.len(),
+        sim_report.timing
+    );
+    Ok(())
+}

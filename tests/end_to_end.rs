@@ -1,0 +1,141 @@
+//! Cross-crate integration: every execution path — cycle simulator,
+//! functional AMT schedule, radix baseline — must agree with the
+//! reference sort on real workloads.
+
+use bonsai::amt::{functional, AmtConfig, SimEngine, SimEngineConfig};
+use bonsai::baselines::radix::parallel_radix_sort;
+use bonsai::core::Bonsai;
+use bonsai::gensort::dist::{uniform_u32, Distribution};
+use bonsai::gensort::GensortGenerator;
+use bonsai::records::{Packed16, Record, U32Rec};
+
+fn reference(mut data: Vec<U32Rec>) -> Vec<U32Rec> {
+    data.sort_unstable();
+    data
+}
+
+#[test]
+fn all_paths_agree_on_uniform_data() {
+    let data = uniform_u32(120_000, 99);
+    let expected = reference(data.clone());
+
+    let (functional_out, _) = functional::sort_balanced(data.clone(), 64, 16);
+    assert_eq!(functional_out, expected, "functional path");
+
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(8, 64), 4);
+    let (sim_out, _) = SimEngine::new(cfg).sort(data.clone());
+    assert_eq!(sim_out, expected, "cycle simulator");
+
+    let mut radix = data.clone();
+    parallel_radix_sort(&mut radix, 4);
+    assert_eq!(radix, expected, "radix baseline");
+
+    let (facade_out, _) = Bonsai::aws_f1().sort(data).expect("fits DRAM");
+    assert_eq!(facade_out, expected, "facade sorter");
+}
+
+#[test]
+fn simulator_handles_every_distribution() {
+    for d in [
+        Distribution::Uniform,
+        Distribution::Sorted,
+        Distribution::Reverse,
+        Distribution::FewDistinct(5),
+        Distribution::AlmostSorted(0.3),
+        Distribution::Skewed { hot_fraction: 0.05 },
+    ] {
+        let data = d.generate_u32(20_000, 7);
+        let expected = reference(data.clone());
+        let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let (out, report) = SimEngine::new(cfg).sort(data);
+        assert_eq!(out, expected, "{d:?}");
+        assert!(report.total_cycles > 0);
+    }
+}
+
+#[test]
+fn simulator_config_sweep_preserves_output() {
+    let data = uniform_u32(30_000, 11);
+    let expected = reference(data.clone());
+    for (p, l) in [(1usize, 2usize), (2, 4), (4, 64), (16, 16), (32, 256)] {
+        let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+        let (out, _) = SimEngine::new(cfg).sort(data.clone());
+        assert_eq!(out, expected, "AMT({p}, {l})");
+    }
+}
+
+#[test]
+fn gensort_pipeline_end_to_end() {
+    // 100-byte records -> packed 16-byte -> cycle sim -> order by key.
+    let mut generator = GensortGenerator::seeded(3);
+    let packed: Vec<Packed16> = generator.take_packed(8_000);
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 16);
+    let (sorted, report) = SimEngine::new(cfg).sort(packed.clone());
+    assert!(sorted.windows(2).all(|w| w[0].key() <= w[1].key()));
+    assert_eq!(sorted.len(), packed.len());
+    // 16-byte records move 4x the bytes per cycle of 4-byte ones.
+    assert_eq!(report.record_bytes, 16);
+}
+
+#[test]
+fn wide_and_narrow_records_share_the_engine() {
+    use bonsai::records::{KvRec, U64Rec, W256Rec};
+
+    let n = 5_000usize;
+    let u64s: Vec<U64Rec> = uniform_u32(n, 5).iter().map(|r| U64Rec::new(u64::from(r.0) << 8)).collect();
+    let kvs: Vec<KvRec> = u64s.iter().enumerate().map(|(i, r)| KvRec::new(r.0, i as u64)).collect();
+    let wides: Vec<W256Rec> = u64s.iter().map(|r| W256Rec::new([r.0, 1, 2, 3])).collect();
+
+    let cfg8 = SimEngineConfig::dram_sorter(AmtConfig::new(2, 8), 8);
+    let (out, _) = SimEngine::new(cfg8).sort(u64s);
+    assert!(out.windows(2).all(|w| w[0] <= w[1]));
+
+    let cfg16 = SimEngineConfig::dram_sorter(AmtConfig::new(2, 8), 16);
+    let (out, _) = SimEngine::new(cfg16).sort(kvs);
+    assert!(out.windows(2).all(|w| w[0] <= w[1]));
+
+    let cfg32 = SimEngineConfig::dram_sorter(AmtConfig::new(2, 8), 32);
+    let (out, _) = SimEngine::new(cfg32).sort(wides);
+    assert!(out.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn facade_switches_to_ssd_for_oversized_arrays() {
+    // A tiny "DRAM" makes the facade route through the SSD sorter.
+    let mut hw = bonsai::model::HardwareParams::aws_f1_ssd();
+    hw.c_dram = 1024; // 256 u32 records
+    let bonsai = Bonsai::new(hw);
+    let data = uniform_u32(100_000, 13);
+    let expected = reference(data.clone());
+    let (out, report) = bonsai.sort(data).expect("fits SSD");
+    assert_eq!(out, expected);
+    assert!(report.name.contains("SSD"), "report: {}", report.name);
+}
+
+#[test]
+fn external_sorter_handles_gensort_records() {
+    use bonsai::gensort::io::{read_wire_file, valsort, write_wire_file};
+    use bonsai::gensort::GensortGenerator;
+    use bonsai::sorters::ExternalSorter;
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("bonsai-e2e-gensort-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let input = dir.join("in.bin");
+    let output = dir.join("out.bin");
+
+    let packed = GensortGenerator::seeded(2020).take_packed(30_000);
+    write_wire_file(&input, &packed).expect("write");
+    let stats = ExternalSorter::new(16 * 1024, 16)
+        .with_scratch_dir(dir.join("scratch"))
+        .sort_file::<Packed16>(&input, &output)
+        .expect("sort");
+    assert_eq!(stats.records, 30_000);
+    assert!(stats.merge_passes >= 1, "must hit phase two");
+
+    let sorted: Vec<Packed16> = read_wire_file(&output).expect("read");
+    let summary = valsort(&sorted);
+    assert!(summary.is_sorted());
+    assert_eq!(summary.checksum, valsort(&packed).checksum);
+    std::fs::remove_dir_all(&dir).ok();
+}

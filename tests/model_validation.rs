@@ -1,0 +1,118 @@
+//! §VI-B model validation at integration scale: the analytic performance
+//! and resource models must track the cycle-level simulator, and the
+//! optimizer's ranking must be consistent with simulated reality.
+
+use bonsai::amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai::gensort::dist::uniform_u32;
+use bonsai::model::{perf, ArrayParams, BonsaiOptimizer, HardwareParams};
+
+/// Simulated seconds for an AMT at `n` records of u32.
+fn simulate(amt: AmtConfig, n: usize) -> f64 {
+    let data = uniform_u32(n, 0xBEEF);
+    let cfg = SimEngineConfig::dram_sorter(amt, 4);
+    let (_, report) = SimEngine::new(cfg).sort(data);
+    report.seconds()
+}
+
+/// Model-predicted seconds for the same setup: Eq. 1 with the simulated
+/// platform's sustained bandwidth (nominal derated by 4 KB burst
+/// efficiency — the paper likewise plugs its measured beta into Eq. 1).
+fn predict(amt: AmtConfig, n: usize) -> f64 {
+    let mem = bonsai::memsim::MemoryConfig::ddr4_aws_f1();
+    let beta_eff = 32e9 * mem.burst_efficiency(4096);
+    let hw = HardwareParams::aws_f1().with_beta_dram(beta_eff);
+    let array = ArrayParams::new(n as u64, 4);
+    perf::eq1_latency(&array, &hw, amt.p, amt.l, 16)
+}
+
+#[test]
+fn performance_model_tracks_simulation() {
+    // The paper reports <10% at hardware scale; at this reduced scale
+    // (pipeline-fill overheads are proportionally larger) we allow 25%.
+    // Scale n with p so every config runs enough cycles per stage to be
+    // in steady state; the bench-scale sweep (fig8_9, 2M records per
+    // config) lands within 10%.
+    for amt in [
+        AmtConfig::new(8, 64),
+        AmtConfig::new(16, 64),
+        AmtConfig::new(16, 256),
+        AmtConfig::new(32, 256),
+    ] {
+        let n = 60_000 * amt.p;
+        let sim = simulate(amt, n);
+        let model = predict(amt, n);
+        let err = (sim - model).abs() / sim;
+        assert!(err < 0.25, "{amt}: sim {sim:.4}s model {model:.4}s ({:.0}%)", err * 100.0);
+    }
+}
+
+#[test]
+fn optimizer_ranking_is_consistent_with_simulation() {
+    // If the model says config A is at least 1.5x faster than config B,
+    // the simulator must agree on the direction.
+    let n = 200_000;
+    let pairs = [
+        (AmtConfig::new(16, 64), AmtConfig::new(4, 64)), // p wins below saturation
+        (AmtConfig::new(8, 256), AmtConfig::new(8, 4)),  // l wins via stage count
+    ];
+    for (fast, slow) in pairs {
+        let model_fast = predict(fast, n);
+        let model_slow = predict(slow, n);
+        assert!(
+            model_fast * 1.5 <= model_slow,
+            "test premise: model must separate {fast} and {slow}"
+        );
+        let sim_fast = simulate(fast, n);
+        let sim_slow = simulate(slow, n);
+        assert!(
+            sim_fast < sim_slow,
+            "simulation disagrees: {fast} {sim_fast:.4}s vs {slow} {sim_slow:.4}s"
+        );
+    }
+}
+
+#[test]
+fn saturation_behavior_matches_section_vi_b() {
+    // "Once DRAM bandwidth is saturated, increasing throughput p does
+    // not decrease sorting time; however, increasing the number of
+    // leaves l reduces the total number of merge stages."
+    let hw = HardwareParams::aws_f1();
+    let array = ArrayParams::from_bytes(4 << 30, 4);
+    let saturated = perf::eq1_latency(&array, &hw, 32, 64, 16);
+    let over = perf::eq1_latency(&array, &hw, 64, 64, 16);
+    assert!((saturated - over).abs() < 1e-12, "p beyond saturation is free");
+    let more_leaves = perf::eq1_latency(&array, &hw, 32, 256, 16);
+    assert!(more_leaves < saturated, "leaves still help after saturation");
+}
+
+#[test]
+fn optimizer_best_simulates_faster_than_median_config() {
+    let n = 150_000;
+    let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
+    let array = ArrayParams::new(n as u64, 4);
+    let ranked = opt.ranked_by_latency(&array);
+    let best = ranked.first().expect("feasible");
+    let median = &ranked[ranked.len() / 2];
+    let best_amt = AmtConfig::new(best.config.throughput_p, best.config.leaves_l);
+    let median_amt = AmtConfig::new(median.config.throughput_p, median.config.leaves_l);
+    if best_amt != median_amt {
+        let sim_best = simulate(best_amt, n);
+        let sim_median = simulate(median_amt, n);
+        assert!(
+            sim_best <= sim_median * 1.05,
+            "optimizer's pick must not simulate slower: {sim_best:.4} vs {sim_median:.4}"
+        );
+    }
+}
+
+#[test]
+fn traffic_accounting_matches_stage_math() {
+    // Every stage reads and writes the full array once: total traffic
+    // is exactly 2 * stages * bytes.
+    let n = 100_000usize;
+    let data = uniform_u32(n, 5);
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(8, 16), 4);
+    let (_, report) = SimEngine::new(cfg).sort(data);
+    let expected = 2 * report.stages() as u64 * (n as u64) * 4;
+    assert_eq!(report.total_traffic_bytes(), expected);
+}

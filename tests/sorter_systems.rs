@@ -1,0 +1,83 @@
+//! Integration tests of the three end-to-end sorting systems and their
+//! reports.
+
+use bonsai::core::Bonsai;
+use bonsai::gensort::dist::uniform_u32;
+use bonsai::model::HardwareParams;
+use bonsai::sorters::{SorterError, SsdSorter, Timing};
+
+#[test]
+fn all_three_sorters_produce_identical_output() {
+    let data = uniform_u32(180_000, 55);
+    let mut expected = data.clone();
+    expected.sort_unstable();
+
+    let (dram, _) = Bonsai::aws_f1().dram_sorter().sort(data.clone()).expect("fits");
+    assert_eq!(dram, expected);
+
+    let (hbm, _) = Bonsai::hbm().hbm_sorter().sort(data.clone()).expect("fits");
+    assert_eq!(hbm, expected);
+
+    let ssd = SsdSorter::new(HardwareParams::aws_f1_ssd()).with_chunk_bytes(8_192);
+    let (ssd_out, _) = ssd.sort(data).expect("fits");
+    assert_eq!(ssd_out, expected);
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let data = uniform_u32(100_000, 56);
+    let (_, report) = Bonsai::aws_f1().sort(data).expect("fits");
+    let phase_sum: f64 = report.phases.iter().map(|p| p.seconds).sum();
+    assert!((report.seconds() - phase_sum).abs() < 1e-12);
+    let gb = report.bytes as f64 / 1e9;
+    assert!((report.ms_per_gb() - report.seconds() * 1e3 / gb).abs() < 1e-9);
+    assert!(report.bandwidth_efficiency(32e9) > 0.0);
+    assert_eq!(report.timing, Timing::Modeled);
+}
+
+#[test]
+fn dram_projection_is_scale_invariant_within_stage_bands() {
+    // Within a stage band (Fig. 13 plateau), ms/GB is constant.
+    let sorter = Bonsai::aws_f1().dram_sorter();
+    let a = sorter.project(4_000_000_000, 4).expect("fits").ms_per_gb();
+    let b = sorter.project(32_000_000_000, 4).expect("fits").ms_per_gb();
+    assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+}
+
+#[test]
+fn hbm_sorter_projects_better_bandwidth_efficiency_than_dram_at_scale() {
+    let hbm = Bonsai::hbm().hbm_sorter().project(8_000_000_000, 4).expect("fits");
+    let dram = Bonsai::aws_f1().dram_sorter().project(8_000_000_000, 4).expect("fits");
+    // Raw speed: HBM wins big.
+    assert!(hbm.seconds() < dram.seconds() / 2.0);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let sorter = Bonsai::aws_f1().dram_sorter();
+    let err = sorter.project(1_000_000_000_000, 4).unwrap_err();
+    assert!(matches!(err, SorterError::TooLarge { .. }));
+    assert!(err.to_string().contains("exceeds"));
+
+    let mut hw = HardwareParams::aws_f1();
+    hw.c_lut = 10;
+    let infeasible = bonsai::sorters::DramSorter::new(hw)
+        .project(1_000_000, 4)
+        .unwrap_err();
+    assert!(matches!(infeasible, SorterError::Infeasible));
+}
+
+#[test]
+fn record_width_does_not_change_sorted_order_semantics() {
+    use bonsai::records::{KvRec, Record};
+    // Sorting kv records keeps key groups contiguous and values sorted
+    // within groups (full-record Ord), across the whole system.
+    let data: Vec<KvRec> = (0..50_000u64).map(|i| KvRec::new(i % 97, i)).collect();
+    let (out, _) = Bonsai::aws_f1().sort(data).expect("fits");
+    for w in out.windows(2) {
+        assert!(w[0].key() <= w[1].key());
+        if w[0].key() == w[1].key() {
+            assert!(w[0].value() <= w[1].value());
+        }
+    }
+}
