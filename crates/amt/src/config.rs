@@ -1,7 +1,7 @@
 //! AMT and simulation-engine configuration.
 
+use bonsai_check::{has_errors, Diagnostic};
 use bonsai_memsim::{LoaderConfig, MemoryConfig};
-use serde::{Deserialize, Serialize};
 
 /// The shape of one adaptive merge tree: its throughput `p` (records per
 /// cycle out of the root) and leaf count `ℓ` (runs merged concurrently) —
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(amt.merger_width_at_level(0), 4); // root 4-merger
 /// assert_eq!(amt.merger_width_at_level(2), 1); // 1-mergers below p
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AmtConfig {
     /// Root throughput `p` in records per cycle.
     pub p: usize,
@@ -28,17 +28,34 @@ pub struct AmtConfig {
 impl AmtConfig {
     /// Creates an AMT shape.
     ///
+    /// Back-compat wrapper over [`AmtConfig::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics unless `p` is a power of two (≥1) and `l` a power of two
     /// (≥2).
     pub fn new(p: usize, l: usize) -> Self {
-        assert!(p >= 1 && p.is_power_of_two(), "p must be a power of two");
-        assert!(
-            l >= 2 && l.is_power_of_two(),
-            "l must be a power of two >= 2"
-        );
-        Self { p, l }
+        match Self::try_new(p, l) {
+            Ok(cfg) => cfg,
+            Err(diagnostics) => panic!("invalid AMT shape: {}", diagnostics[0]),
+        }
+    }
+
+    /// Validated constructor: returns the analyzer's findings (`BON001`,
+    /// `BON002`) instead of panicking. The `BON003` p > l warning does
+    /// not fail construction; use [`AmtConfig::validate`] to see it.
+    pub fn try_new(p: usize, l: usize) -> Result<Self, Vec<Diagnostic>> {
+        let diagnostics = bonsai_check::check_amt_shape(p, l);
+        if has_errors(&diagnostics) {
+            Err(diagnostics)
+        } else {
+            Ok(Self { p, l })
+        }
+    }
+
+    /// Runs the static analyzer over this shape (`BON001`–`BON003`).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        bonsai_check::check_amt_shape(self.p, self.l)
     }
 
     /// Number of merger levels: `log₂ ℓ`.
@@ -75,7 +92,7 @@ impl core::fmt::Display for AmtConfig {
 }
 
 /// Full configuration of the cycle-approximate sorting engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimEngineConfig {
     /// Tree shape.
     pub amt: AmtConfig,
@@ -121,6 +138,40 @@ impl SimEngineConfig {
     pub fn initial_run_len(&self) -> usize {
         self.presort.unwrap_or(1)
     }
+
+    /// Cross-validates the whole engine configuration: AMT shape, loader
+    /// shape, memory shape, loader-vs-memory coupling and the presorter
+    /// chunk. Returns every finding; construction-breaking ones are
+    /// [`bonsai_check::Severity::Error`].
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut diagnostics = self.amt.validate();
+        diagnostics.extend(self.loader.validate());
+        diagnostics.extend(self.memory.validate());
+        diagnostics.extend(self.loader.validate_against(&self.memory));
+        if let Some(chunk) = self.presort {
+            // record_bytes == 0 already fails BON004 above, and
+            // batch_records() would divide by zero — the cross-check
+            // stands down rather than crash the analyzer.
+            let batch_records = if self.loader.record_bytes == 0 {
+                0
+            } else {
+                self.loader.batch_records() as usize
+            };
+            diagnostics.extend(bonsai_check::check_presort(chunk, batch_records));
+        }
+        diagnostics
+    }
+
+    /// Validated form of the engine configuration: `Err` with the full
+    /// finding list if any error-severity diagnostic fires.
+    pub fn try_validated(self) -> Result<Self, Vec<Diagnostic>> {
+        let diagnostics = self.validate();
+        if has_errors(&diagnostics) {
+            Err(diagnostics)
+        } else {
+            Ok(self)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +185,9 @@ mod tests {
         let amt = AmtConfig::new(4, 16);
         assert_eq!(amt.levels(), 4);
         assert_eq!(
-            (0..4).map(|k| amt.merger_width_at_level(k)).collect::<Vec<_>>(),
+            (0..4)
+                .map(|k| amt.merger_width_at_level(k))
+                .collect::<Vec<_>>(),
             vec![4, 2, 1, 1]
         );
         assert_eq!(

@@ -24,6 +24,8 @@ const MAX_PASS_CYCLES: u64 = 50_000_000_000;
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     config: SimEngineConfig,
+    #[cfg(feature = "sanitize")]
+    diagnostics: Vec<bonsai_check::Diagnostic>,
 }
 
 impl SimEngine {
@@ -33,13 +35,29 @@ impl SimEngine {
     ///
     /// Panics if the loader record width is zero.
     pub fn new(config: SimEngineConfig) -> Self {
-        assert!(config.loader.record_bytes > 0, "record width must be positive");
-        Self { config }
+        assert!(
+            config.loader.record_bytes > 0,
+            "record width must be positive"
+        );
+        Self {
+            config,
+            #[cfg(feature = "sanitize")]
+            diagnostics: Vec::new(),
+        }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &SimEngineConfig {
         &self.config
+    }
+
+    /// Sanitizer findings (`BON1xx`) accumulated by the most recent
+    /// [`SimEngine::sort`]; empty means every invariant probe held.
+    ///
+    /// Only available with the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitizer_diagnostics(&self) -> &[bonsai_check::Diagnostic] {
+        &self.diagnostics
     }
 
     /// Sorts `data`, returning the sorted records and the timing report.
@@ -48,6 +66,8 @@ impl SimEngine {
     /// terminal value is remapped), exactly as the hardware contract
     /// requires (§V-B).
     pub fn sort<R: Record>(&mut self, data: Vec<R>) -> (Vec<R>, SortReport) {
+        #[cfg(feature = "sanitize")]
+        self.diagnostics.clear();
         let n_records = data.len() as u64;
         let record_bytes = self.config.loader.record_bytes;
         let sanitized: Vec<R> = data.into_iter().map(Record::sanitize).collect();
@@ -75,7 +95,7 @@ impl SimEngine {
     /// Executes one merge stage: merges every group of `fan_in ≤ ℓ` runs
     /// into one.
     fn run_pass<R: Record>(
-        &self,
+        &mut self,
         runs: RunSet<R>,
         fan_in: usize,
         stage: u32,
@@ -85,8 +105,17 @@ impl SimEngine {
         let mut cycle = 0u64;
         while !sim.tick(cycle, &mut memory) {
             cycle += 1;
-            assert!(cycle < MAX_PASS_CYCLES, "pass exceeded cycle bound (livelock?)");
+            assert!(
+                cycle < MAX_PASS_CYCLES,
+                "pass exceeded cycle bound (livelock?)"
+            );
         }
+        #[cfg(feature = "sanitize")]
+        self.diagnostics.extend(
+            sim.sanitize_check()
+                .into_iter()
+                .map(|d| d.with("stage", stage)),
+        );
         let (out_runs, mut pass) = sim.finish(stage);
         pass.bytes_read = memory.bytes_read();
         pass.bytes_written = memory.bytes_written();
@@ -163,7 +192,10 @@ mod tests {
     #[test]
     fn sorts_input_containing_terminal_values() {
         // Zeros are the reserved terminal: sanitize maps them to 1.
-        let data: Vec<U32Rec> = [0u32, 5, 0, 3, 0, 1].iter().map(|&v| U32Rec::new(v)).collect();
+        let data: Vec<U32Rec> = [0u32, 5, 0, 3, 0, 1]
+            .iter()
+            .map(|&v| U32Rec::new(v))
+            .collect();
         let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(2, 4), 4).without_presort();
         let (out, _) = SimEngine::new(cfg).sort(data);
         let vals: Vec<u32> = out.iter().map(|r| r.0).collect();

@@ -165,8 +165,11 @@ mod tests {
 
     #[test]
     fn stage_count_matches_formula() {
-        for (n, fan_in, presort) in [(100_000usize, 16usize, 16usize), (4096, 4, 1), (5000, 256, 16)]
-        {
+        for (n, fan_in, presort) in [
+            (100_000usize, 16usize, 16usize),
+            (4096, 4, 1),
+            (5000, 256, 16),
+        ] {
             let data = uniform_u32(n, 23);
             let (_, stages) = sort(data, fan_in, presort);
             let runs0 = (n as u64).div_ceil(presort as u64);
@@ -186,7 +189,7 @@ mod tests {
     #[test]
     fn merge_pass_groups_runs() {
         let data = uniform_u32(1000, 25);
-        let runs = bonsai_records::run::RunSet::from_chunks(data, 10); // 100 runs
+        let runs = RunSet::from_chunks(data, 10); // 100 runs
         let next = merge_pass(&runs, 16);
         assert_eq!(next.num_runs(), 7); // ceil(100/16)
         assert!(next.validate().is_ok());

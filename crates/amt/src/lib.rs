@@ -50,8 +50,8 @@ mod tree;
 mod unrolled;
 
 pub use config::{AmtConfig, SimEngineConfig};
-pub use loser_tree::{loser_tree_merge, LoserTree};
 pub use engine::SimEngine;
+pub use loser_tree::{loser_tree_merge, LoserTree};
 pub use report::{PassReport, SortReport};
 pub use tree::{MergeTree, TreeStats};
 pub use unrolled::{UnrolledReport, UnrolledSim};

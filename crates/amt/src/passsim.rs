@@ -19,6 +19,9 @@ pub(crate) struct PassSim<R> {
     l: usize,
     n_records: u64,
     runs_in: u64,
+    /// Merge groups in this pass (= output runs = root flushes expected).
+    #[cfg(feature = "sanitize")]
+    groups: u64,
     leaf_streams: Vec<Vec<R>>,
     leaf_pos: Vec<usize>,
     tree: MergeTree<R>,
@@ -74,6 +77,8 @@ impl<R: Record> PassSim<R> {
             l,
             n_records,
             runs_in,
+            #[cfg(feature = "sanitize")]
+            groups: groups as u64,
             leaf_pos: vec![0; l],
             leaf_streams,
             tree: MergeTree::new(config.amt),
@@ -116,7 +121,9 @@ impl<R: Record> PassSim<R> {
         // Zero filter + packer: move root output into the write drain;
         // terminals mark run boundaries and cost no bandwidth.
         while self.drain.free_space() > 0 {
-            let Some(rec) = self.tree.pop_root() else { break };
+            let Some(rec) = self.tree.pop_root() else {
+                break;
+            };
             if !rec.is_terminal() {
                 self.drain.push_records(1);
             }
@@ -138,6 +145,48 @@ impl<R: Record> PassSim<R> {
             self.done = true;
         }
         self.done
+    }
+
+    /// Runs every sanitizer probe over the pass: merger-level findings
+    /// from the tree (`BON101`–`BON103`), loader and drain byte
+    /// accounting (`BON105`), end-to-end record conservation (`BON104`)
+    /// and the root's terminal-flush protocol (`BON106`).
+    ///
+    /// Call after the pass is done; only available with the `sanitize`
+    /// feature.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn sanitize_check(&mut self) -> Vec<bonsai_check::Diagnostic> {
+        use bonsai_check::{codes, Diagnostic};
+        let mut out = self.tree.sanitize_check();
+        out.extend(self.loader.sanitize_check());
+        out.extend(self.drain.sanitize_check());
+        if self.done {
+            let payload_out = self.out_stream.iter().filter(|r| !r.is_terminal()).count() as u64;
+            if payload_out != self.n_records || self.drain.completed_records() != self.n_records {
+                out.push(
+                    Diagnostic::error(
+                        codes::SAN_PASS_CONSERVATION,
+                        "merge pass lost or duplicated records end to end",
+                    )
+                    .with("records_in", self.n_records)
+                    .with("payload_out", payload_out)
+                    .with("records_written", self.drain.completed_records()),
+                );
+            }
+            let terminals = self.out_stream.iter().filter(|r| r.is_terminal()).count() as u64;
+            let ends_with_terminal = self.out_stream.last().is_none_or(Record::is_terminal);
+            if terminals != self.groups || !ends_with_terminal {
+                out.push(
+                    Diagnostic::error(
+                        codes::SAN_FLUSH_PROTOCOL,
+                        "root output must carry exactly one terminal per merge group and end with one",
+                    )
+                    .with("terminals", terminals)
+                    .with("groups", self.groups),
+                );
+            }
+        }
+        out
     }
 
     /// Consumes the finished pass, returning the output runs and report.

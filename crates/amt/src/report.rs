@@ -1,11 +1,10 @@
 //! Timing and traffic reports from the cycle-approximate engine.
 
 use bonsai_memsim::DEFAULT_FREQ_HZ;
-use serde::{Deserialize, Serialize};
 
 /// Measurements from one merge stage (one full pass of the data through
 /// the AMT).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassReport {
     /// Stage number (1-based, as in §II).
     pub stage: u32,
@@ -42,7 +41,7 @@ impl PassReport {
 ///
 /// All wall-clock conversions use the kernel frequency (250 MHz default,
 /// §VI-A), because the simulator counts kernel-clock cycles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SortReport {
     /// Per-stage measurements, in execution order.
     pub passes: Vec<PassReport>,
@@ -162,7 +161,8 @@ mod tests {
 
     #[test]
     fn bandwidth_efficiency_fraction() {
-        let r = SortReport::from_passes(vec![pass(1, 250_000_000, 2_000_000_000)], 2_000_000_000, 4);
+        let r =
+            SortReport::from_passes(vec![pass(1, 250_000_000, 2_000_000_000)], 2_000_000_000, 4);
         // 8 GB/s sorter on a 32 GB/s memory -> 0.25.
         assert!((r.bandwidth_efficiency(32e9) - 0.25).abs() < 1e-9);
     }

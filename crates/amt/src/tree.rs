@@ -74,9 +74,15 @@ impl<R: Record> MergeTree<R> {
     }
 
     fn leaf_port(&self, leaf: usize) -> (usize, Side) {
-        assert!(leaf < self.config.l, "leaf index out of range");
+        // Hot loop: bounds are the caller's contract; the slice index
+        // below still aborts safely if it is ever violated in release.
+        debug_assert!(leaf < self.config.l, "leaf index out of range");
         let node = self.first_leaf_node + leaf / 2;
-        let side = if leaf.is_multiple_of(2) { Side::Left } else { Side::Right };
+        let side = if leaf.is_multiple_of(2) {
+            Side::Left
+        } else {
+            Side::Right
+        };
         (node, side)
     }
 
@@ -120,7 +126,11 @@ impl<R: Record> MergeTree<R> {
                 break;
             }
             let parent = (node_idx - 1) / 2;
-            let side = if node_idx % 2 == 1 { Side::Left } else { Side::Right };
+            let side = if node_idx % 2 == 1 {
+                Side::Left
+            } else {
+                Side::Right
+            };
             while self.nodes[parent].input_free(side) > 0 {
                 let Some(rec) = self.nodes[node_idx].pop_output() else {
                     break;
@@ -135,6 +145,19 @@ impl<R: Record> MergeTree<R> {
     /// Returns `true` when no records remain anywhere in the tree.
     pub fn is_drained(&self) -> bool {
         self.nodes.iter().all(KMerger::is_drained)
+    }
+
+    /// Collects sanitizer findings (`BON101`–`BON103`) from every
+    /// merger, tagged with the heap index of the offending node.
+    ///
+    /// Only available with the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_check(&mut self) -> Vec<bonsai_check::Diagnostic> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            out.extend(node.sanitize_check().into_iter().map(|d| d.with("node", i)));
+        }
+        out
     }
 
     /// Aggregated statistics.
@@ -189,7 +212,10 @@ mod tests {
             }
         }
         assert!(out.last().expect("output nonempty").is_terminal());
-        out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect()
+        out.iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| r.0)
+            .collect()
     }
 
     #[test]

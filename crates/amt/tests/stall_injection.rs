@@ -9,9 +9,7 @@
 
 use bonsai_amt::{AmtConfig, MergeTree};
 use bonsai_records::{Record, U32Rec};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use bonsai_rng::Rng;
 
 /// Drives a tree over one group of runs with randomized per-cycle
 /// input-feed and output-drain decisions.
@@ -23,7 +21,7 @@ fn merge_with_stalls(
     output_stall_pct: u32,
 ) -> Vec<u32> {
     assert_eq!(runs.len(), config.l);
-    let mut rng = StdRng::seed_from_u64(stall_seed);
+    let mut rng = Rng::seed_from_u64(stall_seed);
     let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
     let mut streams: Vec<Vec<U32Rec>> = runs
         .into_iter()
@@ -39,7 +37,7 @@ fn merge_with_stalls(
     loop {
         for (leaf, stream) in streams.iter_mut().enumerate() {
             // Simulated loader drought on this leaf this cycle.
-            if rng.random_range(0..100) < input_stall_pct {
+            if rng.chance_percent(input_stall_pct) {
                 continue;
             }
             while tree.leaf_free(leaf) > 0 && !stream.is_empty() {
@@ -49,7 +47,7 @@ fn merge_with_stalls(
         }
         tree.tick();
         // Simulated write-path back-pressure.
-        if rng.random_range(0..100) >= output_stall_pct {
+        if !rng.chance_percent(output_stall_pct) {
             while let Some(r) = tree.pop_root() {
                 out.push(r);
             }
@@ -63,35 +61,36 @@ fn merge_with_stalls(
         guard += 1;
         assert!(guard < 10_000_000, "stalled tree never finished");
     }
-    out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect()
+    out.iter()
+        .filter(|r| !r.is_terminal())
+        .map(|r| r.0)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn output_is_invariant_under_stall_schedules(
-        raw in proptest::collection::vec(proptest::collection::vec(1u32..u32::MAX, 0..60), 8..=8),
-        seed_a: u64,
-        seed_b: u64,
-        input_pct in 0u32..90,
-        output_pct in 0u32..90,
-    ) {
-        let runs: Vec<Vec<u32>> = raw
-            .into_iter()
-            .map(|mut r| {
+#[test]
+fn output_is_invariant_under_stall_schedules() {
+    let mut rng = Rng::seed_from_u64(0x57A1_0001);
+    for _ in 0..16 {
+        let runs: Vec<Vec<u32>> = (0..8)
+            .map(|_| {
+                let len = rng.below_usize(60);
+                let mut r: Vec<u32> = (0..len).map(|_| rng.next_u32().max(1)).collect();
                 r.sort_unstable();
                 r
             })
             .collect();
+        let seed_a = rng.next_u64();
+        let seed_b = rng.next_u64();
+        let input_pct = rng.below_u32(90);
+        let output_pct = rng.below_u32(90);
         let config = AmtConfig::new(4, 8);
         let clean = merge_with_stalls(config, runs.clone(), seed_a, 0, 0);
         let stalled = merge_with_stalls(config, runs.clone(), seed_b, input_pct, output_pct);
-        prop_assert_eq!(&clean, &stalled, "stalls must never change output");
+        assert_eq!(&clean, &stalled, "stalls must never change output");
 
         let mut expected: Vec<u32> = runs.into_iter().flatten().collect();
         expected.sort_unstable();
-        prop_assert_eq!(clean, expected);
+        assert_eq!(clean, expected);
     }
 }
 
@@ -104,6 +103,12 @@ fn tree_survives_total_drought_then_resumes() {
         tree.tick();
     }
     assert_eq!(tree.pop_root(), None);
-    let out = merge_with_stalls(config, vec![vec![3, 5], vec![1], vec![], vec![2, 4]], 7, 50, 50);
+    let out = merge_with_stalls(
+        config,
+        vec![vec![3, 5], vec![1], vec![], vec![2, 4]],
+        7,
+        50,
+        50,
+    );
     assert_eq!(out, vec![1, 2, 3, 4, 5]);
 }

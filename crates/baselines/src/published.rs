@@ -8,12 +8,10 @@
 //! row and interpolates between them; sizes outside the reported range
 //! return `None` (the dashes in Table I).
 
-use serde::{Deserialize, Serialize};
-
 const GB: f64 = 1e9;
 
 /// Platform a published sorter runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Single-node CPU.
     Cpu,
@@ -28,7 +26,7 @@ pub enum Platform {
 }
 
 /// One published sorter: name, platform, and its Table I row.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PublishedSorter {
     /// Sorter name as cited (e.g. "PARADIS").
     pub name: &'static str,
@@ -188,7 +186,9 @@ mod tests {
     fn exact_table_points_roundtrip() {
         let ms = PARADIS.ms_per_gb((4.0 * GB) as u64).expect("in range");
         assert!((ms - 436.0).abs() < 1e-9);
-        let ms = TERABYTE_SORT.ms_per_gb((2_048.0 * GB) as u64).expect("in range");
+        let ms = TERABYTE_SORT
+            .ms_per_gb((2_048.0 * GB) as u64)
+            .expect("in range");
         assert!((ms - 4_347.0).abs() < 1e-9);
     }
 
@@ -217,7 +217,9 @@ mod tests {
         let t = SAMPLE_SORT.throughput((8.0 * GB) as u64).expect("in range");
         assert!((t - 4.44e9).abs() < 0.5e9, "samplesort throughput {t}");
         // SampleSort drops ~3x beyond 16 GB.
-        let t32 = SAMPLE_SORT.throughput((32.0 * GB) as u64).expect("in range");
+        let t32 = SAMPLE_SORT
+            .throughput((32.0 * GB) as u64)
+            .expect("in range");
         assert!(t / t32 > 2.5, "drop {}", t / t32);
     }
 

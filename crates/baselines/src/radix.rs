@@ -104,17 +104,16 @@ fn radix_pass<R: RadixKey>(src: &[R], dst: &mut [R], pass: usize, threads: usize
 
     // Per-chunk histograms.
     let mut histograms = vec![[0usize; RADIX]; threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, hist) in histograms.iter_mut().enumerate() {
             let slice = &src[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for rec in slice {
                     hist[rec.radix_byte(pass) as usize] += 1;
                 }
             });
         }
-    })
-    .expect("histogram workers do not panic");
+    });
 
     // Exclusive prefix sums: digit-major, then chunk order within a
     // digit, preserving stability.
@@ -130,10 +129,10 @@ fn radix_pass<R: RadixKey>(src: &[R], dst: &mut [R], pass: usize, threads: usize
     // Parallel scatter: each thread owns disjoint destination ranges by
     // construction of the offsets, so the unsafe shared write is sound.
     let dst_ptr = SendPtr(dst.as_mut_ptr());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, offs) in offsets.iter_mut().enumerate() {
             let slice = &src[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let dst_ptr = dst_ptr;
                 for rec in slice {
                     let digit = rec.radix_byte(pass) as usize;
@@ -146,8 +145,7 @@ fn radix_pass<R: RadixKey>(src: &[R], dst: &mut [R], pass: usize, threads: usize
                 }
             });
         }
-    })
-    .expect("scatter workers do not panic");
+    });
 }
 
 /// A `Send`able raw pointer wrapper for the disjoint-range scatter.

@@ -1,5 +1,5 @@
-//! Criterion ablation benchmarks for the design choices DESIGN.md calls
-//! out: presorter on/off, p-vs-ℓ trade-off, and flush-heavy inputs.
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! presorter on/off, p-vs-ℓ trade-off, and flush-heavy inputs.
 //!
 //! Host time of the functional path tracks total merge work (stages ×
 //! N), so these expose the *algorithmic* effect of each choice; the
@@ -7,72 +7,51 @@
 
 use bonsai_amt::functional;
 use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_bench::harness::{bench, header, Throughput};
 use bonsai_gensort::dist::uniform_u32;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_presort_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("presort_ablation");
+fn main() {
+    header("ablations");
+
     let data = uniform_u32(1 << 18, 7);
-    g.throughput(Throughput::Elements(data.len() as u64));
     for presort in [1usize, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("functional_sort_l16", presort),
-            &presort,
-            |b, &presort| {
-                b.iter(|| functional::sort_balanced(black_box(data.clone()), 16, presort))
-            },
+        let elems = Throughput::Elements(data.len() as u64);
+        bench(
+            "presort_ablation",
+            &format!("functional_sort_l16/presort{presort}"),
+            elems,
+            || functional::sort_balanced(black_box(data.clone()), 16, presort),
         );
     }
-    g.finish();
-}
 
-fn bench_p_vs_l(c: &mut Criterion) {
     // Same LUT-class budget, different shapes: wide-and-shallow vs
     // narrow-and-deep (§VI-B2's trade-off), on the cycle simulator.
-    let mut g = c.benchmark_group("p_vs_l");
-    g.sample_size(10);
     let data = uniform_u32(1 << 16, 8);
     for (p, l) in [(16usize, 16usize), (8, 64), (4, 256)] {
-        g.bench_with_input(
-            BenchmarkId::new("sim_sort", format!("p{p}_l{l}")),
-            &(p, l),
-            |b, &(p, l)| {
-                b.iter(|| {
-                    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
-                    SimEngine::new(cfg).sort(black_box(data.clone()))
-                })
+        bench(
+            "p_vs_l",
+            &format!("sim_sort/p{p}_l{l}"),
+            Throughput::Elements(data.len() as u64),
+            || {
+                let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+                SimEngine::new(cfg).sort(black_box(data.clone()))
             },
         );
     }
-    g.finish();
-}
 
-fn bench_flush_heavy_input(c: &mut Criterion) {
     // Many tiny runs stress the terminal-record flush path (§V-B).
-    let mut g = c.benchmark_group("flush");
-    g.sample_size(10);
     let data = uniform_u32(1 << 15, 9);
     for presort in [1usize, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("sim_sort_initial_run_len", presort),
-            &presort,
-            |b, &presort| {
-                b.iter(|| {
-                    let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
-                    cfg.presort = Some(presort);
-                    SimEngine::new(cfg).sort(black_box(data.clone()))
-                })
+        bench(
+            "flush",
+            &format!("sim_sort_initial_run_len/{presort}"),
+            Throughput::Elements(data.len() as u64),
+            || {
+                let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+                cfg.presort = Some(presort);
+                SimEngine::new(cfg).sort(black_box(data.clone()))
             },
         );
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_presort_ablation,
-    bench_p_vs_l,
-    bench_flush_heavy_input
-);
-criterion_main!(benches);

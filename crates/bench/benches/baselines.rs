@@ -1,45 +1,52 @@
-//! Criterion benchmarks of the CPU baseline sorters on the host.
+//! Micro-benchmarks of the CPU baseline sorters on the host.
 
 use bonsai_amt::functional;
 use bonsai_baselines::radix::parallel_radix_sort;
+use bonsai_bench::harness::{bench, header, Throughput};
 use bonsai_gensort::dist::uniform_u32;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_host_sorters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("host_sorters");
-    g.sample_size(10);
+fn main() {
+    header("host_sorters");
     for log_n in [16u32, 20] {
         let n = 1usize << log_n;
         let data = uniform_u32(n, u64::from(log_n));
-        g.throughput(Throughput::Bytes(4 * n as u64));
-        g.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &n, |b, _| {
-            b.iter(|| {
+        let bytes = Throughput::Bytes(4 * n as u64);
+        bench(
+            "host_sorters",
+            &format!("std_sort_unstable/{n}"),
+            bytes,
+            || {
                 let mut d = data.clone();
                 d.sort_unstable();
                 black_box(d)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("radix_1_thread", n), &n, |b, _| {
-            b.iter(|| {
+            },
+        );
+        bench(
+            "host_sorters",
+            &format!("radix_1_thread/{n}"),
+            bytes,
+            || {
                 let mut d = data.clone();
                 parallel_radix_sort(&mut d, 1);
                 black_box(d)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("radix_4_threads", n), &n, |b, _| {
-            b.iter(|| {
+            },
+        );
+        bench(
+            "host_sorters",
+            &format!("radix_4_threads/{n}"),
+            bytes,
+            || {
                 let mut d = data.clone();
                 parallel_radix_sort(&mut d, 4);
                 black_box(d)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("amt_functional_l256", n), &n, |b, _| {
-            b.iter(|| functional::sort_balanced(black_box(data.clone()), 256, 16))
-        });
+            },
+        );
+        bench(
+            "host_sorters",
+            &format!("amt_functional_l256/{n}"),
+            bytes,
+            || functional::sort_balanced(black_box(data.clone()), 256, 16),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_host_sorters);
-criterion_main!(benches);

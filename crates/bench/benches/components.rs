@@ -1,71 +1,72 @@
-//! Criterion micro-benchmarks of the hardware component models.
+//! Micro-benchmarks of the hardware component models.
 
 use bonsai_amt::functional::kway_merge;
 use bonsai_amt::loser_tree_merge;
+use bonsai_bench::harness::{bench, header, Throughput};
 use bonsai_bitonic::{sorter_network, HalfMerger, Presorter};
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_merge_hw::{KMerger, Side};
 use bonsai_records::{Record, U32Rec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_bitonic_networks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bitonic");
+fn bench_bitonic_networks() {
     for width in [16usize, 64, 256] {
         let net = sorter_network(width);
         let data = uniform_u32(width, 1);
-        g.throughput(Throughput::Elements(width as u64));
-        g.bench_with_input(BenchmarkId::new("sorter_network", width), &width, |b, _| {
-            b.iter(|| {
+        bench(
+            "bitonic",
+            &format!("sorter_network/{width}"),
+            Throughput::Elements(width as u64),
+            || {
                 let mut lanes = data.clone();
                 net.apply(black_box(&mut lanes));
                 lanes
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_half_merger(c: &mut Criterion) {
-    let mut g = c.benchmark_group("half_merger");
+fn bench_half_merger() {
     for k in [4usize, 16, 32] {
         let hm = HalfMerger::new(k);
         let mut a = uniform_u32(k, 2);
         let mut b2 = uniform_u32(k, 3);
         a.sort_unstable();
         b2.sort_unstable();
-        g.throughput(Throughput::Elements(2 * k as u64));
-        g.bench_with_input(BenchmarkId::new("merge", k), &k, |b, _| {
-            b.iter(|| hm.merge(black_box(&a), black_box(&b2)))
-        });
+        bench(
+            "half_merger",
+            &format!("merge/{k}"),
+            Throughput::Elements(2 * k as u64),
+            || hm.merge(black_box(&a), black_box(&b2)),
+        );
     }
-    g.finish();
 }
 
-fn bench_presorter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("presorter");
+fn bench_presorter() {
     let ps = Presorter::new(16);
     let data = uniform_u32(65_536, 4);
-    g.throughput(Throughput::Elements(data.len() as u64));
-    g.bench_function("presort_64k", |b| {
-        b.iter(|| {
+    bench(
+        "presorter",
+        "presort_64k",
+        Throughput::Elements(data.len() as u64),
+        || {
             let mut d = data.clone();
             ps.presort(black_box(&mut d));
             d
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_kmerger_cycles(c: &mut Criterion) {
+fn bench_kmerger_cycles() {
     // End-to-end cycle simulation rate of one 8-merger on long runs.
-    let mut g = c.benchmark_group("kmerger");
     let n = 32_768u32;
     let left: Vec<U32Rec> = (0..n).map(|i| U32Rec::new(2 * i + 1)).collect();
     let right: Vec<U32Rec> = (0..n).map(|i| U32Rec::new(2 * i + 2)).collect();
-    g.throughput(Throughput::Elements(2 * n as u64));
-    g.bench_function("simulate_8_merger_64k_records", |b| {
-        b.iter(|| {
+    bench(
+        "kmerger",
+        "simulate_8_merger_64k_records",
+        Throughput::Elements(2 * u64::from(n)),
+        || {
             let mut m: KMerger<U32Rec> = KMerger::new(8, 32);
             let mut li = 0usize;
             let mut ri = 0usize;
@@ -93,13 +94,11 @@ fn bench_kmerger_cycles(c: &mut Criterion) {
                 }
             }
             out
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_kway_merge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kway_merge");
+fn bench_kway_merge() {
     for fan_in in [4usize, 64, 256] {
         let runs: Vec<Vec<U32Rec>> = (0..fan_in)
             .map(|i| {
@@ -109,23 +108,21 @@ fn bench_kway_merge(c: &mut Criterion) {
             })
             .collect();
         let slices: Vec<&[U32Rec]> = runs.iter().map(Vec::as_slice).collect();
-        g.throughput(Throughput::Elements((fan_in * 4096) as u64));
-        g.bench_with_input(BenchmarkId::new("heap", fan_in), &fan_in, |b, _| {
-            b.iter(|| kway_merge(black_box(&slices)))
+        let elems = Throughput::Elements((fan_in * 4096) as u64);
+        bench("kway_merge", &format!("heap/{fan_in}"), elems, || {
+            kway_merge(black_box(&slices))
         });
-        g.bench_with_input(BenchmarkId::new("loser_tree", fan_in), &fan_in, |b, _| {
-            b.iter(|| loser_tree_merge(black_box(&slices)))
+        bench("kway_merge", &format!("loser_tree/{fan_in}"), elems, || {
+            loser_tree_merge(black_box(&slices))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bitonic_networks,
-    bench_half_merger,
-    bench_presorter,
-    bench_kmerger_cycles,
-    bench_kway_merge
-);
-criterion_main!(benches);
+fn main() {
+    header("components");
+    bench_bitonic_networks();
+    bench_half_merger();
+    bench_presorter();
+    bench_kmerger_cycles();
+    bench_kway_merge();
+}

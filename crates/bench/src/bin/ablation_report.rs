@@ -6,7 +6,7 @@
 //!
 //! Run with `--release`.
 
-use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_amt::{AmtConfig, PassReport, SimEngine, SimEngineConfig};
 use bonsai_bench::table::Table;
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_model::resource::amt_lut;
@@ -49,7 +49,11 @@ fn loader_batch_ablation(n: usize) -> String {
         cfg.loader.batch_bytes = batch;
         let data = uniform_u32(n, 12);
         let (_, report) = SimEngine::new(cfg).sort(data);
-        let rpc = report.passes.iter().map(|p| p.records_per_cycle()).sum::<f64>()
+        let rpc = report
+            .passes
+            .iter()
+            .map(PassReport::records_per_cycle)
+            .sum::<f64>()
             / report.passes.len().max(1) as f64;
         t.row(vec![
             batch.to_string(),

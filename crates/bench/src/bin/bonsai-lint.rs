@@ -1,0 +1,99 @@
+//! `bonsai-lint`: the static configuration pass for CI.
+//!
+//! With no arguments, lints every configuration the experiment suite
+//! and examples construct and exits non-zero if any error-severity
+//! `BONxxx` diagnostic fires. With overrides, lints a single raw
+//! configuration instead — the hook CI uses to prove the linter rejects
+//! a deliberately broken config:
+//!
+//! ```sh
+//! bonsai-lint                      # lint the whole in-repo suite
+//! bonsai-lint --p 6 --l 16        # BON001: p not a power of two
+//! bonsai-lint --batch-bytes 16    # BON010: batch below one DRAM burst
+//! ```
+
+use bonsai_bench::lint;
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct Overrides {
+    p: Option<usize>,
+    l: Option<usize>,
+    batch_bytes: Option<u64>,
+    record_bytes: Option<u64>,
+    buffer_batches: Option<u64>,
+    presort: Option<usize>,
+}
+
+impl Overrides {
+    fn any(&self) -> bool {
+        self.p.is_some()
+            || self.l.is_some()
+            || self.batch_bytes.is_some()
+            || self.record_bytes.is_some()
+            || self.buffer_batches.is_some()
+            || self.presort.is_some()
+    }
+}
+
+const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
+                     [--record-bytes N] [--buffer-batches N] [--presort N]\n\
+                     Without overrides, lints every in-repo experiment configuration.";
+
+fn usage_error() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Overrides {
+    let mut over = Overrides::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bonsai-lint: {what} needs an integer value");
+                usage_error()
+            })
+        };
+        match flag.as_str() {
+            "--p" => over.p = Some(value("--p") as usize),
+            "--l" => over.l = Some(value("--l") as usize),
+            "--batch-bytes" => over.batch_bytes = Some(value("--batch-bytes")),
+            "--record-bytes" => over.record_bytes = Some(value("--record-bytes")),
+            "--buffer-batches" => over.buffer_batches = Some(value("--buffer-batches")),
+            "--presort" => over.presort = Some(value("--presort") as usize),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("bonsai-lint: unknown flag {other}");
+                usage_error()
+            }
+        }
+    }
+    over
+}
+
+fn main() -> ExitCode {
+    let over = parse_args();
+    let findings = if over.any() {
+        vec![lint::lint_raw_engine(
+            over.p.unwrap_or(32),
+            over.l.unwrap_or(64),
+            over.batch_bytes.unwrap_or(4096),
+            over.record_bytes.unwrap_or(4),
+            over.buffer_batches.unwrap_or(2),
+            Some(over.presort.unwrap_or(16)),
+        )]
+    } else {
+        lint::lint_all()
+    };
+    let (report, errors, _warnings) = lint::render(&findings);
+    print!("{report}");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -6,5 +6,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8_000_000);
-    print!("{}", bonsai_bench::experiments::width_scaling::render(bytes));
+    print!(
+        "{}",
+        bonsai_bench::experiments::width_scaling::render(bytes)
+    );
 }

@@ -25,7 +25,11 @@ pub fn fitted_merger_cost() -> (f64, f64, f64) {
             [k * (2.0 * k).log2(), k, 1.0]
         })
         .collect();
-    let ys: Vec<f64> = TABLE_VI_32BIT.merger_lut.iter().map(|&v| v as f64).collect();
+    let ys: Vec<f64> = TABLE_VI_32BIT
+        .merger_lut
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
     // Normal equations A^T A x = A^T y for 3 parameters, solved by
     // Gaussian elimination.
     let mut m = [[0.0f64; 4]; 3];

@@ -8,12 +8,7 @@ use bonsai_sorters::DramSorter;
 use crate::table::{ms_cell, size_label, Table};
 
 /// The 4–32 GB sizes of Figure 11, in bytes.
-pub const SIZES_BYTES: &[u64] = &[
-    4_000_000_000,
-    8_000_000_000,
-    16_000_000_000,
-    32_000_000_000,
-];
+pub const SIZES_BYTES: &[u64] = &[4_000_000_000, 8_000_000_000, 16_000_000_000, 32_000_000_000];
 
 /// Our DRAM sorter's ms/GB at `bytes`.
 pub fn bonsai_ms(bytes: u64) -> f64 {
@@ -25,7 +20,13 @@ pub fn bonsai_ms(bytes: u64) -> f64 {
 
 /// Renders Figure 11 plus the headline speedup claims.
 pub fn render() -> String {
-    let mut t = Table::new(vec!["size", "PARADIS", "HRS", "SampleSort", "Bonsai (ours)"]);
+    let mut t = Table::new(vec![
+        "size",
+        "PARADIS",
+        "HRS",
+        "SampleSort",
+        "Bonsai (ours)",
+    ]);
     for &bytes in SIZES_BYTES {
         t.row(vec![
             size_label(bytes),
@@ -68,11 +69,20 @@ mod tests {
         // CPU/FPGA/GPU respectively (4-32 GB).
         let at = |bytes: u64| bonsai_ms(bytes);
         let cpu32 = PARADIS.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
-        assert!((2.0..2.6).contains(&cpu32), "CPU speedup at 32 GB: {cpu32:.2}");
+        assert!(
+            (2.0..2.6).contains(&cpu32),
+            "CPU speedup at 32 GB: {cpu32:.2}"
+        );
         let fpga32 = SAMPLE_SORT.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
-        assert!((3.3..4.1).contains(&fpga32), "FPGA speedup at 32 GB: {fpga32:.2}");
+        assert!(
+            (3.3..4.1).contains(&fpga32),
+            "FPGA speedup at 32 GB: {fpga32:.2}"
+        );
         let gpu32 = HRS.ms_per_gb(SIZES_BYTES[3]).expect("in range") / at(SIZES_BYTES[3]);
-        assert!((1.15..1.45).contains(&gpu32), "GPU speedup at 32 GB: {gpu32:.2}");
+        assert!(
+            (1.15..1.45).contains(&gpu32),
+            "GPU speedup at 32 GB: {gpu32:.2}"
+        );
     }
 
     #[test]

@@ -78,10 +78,7 @@ pub fn render() -> String {
             format!("{:.3}", b.efficiency()),
         ]);
     }
-    let best_baseline = all[2..]
-        .iter()
-        .map(Bar::efficiency)
-        .fold(0.0, f64::max);
+    let best_baseline = all[2..].iter().map(Bar::efficiency).fold(0.0, f64::max);
     format!(
         "Figure 12: bandwidth-efficiency at 16 GB input size\n\n{}\nBonsai 8 vs best baseline: {:.1}x  (paper: 3.3x)\n",
         t.render(),

@@ -58,7 +58,10 @@ pub fn sweep() -> Vec<(Point, Option<String>)> {
         let note = match out.last() {
             Some((prev, _)) if p.ms_per_gb > prev.ms_per_gb * 1.02 => {
                 Some(if prev.sorter == "DRAM" && p.sorter == "SSD" {
-                    format!("switch to SSD sorter ({:.2}x)", p.ms_per_gb / prev.ms_per_gb)
+                    format!(
+                        "switch to SSD sorter ({:.2}x)",
+                        p.ms_per_gb / prev.ms_per_gb
+                    )
                 } else if prev.sorter == "SSD" {
                     format!(
                         "extra stage in second phase ({:.2}x)",

@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn time_decreases_with_bandwidth() {
         let points = sweep(&default_betas());
-        assert!(points.windows(2).all(|w| w[1].seconds <= w[0].seconds + 1e-9));
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].seconds <= w[0].seconds + 1e-9));
     }
 
     #[test]

@@ -110,8 +110,14 @@ mod tests {
     fn multithreaded_radix_not_slower_than_half_single() {
         // Parallelism may be noisy in CI but must not collapse.
         let points = measure(400_000);
-        let one = points.iter().find(|p| p.name.contains("1 thread")).expect("present");
-        let four = points.iter().find(|p| p.name.contains("4 threads")).expect("present");
+        let one = points
+            .iter()
+            .find(|p| p.name.contains("1 thread"))
+            .expect("present");
+        let four = points
+            .iter()
+            .find(|p| p.name.contains("4 threads"))
+            .expect("present");
         assert!(four.throughput > one.throughput * 0.5);
     }
 }

@@ -6,8 +6,8 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig5;
 pub mod fig8_9;
-pub mod host_baseline;
 pub mod hbm_validation;
+pub mod host_baseline;
 pub mod ssd_validation;
 pub mod table1;
 pub mod table4;

@@ -76,7 +76,9 @@ mod tests {
     fn bonsai_matches_paper_within_ten_percent_everywhere() {
         for &bytes in SIZES_BYTES {
             let ours = bonsai_ms_per_gb(bytes);
-            let paper = BONSAI_PAPER.ms_per_gb(bytes).expect("paper reports all sizes");
+            let paper = BONSAI_PAPER
+                .ms_per_gb(bytes)
+                .expect("paper reports all sizes");
             let err = (ours - paper).abs() / paper;
             assert!(
                 err < 0.05,
@@ -108,7 +110,13 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let s = render();
-        for name in ["PARADIS", "HRS", "SampleSort", "TerabyteSort", "Bonsai (ours)"] {
+        for name in [
+            "PARADIS",
+            "HRS",
+            "SampleSort",
+            "TerabyteSort",
+            "Bonsai (ours)",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

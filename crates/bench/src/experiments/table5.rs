@@ -33,7 +33,10 @@ pub fn render() -> String {
         "100.0%".into(),
         "516.3s".into(),
     ]);
-    format!("Table V: execution time breakdown of sorting 2 TB\n\n{}", t.render())
+    format!(
+        "Table V: execution time breakdown of sorting 2 TB\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

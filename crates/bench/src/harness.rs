@@ -1,0 +1,64 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so instead of criterion the bench
+//! targets (`benches/*.rs`, `harness = false`) use this module: warm up,
+//! run a fixed wall-clock budget of iterations, and report the median
+//! iteration time with derived element/byte throughput. Output is one
+//! aligned line per benchmark, stable enough to eyeball regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// What one iteration processes, for derived-rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Records (or other items) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs `f` repeatedly for roughly `budget` and returns the median
+/// iteration time.
+fn measure<T>(budget: Duration, mut f: impl FnMut() -> T) -> Duration {
+    // Warm-up: one iteration always runs; more until ~10% of budget.
+    let warm_start = Instant::now();
+    loop {
+        black_box(f());
+        if warm_start.elapsed() > budget / 10 {
+            break;
+        }
+    }
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 5 {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Benchmarks `f` under `group/name`, printing one summary line.
+pub fn bench<T>(group: &str, name: &str, throughput: Throughput, f: impl FnMut() -> T) {
+    let median = measure(Duration::from_millis(300), f);
+    let secs = median.as_secs_f64().max(1e-12);
+    let rate = match throughput {
+        Throughput::Elements(n) => format!("{:>10.1} Melem/s", n as f64 / secs / 1e6),
+        Throughput::Bytes(n) => format!("{:>10.2} MiB/s", n as f64 / secs / (1 << 20) as f64),
+    };
+    println!("{group:<18} {name:<36} {median:>12.2?}  {rate}");
+}
+
+/// Prints the header for a bench binary.
+pub fn header(title: &str) {
+    println!("== {title} ==");
+    println!(
+        "{:<18} {:<36} {:>12}  {:>16}",
+        "group", "benchmark", "median", "rate"
+    );
+}

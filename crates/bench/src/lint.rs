@@ -1,0 +1,260 @@
+//! The static pass behind the `bonsai-lint` binary: every configuration
+//! the experiment suite and the examples construct, pushed through the
+//! `bonsai-check` analyzer.
+//!
+//! The experiment modules build their configs through the panicking
+//! constructors, so a malformed config would already abort a run — but
+//! only at the moment that experiment executes. This pass front-loads
+//! the whole suite so CI rejects a bad config before any simulation
+//! spends minutes on it.
+
+use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_check::Diagnostic;
+use bonsai_memsim::MemoryConfig;
+use bonsai_model::check::check_full_config;
+use bonsai_model::{ArrayParams, BonsaiOptimizer, ComponentLibrary, FullConfig, HardwareParams};
+
+use crate::experiments::fig8_9;
+
+/// One linted configuration: where it came from and what the analyzer
+/// said about it.
+#[derive(Debug)]
+pub struct LintFinding {
+    /// Which experiment/example the configuration belongs to.
+    pub target: String,
+    /// The analyzer's findings (empty = clean).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintFinding {
+    /// `true` if any finding is error severity.
+    pub fn has_errors(&self) -> bool {
+        bonsai_check::has_errors(&self.diagnostics)
+    }
+}
+
+/// Every cycle-simulation configuration the experiment suite runs,
+/// labelled by its table/figure.
+pub fn engine_targets() -> Vec<(String, SimEngineConfig)> {
+    let mut targets = Vec::new();
+
+    // Figures 8/9: the model-validation shapes on the DRAM sorter.
+    for amt in fig8_9::figure_amts() {
+        targets.push((
+            format!("fig8_9/{amt}"),
+            SimEngineConfig::dram_sorter(amt, 4),
+        ));
+    }
+
+    // §VI-D HBM validation: λ unrolled copies of narrower trees.
+    for (lambda, p, l) in [(1usize, 32usize, 64usize), (2, 16, 64), (4, 8, 64)] {
+        targets.push((
+            format!("hbm_validation/lambda{lambda}_p{p}_l{l}"),
+            SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4),
+        ));
+    }
+
+    // §VI-E SSD validation: both phases on the throttled memory.
+    for l in [64usize, 256] {
+        targets.push((
+            format!("ssd_validation/p8_l{l}"),
+            SimEngineConfig::with_memory(AmtConfig::new(8, l), 4, MemoryConfig::throttled_to_ssd()),
+        ));
+    }
+
+    // Record-width scaling: wider records at proportionally lower p.
+    for (p, record_bytes) in [(8usize, 4u64), (4, 8), (2, 16)] {
+        targets.push((
+            format!("width_scaling/p{p}_r{record_bytes}"),
+            SimEngineConfig::dram_sorter(AmtConfig::new(p, 64), record_bytes),
+        ));
+    }
+
+    // Ablation benches: p-vs-ℓ shapes and the presorter on/off pair.
+    for (p, l) in [(16usize, 16usize), (8, 64), (4, 256)] {
+        targets.push((
+            format!("ablations/p{p}_l{l}"),
+            SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4),
+        ));
+    }
+    targets.push((
+        "ablations/no_presort".into(),
+        SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4).without_presort(),
+    ));
+
+    targets
+}
+
+/// Every full (replicated) configuration the resource-model experiments
+/// and the optimizer-driven examples rely on, with its presorter chunk.
+pub fn model_targets() -> Vec<(String, FullConfig, Option<usize>)> {
+    let mut targets = vec![
+        // Table IV: the synthesized DRAM sorter.
+        (
+            "table4/dram_sorter".into(),
+            FullConfig {
+                throughput_p: 32,
+                leaves_l: 64,
+                unroll: 1,
+                pipeline: 1,
+            },
+            Some(16),
+        ),
+    ];
+
+    // §VI-D: the unrolled HBM configurations.
+    for (lambda, p, l) in [(1usize, 32usize, 64usize), (2, 16, 64), (4, 8, 64)] {
+        targets.push((
+            format!("hbm_validation/lambda{lambda}"),
+            FullConfig {
+                throughput_p: p,
+                leaves_l: l,
+                unroll: lambda,
+                pipeline: 1,
+            },
+            Some(16),
+        ));
+    }
+
+    // The quickstart example's optimizer pick for a 16 GiB u32 sort:
+    // whatever the optimizer emits must itself be analyzer-clean.
+    let optimizer = BonsaiOptimizer::new(HardwareParams::aws_f1());
+    if let Ok(best) = optimizer.latency_optimal(&ArrayParams::from_bytes(16 << 30, 4)) {
+        let presort = (best.presort > 1).then_some(best.presort);
+        targets.push(("quickstart/latency_optimal".into(), best.config, presort));
+    }
+
+    targets
+}
+
+/// Runs the static pass over every in-repo configuration.
+pub fn lint_all() -> Vec<LintFinding> {
+    let lib = ComponentLibrary::paper();
+    let hw = HardwareParams::aws_f1();
+    let mut findings = Vec::new();
+    for (target, cfg) in engine_targets() {
+        findings.push(LintFinding {
+            target,
+            diagnostics: cfg.validate(),
+        });
+    }
+    for (target, cfg, presort) in model_targets() {
+        findings.push(LintFinding {
+            target,
+            diagnostics: check_full_config(&lib, &hw, &cfg, 32, presort),
+        });
+    }
+    findings
+}
+
+/// Lints a single, possibly malformed, engine configuration assembled
+/// from raw numbers (the CLI override path — no panicking constructors
+/// on the way in).
+pub fn lint_raw_engine(
+    p: usize,
+    l: usize,
+    batch_bytes: u64,
+    record_bytes: u64,
+    buffer_batches: u64,
+    presort: Option<usize>,
+) -> LintFinding {
+    let cfg = SimEngineConfig {
+        amt: AmtConfig { p, l },
+        loader: bonsai_memsim::LoaderConfig {
+            batch_bytes,
+            record_bytes,
+            buffer_batches,
+        },
+        memory: MemoryConfig::ddr4_aws_f1(),
+        presort,
+    };
+    LintFinding {
+        target: format!("cli/p{p}_l{l}_b{batch_bytes}_r{record_bytes}"),
+        diagnostics: cfg.validate(),
+    }
+}
+
+/// Renders findings as a report; returns `(report, error_count,
+/// warning_count)`.
+pub fn render(findings: &[LintFinding]) -> (String, usize, usize) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in findings {
+        if f.diagnostics.is_empty() {
+            let _ = writeln!(out, "ok    {}", f.target);
+            continue;
+        }
+        let status = if f.has_errors() { "FAIL " } else { "warn " };
+        let _ = writeln!(out, "{status} {}", f.target);
+        for d in &f.diagnostics {
+            if d.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+            let _ = writeln!(out, "      {d}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} configuration(s), {errors} error(s), {warnings} warning(s)",
+        findings.len()
+    );
+    (out, errors, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_in_repo_config_is_clean_of_errors() {
+        let findings = lint_all();
+        assert!(!findings.is_empty());
+        for f in &findings {
+            assert!(!f.has_errors(), "{}: {:?}", f.target, f.diagnostics);
+        }
+    }
+
+    #[test]
+    fn raw_override_catches_bad_shapes() {
+        let f = lint_raw_engine(6, 16, 4096, 4, 2, Some(16));
+        assert!(f.has_errors());
+        assert!(f
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::P_NOT_POWER_OF_TWO));
+
+        let f = lint_raw_engine(4, 16, 16, 4, 2, Some(16));
+        assert!(
+            f.diagnostics
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::BATCH_BELOW_BUS_WIDTH),
+            "{:?}",
+            f.diagnostics
+        );
+    }
+
+    #[test]
+    fn report_counts_severities() {
+        let findings = vec![
+            LintFinding {
+                target: "a".into(),
+                diagnostics: vec![],
+            },
+            LintFinding {
+                target: "b".into(),
+                diagnostics: vec![
+                    Diagnostic::error(bonsai_check::codes::BATCH_ZERO, "e"),
+                    Diagnostic::warning(bonsai_check::codes::BUFFER_NOT_DOUBLE, "w"),
+                ],
+            },
+        ];
+        let (report, errors, warnings) = render(&findings);
+        assert_eq!((errors, warnings), (1, 1));
+        assert!(report.contains("FAIL  b"));
+        assert!(report.contains("BON012"));
+    }
+}

@@ -55,7 +55,7 @@ impl Table {
                 .join("  ")
         };
         out.push_str(&fmt_row(
-            self.headers.iter().map(|h| h.to_string()).collect(),
+            self.headers.iter().map(ToString::to_string).collect(),
             &widths,
         ));
         out.push('\n');

@@ -1,42 +1,56 @@
-//! Property-based tests for the bitonic networks.
+//! Randomized property tests for the bitonic networks, driven by a
+//! seeded deterministic generator.
 
 use bonsai_bitonic::{merge_network, sorter_network, HalfMerger, Presorter};
 use bonsai_records::U32Rec;
-use proptest::prelude::*;
+use bonsai_rng::Rng;
 
-proptest! {
-    #[test]
-    fn sorter_network_sorts_random_input(mut vals in proptest::collection::vec(any::<u32>(), 32..=32)) {
-        let net = sorter_network(32);
+fn random_vec(rng: &mut Rng, len: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.next_u32()).collect()
+}
+
+#[test]
+fn sorter_network_sorts_random_input() {
+    let mut rng = Rng::seed_from_u64(0xB170_0001);
+    let net = sorter_network(32);
+    for _ in 0..128 {
+        let mut vals = random_vec(&mut rng, 32);
         let mut expected = vals.clone();
         expected.sort_unstable();
         net.apply(&mut vals);
-        prop_assert_eq!(vals, expected);
+        assert_eq!(vals, expected);
     }
+}
 
-    #[test]
-    fn merge_network_equals_std_merge(mut a in proptest::collection::vec(any::<u32>(), 16..=16),
-                                      mut b in proptest::collection::vec(any::<u32>(), 16..=16)) {
+#[test]
+fn merge_network_equals_std_merge() {
+    let mut rng = Rng::seed_from_u64(0xB170_0002);
+    let net = merge_network(32);
+    for _ in 0..128 {
+        let mut a = random_vec(&mut rng, 16);
+        let mut b = random_vec(&mut rng, 16);
         a.sort_unstable();
         b.sort_unstable();
         let mut expected: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
         expected.sort_unstable();
 
-        let net = merge_network(32);
         let mut lanes = a.clone();
         lanes.extend(b.iter().rev());
         net.apply(&mut lanes);
-        prop_assert_eq!(lanes, expected);
+        assert_eq!(lanes, expected);
     }
+}
 
-    #[test]
-    fn half_merger_equals_std_merge_any_lengths(
-        mut a in proptest::collection::vec(any::<u32>(), 0..8),
-        mut b in proptest::collection::vec(any::<u32>(), 0..8),
-    ) {
+#[test]
+fn half_merger_equals_std_merge_any_lengths() {
+    let mut rng = Rng::seed_from_u64(0xB170_0003);
+    let hm = HalfMerger::new(8);
+    for _ in 0..256 {
+        let (la, lb) = (rng.below_usize(8), rng.below_usize(8));
+        let mut a = random_vec(&mut rng, la);
+        let mut b = random_vec(&mut rng, lb);
         a.sort_unstable();
         b.sort_unstable();
-        let hm = HalfMerger::new(8);
         let ra: Vec<U32Rec> = a.iter().map(|&v| U32Rec::new(v)).collect();
         let rb: Vec<U32Rec> = b.iter().map(|&v| U32Rec::new(v)).collect();
         let out = hm.merge(&ra, &rb);
@@ -44,26 +58,28 @@ proptest! {
         let mut expected: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
         expected.sort_unstable();
         let expected: Vec<U32Rec> = expected.into_iter().map(U32Rec::new).collect();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn presorter_output_is_chunkwise_sorted_permutation(
-        vals in proptest::collection::vec(any::<u32>(), 0..200),
-        log_chunk in 1usize..6,
-    ) {
-        let chunk = 1usize << log_chunk;
+#[test]
+fn presorter_output_is_chunkwise_sorted_permutation() {
+    let mut rng = Rng::seed_from_u64(0xB170_0004);
+    for _ in 0..128 {
+        let len = rng.below_usize(200);
+        let vals = random_vec(&mut rng, len);
+        let chunk = 1usize << rng.range_usize(1, 5);
         let ps = Presorter::new(chunk);
         let mut data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
         ps.presort(&mut data);
 
         for c in data.chunks(chunk) {
-            prop_assert!(c.windows(2).all(|w| w[0] <= w[1]));
+            assert!(c.windows(2).all(|w| w[0] <= w[1]));
         }
         let mut sorted_in = vals.clone();
         sorted_in.sort_unstable();
         let mut sorted_out: Vec<u32> = data.iter().map(|r| r.0).collect();
         sorted_out.sort_unstable();
-        prop_assert_eq!(sorted_in, sorted_out);
+        assert_eq!(sorted_in, sorted_out);
     }
 }

@@ -1,0 +1,142 @@
+//! The analyzer's soundness contract: any configuration the static pass
+//! accepts (no error-severity diagnostics) must run the cycle simulation
+//! end to end, produce sorted output, and trip **zero** sanitizer probes.
+//!
+//! Configurations are drawn from a seeded generator so the sweep is
+//! deterministic but covers shapes no in-repo experiment uses.
+
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_check::has_errors;
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::{LoaderConfig, MemoryConfig};
+use bonsai_records::U32Rec;
+use bonsai_rng::Rng;
+
+/// Draws a config from a space that includes both valid and invalid
+/// shapes; the analyzer is the referee.
+fn draw_config(rng: &mut Rng) -> SimEngineConfig {
+    let p = [1usize, 2, 3, 4, 6, 8, 16][rng.below_usize(7)];
+    let l = [2usize, 4, 8, 12, 16, 64, 100][rng.below_usize(7)];
+    let batch_bytes = [64u64, 100, 512, 4096][rng.below_usize(4)];
+    let buffer_batches = [1u64, 2, 3][rng.below_usize(3)];
+    let presort = [None, Some(2usize), Some(8), Some(10), Some(16)][rng.below_usize(5)];
+    SimEngineConfig {
+        amt: AmtConfig { p, l },
+        loader: LoaderConfig {
+            batch_bytes,
+            record_bytes: 4,
+            buffer_batches,
+        },
+        memory: MemoryConfig::ddr4_aws_f1(),
+        presort,
+    }
+}
+
+#[test]
+fn analyzer_accepted_configs_run_clean_under_the_sanitizer() {
+    let mut rng = Rng::seed_from_u64(0xB045A1);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for trial in 0..60 {
+        let cfg = draw_config(&mut rng);
+        let diags = cfg.validate();
+        if has_errors(&diags) {
+            rejected += 1;
+            continue;
+        }
+        accepted += 1;
+        let n = 500 + rng.below_usize(2_500);
+        let data = uniform_u32(n, trial);
+        let mut engine = SimEngine::new(cfg);
+        let (out, _) = engine.sort(data.clone());
+        assert!(
+            out.windows(2).all(|w| w[0] <= w[1]),
+            "trial {trial}: accepted config {cfg:?} produced unsorted output"
+        );
+        assert_eq!(out.len(), data.len(), "trial {trial}: record count changed");
+        assert_eq!(
+            engine.sanitizer_diagnostics(),
+            &[] as &[bonsai_check::Diagnostic],
+            "trial {trial}: sanitizer probe fired on analyzer-accepted config {cfg:?}"
+        );
+    }
+    // The space is built so both referee outcomes actually occur.
+    assert!(
+        accepted >= 10,
+        "only {accepted} configs accepted; space too hostile"
+    );
+    assert!(
+        rejected >= 10,
+        "only {rejected} configs rejected; space too permissive"
+    );
+}
+
+#[test]
+fn every_paper_preset_is_analyzer_clean_and_sanitizer_clean() {
+    let presets = [
+        SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4),
+        SimEngineConfig::dram_sorter(AmtConfig::new(8, 64), 4),
+        SimEngineConfig::dram_sorter(AmtConfig::new(2, 8), 4).without_presort(),
+    ];
+    for cfg in presets {
+        assert!(!has_errors(&cfg.validate()), "preset {cfg:?} rejected");
+        let data = uniform_u32(3_000, 77);
+        let mut engine = SimEngine::new(cfg);
+        let (out, _) = engine.sort(data);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(engine.sanitizer_diagnostics().is_empty());
+    }
+}
+
+#[test]
+fn analyzer_rejects_each_hostile_axis() {
+    // One deliberately broken axis at a time, holding the rest valid.
+    let valid = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    assert!(!has_errors(&valid.validate()));
+
+    let mut bad_p = valid;
+    bad_p.amt = AmtConfig { p: 6, l: 16 };
+    assert!(has_errors(&bad_p.validate()));
+
+    let mut bad_l = valid;
+    bad_l.amt = AmtConfig { p: 4, l: 12 };
+    assert!(has_errors(&bad_l.validate()));
+
+    let mut bad_batch = valid;
+    bad_batch.loader.batch_bytes = 10; // not a record multiple
+    assert!(has_errors(&bad_batch.validate()));
+
+    let mut bad_presort = valid;
+    bad_presort.presort = Some(10);
+    assert!(has_errors(&bad_presort.validate()));
+
+    // Regression: a zero record width must come back as BON004, not
+    // crash the analyzer in the presort cross-check's division.
+    let mut zero_record = valid;
+    zero_record.loader.record_bytes = 0;
+    let diags = zero_record.validate();
+    assert!(diags.iter().any(|d| d.code == "BON004"), "{diags:?}");
+}
+
+/// Data already sorted, reversed, and duplicate-heavy must also run
+/// clean — adversarial *data* is not the analyzer's concern, so the
+/// sanitizer is the only line of defense.
+#[test]
+fn adversarial_data_never_trips_probes_on_valid_configs() {
+    use bonsai_gensort::dist::Distribution;
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    for d in [
+        Distribution::Sorted,
+        Distribution::Reverse,
+        Distribution::FewDistinct(2),
+    ] {
+        let data: Vec<U32Rec> = d.generate_u32(2_000, 9);
+        let mut engine = SimEngine::new(cfg);
+        let (out, _) = engine.sort(data);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            engine.sanitizer_diagnostics().is_empty(),
+            "probe fired on {d:?}"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! One test per registered `BONxxx` code: every code must be emitted by
+//! the check that owns it (or, for sanitizer codes whose trigger
+//! requires a broken datapath, provably wired into the probe API), with
+//! the severity the registry declares.
+
+use bonsai_check::{codes, has_errors, Diagnostic, Severity};
+
+/// Asserts `diags` contains `code` and that its severity matches the
+/// registry entry.
+fn assert_emits(diags: &[Diagnostic], code: &str) {
+    let d = diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code} in {diags:?}"));
+    let info = codes::lookup(code).expect("code must be registered");
+    assert_eq!(
+        d.severity, info.severity,
+        "{code} severity drifted from registry"
+    );
+}
+
+#[test]
+fn bon001_p_not_power_of_two() {
+    assert_emits(
+        &bonsai_check::check_amt_shape(6, 16),
+        codes::P_NOT_POWER_OF_TWO,
+    );
+    assert_emits(
+        &bonsai_check::check_amt_shape(0, 16),
+        codes::P_NOT_POWER_OF_TWO,
+    );
+    assert!(bonsai_amt::AmtConfig::try_new(6, 16).is_err());
+}
+
+#[test]
+fn bon002_l_not_power_of_two() {
+    assert_emits(
+        &bonsai_check::check_amt_shape(4, 12),
+        codes::L_NOT_POWER_OF_TWO,
+    );
+    assert_emits(
+        &bonsai_check::check_amt_shape(4, 1),
+        codes::L_NOT_POWER_OF_TWO,
+    );
+    assert!(bonsai_amt::AmtConfig::try_new(4, 1).is_err());
+}
+
+#[test]
+fn bon003_p_exceeds_leaves_is_warning() {
+    let diags = bonsai_check::check_amt_shape(32, 16);
+    assert_emits(&diags, codes::P_EXCEEDS_LEAVES);
+    assert!(!has_errors(&diags), "BON003 must not reject the config");
+    assert!(bonsai_amt::AmtConfig::try_new(32, 16).is_ok());
+}
+
+#[test]
+fn bon004_record_width_zero() {
+    assert_emits(
+        &bonsai_check::check_loader_shape(4096, 0, 2),
+        codes::RECORD_WIDTH_ZERO,
+    );
+    assert!(bonsai_memsim::LoaderConfig::try_new(4096, 0, 2).is_err());
+}
+
+#[test]
+fn bon005_batch_not_record_multiple() {
+    assert_emits(
+        &bonsai_check::check_loader_shape(4096, 3, 2),
+        codes::BATCH_NOT_RECORD_MULTIPLE,
+    );
+    assert!(bonsai_memsim::LoaderConfig::try_new(4096, 3, 2).is_err());
+}
+
+#[test]
+fn bon010_batch_below_bus_width() {
+    assert_emits(
+        &bonsai_check::check_loader_against_memory(16, 32, 8, 1 << 30),
+        codes::BATCH_BELOW_BUS_WIDTH,
+    );
+}
+
+#[test]
+fn bon011_buffer_not_double() {
+    let diags = bonsai_check::check_loader_shape(4096, 4, 1);
+    assert_emits(&diags, codes::BUFFER_NOT_DOUBLE);
+    // Warning: the config still constructs.
+    assert!(bonsai_memsim::LoaderConfig::try_new(4096, 4, 1).is_ok());
+}
+
+#[test]
+fn bon012_batch_zero() {
+    assert_emits(
+        &bonsai_check::check_loader_shape(0, 4, 2),
+        codes::BATCH_ZERO,
+    );
+    assert!(bonsai_memsim::LoaderConfig::try_new(0, 4, 2).is_err());
+}
+
+#[test]
+fn bon013_zero_banks() {
+    assert_emits(
+        &bonsai_check::check_memory_shape(0, 32, 32),
+        codes::MEMORY_ZERO_BANKS,
+    );
+    assert!(bonsai_memsim::MemoryConfig::try_new(0, 32, 32, 1 << 30, 8).is_err());
+}
+
+#[test]
+fn bon014_zero_bandwidth() {
+    assert_emits(
+        &bonsai_check::check_memory_shape(4, 0, 32),
+        codes::MEMORY_ZERO_BANDWIDTH,
+    );
+    assert_emits(
+        &bonsai_check::check_memory_shape(4, 32, 0),
+        codes::MEMORY_ZERO_BANDWIDTH,
+    );
+    assert!(bonsai_memsim::MemoryConfig::try_new(4, 32, 0, 1 << 30, 8).is_err());
+}
+
+#[test]
+fn bon015_capacity_below_batch() {
+    assert_emits(
+        &bonsai_check::check_loader_against_memory(4096, 32, 8, 1000),
+        codes::CAPACITY_BELOW_BATCH,
+    );
+}
+
+#[test]
+fn bon016_burst_efficiency_low() {
+    // 64-byte batch on a 32 B/cycle port: 2 transfer cycles vs 8 setup
+    // cycles -> efficiency 20%.
+    let diags = bonsai_check::check_loader_against_memory(64, 32, 8, 1 << 30);
+    assert_emits(&diags, codes::BURST_EFFICIENCY_LOW);
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn bon020_lut_budget_exceeded() {
+    assert_emits(
+        &bonsai_check::check_lut_budget(2000.0, 1000.0),
+        codes::LUT_BUDGET_EXCEEDED,
+    );
+    // Through the resource model: 16 copies of the paper's biggest tree.
+    let diags = bonsai_model::check::check_full_config(
+        &bonsai_model::ComponentLibrary::paper(),
+        &bonsai_model::HardwareParams::aws_f1(),
+        &bonsai_model::FullConfig {
+            throughput_p: 32,
+            leaves_l: 256,
+            unroll: 16,
+            pipeline: 1,
+        },
+        32,
+        None,
+    );
+    assert_emits(&diags, codes::LUT_BUDGET_EXCEEDED);
+}
+
+#[test]
+fn bon021_bram_budget_exceeded() {
+    assert_emits(
+        &bonsai_check::check_bram_budget(1 << 22, 1 << 21),
+        codes::BRAM_BUDGET_EXCEEDED,
+    );
+    // Two pipelined copies of an l=256 tree need 4 MiB of leaf BRAM.
+    let diags = bonsai_model::check::check_full_config(
+        &bonsai_model::ComponentLibrary::paper(),
+        &bonsai_model::HardwareParams::aws_f1(),
+        &bonsai_model::FullConfig {
+            throughput_p: 1,
+            leaves_l: 256,
+            unroll: 1,
+            pipeline: 2,
+        },
+        32,
+        None,
+    );
+    assert_emits(&diags, codes::BRAM_BUDGET_EXCEEDED);
+}
+
+#[test]
+fn bon022_p_exceeds_max() {
+    assert_emits(
+        &bonsai_check::check_tool_limits(64, 64, 32, 256),
+        codes::P_EXCEEDS_MAX,
+    );
+}
+
+#[test]
+fn bon023_l_exceeds_max() {
+    assert_emits(
+        &bonsai_check::check_tool_limits(16, 512, 32, 256),
+        codes::L_EXCEEDS_MAX,
+    );
+}
+
+#[test]
+fn bon024_copies_zero() {
+    assert_emits(&bonsai_check::check_copies(0, 1), codes::COPIES_ZERO);
+    assert_emits(&bonsai_check::check_copies(1, 0), codes::COPIES_ZERO);
+}
+
+#[test]
+fn bon025_presort_not_power_of_two() {
+    assert_emits(
+        &bonsai_check::check_presort(10, 1024),
+        codes::PRESORT_NOT_POWER_OF_TWO,
+    );
+    assert_emits(
+        &bonsai_check::check_presort(0, 1024),
+        codes::PRESORT_NOT_POWER_OF_TWO,
+    );
+}
+
+#[test]
+fn bon026_presort_exceeds_batch() {
+    let diags = bonsai_check::check_presort(2048, 1024);
+    assert_emits(&diags, codes::PRESORT_EXCEEDS_BATCH);
+    assert!(!has_errors(&diags));
+}
+
+// --- Sanitizer codes (BON1xx) ---------------------------------------
+//
+// BON102 has a reachable trigger from outside (violating the sorted-run
+// input contract). The remaining probes guard invariants that hold by
+// construction in this codebase, so their tests pin down the registry
+// entry and the diagnostic shape; the end-to-end test in
+// `accept_then_run.rs` asserts they stay silent on real runs.
+
+#[test]
+fn bon101_fifo_overflow_registered_as_error() {
+    let info = codes::lookup(codes::SAN_FIFO_OVERFLOW).expect("registered");
+    assert_eq!(info.severity, Severity::Error);
+    let d = Diagnostic::error(codes::SAN_FIFO_OVERFLOW, "overflow").with("node", 3);
+    assert!(d.to_string().contains("BON101"));
+}
+
+#[test]
+fn bon102_out_of_order_fires_on_contract_violation() {
+    use bonsai_merge_hw::{KMerger, Side};
+    use bonsai_records::{Record, U32Rec};
+    let mut m: KMerger<U32Rec> = KMerger::new(2, 16);
+    for v in [9u32, 1] {
+        m.push_input(Side::Left, U32Rec::new(v)).unwrap();
+    }
+    m.push_input(Side::Left, U32Rec::TERMINAL).unwrap();
+    m.push_input(Side::Right, U32Rec::new(5)).unwrap();
+    m.push_input(Side::Right, U32Rec::TERMINAL).unwrap();
+    for _ in 0..16 {
+        m.tick();
+        while m.pop_output().is_some() {}
+    }
+    let diags = m.sanitize_check();
+    assert_emits(&diags, codes::SAN_OUT_OF_ORDER);
+}
+
+#[test]
+fn bon103_record_conservation_clean_on_correct_merge() {
+    use bonsai_merge_hw::{KMerger, Side};
+    use bonsai_records::{Record, U32Rec};
+    let info = codes::lookup(codes::SAN_RECORD_CONSERVATION).expect("registered");
+    assert_eq!(info.severity, Severity::Error);
+    // A correct merge must NOT emit BON103 even at full throughput.
+    let mut m: KMerger<U32Rec> = KMerger::new(4, 32);
+    for side in [Side::Left, Side::Right] {
+        for v in 1..=20u32 {
+            m.push_input(side, U32Rec::new(v)).unwrap();
+        }
+        m.push_input(side, U32Rec::TERMINAL).unwrap();
+    }
+    for _ in 0..32 {
+        m.tick();
+        while m.pop_output().is_some() {}
+    }
+    assert!(m.is_drained());
+    assert_eq!(m.sanitize_check(), Vec::new());
+}
+
+#[test]
+fn bon104_pass_conservation_registered_as_error() {
+    let info = codes::lookup(codes::SAN_PASS_CONSERVATION).expect("registered");
+    assert_eq!(info.severity, Severity::Error);
+}
+
+#[test]
+fn bon105_byte_accounting_clean_on_real_loader() {
+    use bonsai_memsim::{DataLoader, LoaderConfig, Memory, MemoryConfig, WriteDrain};
+    let info = codes::lookup(codes::SAN_BYTE_ACCOUNTING).expect("registered");
+    assert_eq!(info.severity, Severity::Error);
+    // Probe holds mid-flight, not just at rest.
+    let cfg = LoaderConfig::paper_default(4);
+    let mut mem = Memory::new(MemoryConfig::ddr4_aws_f1());
+    let mut loader = DataLoader::new(cfg, vec![10_000, 5_000]);
+    let mut drain = WriteDrain::new(cfg);
+    for c in 0..500 {
+        loader.tick(c, &mut mem);
+        let a = loader.available(0);
+        loader.consume(0, a);
+        let n = a.min(drain.free_space());
+        drain.push_records(n);
+        drain.tick(c, &mut mem);
+        assert_eq!(loader.sanitize_check(), Vec::new(), "cycle {c}");
+        assert_eq!(drain.sanitize_check(), Vec::new(), "cycle {c}");
+    }
+}
+
+#[test]
+fn bon106_flush_protocol_registered_as_error() {
+    let info = codes::lookup(codes::SAN_FLUSH_PROTOCOL).expect("registered");
+    assert_eq!(info.severity, Severity::Error);
+}
+
+// --- Documentation sync ----------------------------------------------
+
+/// `docs/diagnostics.md` is the user-facing catalogue; every registered
+/// code must have an entry there, and the doc must not reference codes
+/// that no longer exist.
+#[test]
+fn diagnostics_doc_covers_every_registered_code() {
+    let doc = include_str!("../../../docs/diagnostics.md");
+    for info in codes::ALL {
+        assert!(
+            doc.contains(&format!("### {}", info.code)),
+            "docs/diagnostics.md is missing a section for {} ({})",
+            info.code,
+            info.summary
+        );
+    }
+    for token in doc.split(|c: char| !c.is_alphanumeric()) {
+        if let Some(digits) = token.strip_prefix("BON") {
+            if digits.len() == 3 && digits.chars().all(|c| c.is_ascii_digit()) {
+                assert!(
+                    codes::lookup(token).is_some(),
+                    "docs/diagnostics.md references unregistered code {token}"
+                );
+            }
+        }
+    }
+}

@@ -6,8 +6,7 @@
 //! simulator's correctness on all of them.
 
 use bonsai_records::{Record, U32Rec, U64Rec};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use bonsai_rng::Rng;
 
 /// A key distribution for synthetic workloads.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,32 +33,35 @@ impl Distribution {
     /// Generates `n` 32-bit records from this distribution, sanitized so
     /// none equals the reserved terminal record.
     pub fn generate_u32(&self, n: usize, seed: u64) -> Vec<U32Rec> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let raw: Vec<u32> = match *self {
-            Distribution::Uniform => (0..n).map(|_| rng.random()).collect(),
+            Distribution::Uniform => (0..n).map(|_| rng.next_u32()).collect(),
             Distribution::Sorted => {
-                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                let mut v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
                 v.sort_unstable();
                 v
             }
             Distribution::Reverse => {
-                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                let mut v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
                 v.sort_unstable_by(|a, b| b.cmp(a));
                 v
             }
             Distribution::FewDistinct(distinct) => {
                 let distinct = distinct.max(1);
-                (0..n).map(|_| rng.random_range(0..distinct)).collect()
+                (0..n).map(|_| rng.below_u32(distinct)).collect()
             }
             Distribution::AlmostSorted(fraction) => {
-                assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-                let mut v: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "fraction must be in [0, 1]"
+                );
+                let mut v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
                 v.sort_unstable();
                 let swaps = ((n as f64) * fraction / 2.0) as usize;
                 for _ in 0..swaps {
                     if n >= 2 {
-                        let i = rng.random_range(0..n);
-                        let j = rng.random_range(0..n);
+                        let i = rng.below_usize(n);
+                        let j = rng.below_usize(n);
                         v.swap(i, j);
                     }
                 }
@@ -73,10 +75,10 @@ impl Distribution {
                 let hot_max = (u32::MAX as f64 * hot_fraction) as u32;
                 (0..n)
                     .map(|_| {
-                        if rng.random_range(0..10) < 9 {
-                            rng.random_range(0..hot_max.max(1))
+                        if rng.below_u32(10) < 9 {
+                            rng.below_u32(hot_max.max(1))
                         } else {
-                            rng.random()
+                            rng.next_u32()
                         }
                     })
                     .collect()

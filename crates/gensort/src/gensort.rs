@@ -1,9 +1,7 @@
 //! Gensort-style 100-byte records (Jim Gray's sort benchmark).
 
 use bonsai_records::{Packed16, Record};
-use bytes::{BufMut, Bytes, BytesMut};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use bonsai_rng::Rng;
 
 /// Width of a gensort record: 10-byte key + 90-byte value.
 pub const GENSORT_RECORD_BYTES: usize = 100;
@@ -34,7 +32,11 @@ pub struct GensortRecord {
 
 impl core::fmt::Debug for GensortRecord {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "GensortRecord {{ key: {:02x?}, value: [..90] }}", self.key)
+        write!(
+            f,
+            "GensortRecord {{ key: {:02x?}, value: [..90] }}",
+            self.key
+        )
     }
 }
 
@@ -50,7 +52,11 @@ impl GensortRecord {
     ///
     /// Panics if `bytes.len() != 100`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert_eq!(bytes.len(), GENSORT_RECORD_BYTES, "gensort records are 100 bytes");
+        assert_eq!(
+            bytes.len(),
+            GENSORT_RECORD_BYTES,
+            "gensort records are 100 bytes"
+        );
         let mut key = [0u8; KEY_BYTES];
         let mut value = [0u8; VALUE_BYTES];
         key.copy_from_slice(&bytes[..KEY_BYTES]);
@@ -59,11 +65,11 @@ impl GensortRecord {
     }
 
     /// Serializes the record into its 100-byte wire format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(GENSORT_RECORD_BYTES);
-        buf.put_slice(&self.key);
-        buf.put_slice(&self.value);
-        buf.freeze()
+    pub fn to_bytes(&self) -> [u8; GENSORT_RECORD_BYTES] {
+        let mut buf = [0u8; GENSORT_RECORD_BYTES];
+        buf[..KEY_BYTES].copy_from_slice(&self.key);
+        buf[KEY_BYTES..].copy_from_slice(&self.value);
+        buf
     }
 
     /// The 10-byte binary key.
@@ -114,23 +120,23 @@ impl GensortRecord {
 /// keys, pseudo-random printable values, reproducible from a seed.
 #[derive(Debug)]
 pub struct GensortGenerator {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl GensortGenerator {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
     /// Generates the next record.
     pub fn next_record(&mut self) -> GensortRecord {
         let mut key = [0u8; KEY_BYTES];
-        self.rng.fill(&mut key[..]);
+        self.rng.fill_bytes(&mut key);
         let mut value = [0u8; VALUE_BYTES];
-        self.rng.fill(&mut value[..]);
+        self.rng.fill_bytes(&mut value);
         // Printable-ish values, as gensort's ASCII mode produces.
         for b in &mut value {
             *b = b' ' + (*b % 95);

@@ -1,6 +1,6 @@
 //! Memory, I/O-bus and loader configuration with the paper's presets.
 
-use serde::{Deserialize, Serialize};
+use bonsai_check::{has_errors, Diagnostic};
 
 /// Default kernel clock frequency: 250 MHz (§VI-A: "our designs are
 /// running at 250 MHz or higher frequency").
@@ -21,7 +21,7 @@ pub const DEFAULT_FREQ_HZ: f64 = 250e6;
 /// assert_eq!(hbm.banks, 32);
 /// assert!(hbm.peak_read_bandwidth() > 200e9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// Number of independent banks, each with its own read and write port.
     pub banks: usize,
@@ -37,6 +37,41 @@ pub struct MemoryConfig {
 }
 
 impl MemoryConfig {
+    /// Validated constructor: returns the analyzer's findings instead of
+    /// panicking. Warnings do not fail construction; see
+    /// [`MemoryConfig::validate`] to inspect them.
+    pub fn try_new(
+        banks: usize,
+        read_bytes_per_cycle: u64,
+        write_bytes_per_cycle: u64,
+        capacity_bytes: u64,
+        burst_setup_cycles: u64,
+    ) -> Result<Self, Vec<Diagnostic>> {
+        let cfg = Self {
+            banks,
+            read_bytes_per_cycle,
+            write_bytes_per_cycle,
+            capacity_bytes,
+            burst_setup_cycles,
+        };
+        let diagnostics = cfg.validate();
+        if has_errors(&diagnostics) {
+            Err(diagnostics)
+        } else {
+            Ok(cfg)
+        }
+    }
+
+    /// Runs the static analyzer over this memory configuration
+    /// (`BON013`, `BON014`).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        bonsai_check::check_memory_shape(
+            self.banks,
+            self.read_bytes_per_cycle as usize,
+            self.write_bytes_per_cycle as usize,
+        )
+    }
+
     /// The AWS EC2 F1.2xlarge DDR4 of §VI-A: 64 GB over 4 banks, each
     /// bank reading and writing 8 GB/s concurrently (32 B/cycle at
     /// 250 MHz), 32 GB/s aggregate.
@@ -128,7 +163,7 @@ impl MemoryConfig {
 }
 
 /// Configuration of the I/O bus (PCIe to the host or SSD, §III-A3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoBusConfig {
     /// Bus bytes per cycle (each direction).
     pub bytes_per_cycle: u64,
@@ -160,7 +195,7 @@ impl IoBusConfig {
 }
 
 /// Configuration of the data loader (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoaderConfig {
     /// Batch size `b` in bytes (1–4 KB in the paper).
     pub batch_bytes: u64,
@@ -172,6 +207,48 @@ pub struct LoaderConfig {
 }
 
 impl LoaderConfig {
+    /// Validated constructor: returns the analyzer's findings instead of
+    /// panicking. Warnings do not fail construction; see
+    /// [`LoaderConfig::validate`] to inspect them.
+    pub fn try_new(
+        batch_bytes: u64,
+        record_bytes: u64,
+        buffer_batches: u64,
+    ) -> Result<Self, Vec<Diagnostic>> {
+        let cfg = Self {
+            batch_bytes,
+            record_bytes,
+            buffer_batches,
+        };
+        let diagnostics = cfg.validate();
+        if has_errors(&diagnostics) {
+            Err(diagnostics)
+        } else {
+            Ok(cfg)
+        }
+    }
+
+    /// Runs the static analyzer over this loader configuration
+    /// (`BON004`, `BON005`, `BON011`, `BON012`).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        bonsai_check::check_loader_shape(
+            self.batch_bytes as usize,
+            self.record_bytes as usize,
+            self.buffer_batches as usize,
+        )
+    }
+
+    /// Cross-checks the loader against the memory it streams from
+    /// (`BON010`, `BON015`, `BON016`).
+    pub fn validate_against(&self, memory: &MemoryConfig) -> Vec<Diagnostic> {
+        bonsai_check::check_loader_against_memory(
+            self.batch_bytes as usize,
+            memory.read_bytes_per_cycle as usize,
+            memory.burst_setup_cycles,
+            memory.capacity_bytes,
+        )
+    }
+
     /// The paper's default: 4 KB batches, double-buffered.
     pub fn paper_default(record_bytes: u64) -> Self {
         assert!(record_bytes > 0, "record width must be positive");

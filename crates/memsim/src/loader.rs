@@ -5,6 +5,9 @@ use std::collections::VecDeque;
 use crate::config::LoaderConfig;
 use crate::memory::Memory;
 
+#[cfg(feature = "sanitize")]
+use bonsai_check::{codes, Diagnostic};
+
 /// Introspection snapshot of one leaf buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeafStatus {
@@ -60,20 +63,38 @@ pub struct DataLoader {
     cfg: LoaderConfig,
     leaves: Vec<LeafState>,
     rr: usize,
+    #[cfg(feature = "sanitize")]
+    initial_records: u64,
+    #[cfg(feature = "sanitize")]
+    consumed_records: u64,
 }
 
 impl DataLoader {
     /// Creates a loader for one merge pass: `per_leaf_records[i]` records
     /// stream into leaf `i`.
     pub fn new(cfg: LoaderConfig, per_leaf_records: Vec<u64>) -> Self {
-        let leaves = per_leaf_records
+        // Saturating: tests model "infinite" streams as u64::MAX-ish
+        // per-leaf counts, whose exact total can exceed u64.
+        #[cfg(feature = "sanitize")]
+        let initial_records = per_leaf_records
+            .iter()
+            .fold(0u64, |acc, &n| acc.saturating_add(n));
+        let leaves: Vec<LeafState> = per_leaf_records
             .into_iter()
             .map(|remaining| LeafState {
                 remaining,
                 ..LeafState::default()
             })
             .collect();
-        Self { cfg, leaves, rr: 0 }
+        Self {
+            cfg,
+            leaves,
+            rr: 0,
+            #[cfg(feature = "sanitize")]
+            initial_records,
+            #[cfg(feature = "sanitize")]
+            consumed_records: 0,
+        }
     }
 
     /// The loader configuration.
@@ -124,6 +145,45 @@ impl DataLoader {
         let l = &mut self.leaves[i];
         assert!(l.buffered >= n, "consuming more records than buffered");
         l.buffered -= n;
+        #[cfg(feature = "sanitize")]
+        {
+            self.consumed_records += n;
+        }
+    }
+
+    /// Sanitizer probe (`BON105`): every record handed to `new` must be
+    /// accounted for as consumed, buffered, in flight, or still in
+    /// memory — scaled by the record width this is the loader's byte
+    /// conservation law.
+    ///
+    /// Only available with the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_check(&self) -> Vec<Diagnostic> {
+        let in_pipeline = self.leaves.iter().fold(0u64, |acc, l| {
+            acc.saturating_add(l.remaining)
+                .saturating_add(l.in_flight_records)
+                .saturating_add(l.buffered)
+        });
+        let accounted = self.consumed_records.saturating_add(in_pipeline);
+        // A saturated total means the caller modeled an unbounded stream;
+        // exact conservation is unverifiable there, so the probe stands
+        // down rather than report a false imbalance.
+        if accounted == self.initial_records || self.initial_records == u64::MAX {
+            Vec::new()
+        } else {
+            vec![Diagnostic::error(
+                codes::SAN_BYTE_ACCOUNTING,
+                "loader record accounting does not balance",
+            )
+            .with(
+                "initial_bytes",
+                self.initial_records.saturating_mul(self.cfg.record_bytes),
+            )
+            .with(
+                "accounted_bytes",
+                accounted.saturating_mul(self.cfg.record_bytes),
+            )]
+        }
     }
 
     /// Advances one cycle: completes arrivals, then issues new batched
@@ -155,8 +215,7 @@ impl DataLoader {
                 let i = (self.rr + off) % n_leaves;
                 let l = &self.leaves[i];
                 let committed = l.buffered + l.in_flight_records;
-                if l.remaining > 0 && capacity.saturating_sub(committed) >= batch.min(l.remaining)
-                {
+                if l.remaining > 0 && capacity.saturating_sub(committed) >= batch.min(l.remaining) {
                     chosen = Some(i);
                     break;
                 }
@@ -186,6 +245,8 @@ pub struct WriteDrain {
     in_flight: VecDeque<(u64, u64)>,
     completed: u64,
     draining: bool,
+    #[cfg(feature = "sanitize")]
+    pushed_records: u64,
 }
 
 impl WriteDrain {
@@ -197,6 +258,8 @@ impl WriteDrain {
             in_flight: VecDeque::new(),
             completed: 0,
             draining: false,
+            #[cfg(feature = "sanitize")]
+            pushed_records: 0,
         }
     }
 
@@ -213,6 +276,30 @@ impl WriteDrain {
     pub fn push_records(&mut self, n: u64) {
         assert!(n <= self.free_space(), "write buffer overflow");
         self.pending += n;
+        #[cfg(feature = "sanitize")]
+        {
+            self.pushed_records += n;
+        }
+    }
+
+    /// Sanitizer probe (`BON105`): every record pushed into the drain
+    /// must be pending, in flight, or written back.
+    ///
+    /// Only available with the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_check(&self) -> Vec<Diagnostic> {
+        let in_flight: u64 = self.in_flight.iter().map(|&(_, n)| n).sum();
+        let accounted = self.completed + self.pending + in_flight;
+        if accounted == self.pushed_records {
+            Vec::new()
+        } else {
+            vec![Diagnostic::error(
+                codes::SAN_BYTE_ACCOUNTING,
+                "write-drain record accounting does not balance",
+            )
+            .with("pushed_bytes", self.pushed_records * self.cfg.record_bytes)
+            .with("accounted_bytes", accounted * self.cfg.record_bytes)]
+        }
     }
 
     /// Signals that no more records will arrive, so partial batches

@@ -1,11 +1,9 @@
 //! Cycle-level ports, banked memory and the I/O bus.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{IoBusConfig, MemoryConfig};
 
 /// Transfer statistics for one port.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PortStats {
     /// Total payload bytes transferred.
     pub bytes: u64,

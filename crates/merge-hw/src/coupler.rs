@@ -65,8 +65,10 @@ impl<R: Record> Coupler<R> {
         }
         self.pending.push(rec);
         if self.pending.len() == self.k {
-            self.ready
-                .push_back(std::mem::replace(&mut self.pending, Vec::with_capacity(self.k)));
+            self.ready.push_back(std::mem::replace(
+                &mut self.pending,
+                Vec::with_capacity(self.k),
+            ));
         }
     }
 

@@ -4,6 +4,66 @@ use bonsai_records::Record;
 
 use crate::fifo::{Fifo, FifoFullError};
 
+#[cfg(feature = "sanitize")]
+use bonsai_check::{codes, Diagnostic};
+
+/// Cap on stored findings per merger so a systematically broken run
+/// cannot balloon memory; the first violations are the informative ones.
+#[cfg(feature = "sanitize")]
+const SAN_MAX_DIAGNOSTICS: usize = 16;
+
+/// Invariant probes woven into the merger datapath when the `sanitize`
+/// feature is on. Pure bookkeeping: it never changes cycle semantics.
+#[cfg(feature = "sanitize")]
+#[derive(Debug, Clone)]
+struct MergerSanitizer<R> {
+    /// Payload records accepted at the input ports.
+    payload_in: u64,
+    /// Last payload record emitted in the current output run.
+    last_out: Option<R>,
+    /// Violations observed so far (capped).
+    diagnostics: Vec<Diagnostic>,
+}
+
+#[cfg(feature = "sanitize")]
+impl<R: Record> MergerSanitizer<R> {
+    fn new() -> Self {
+        Self {
+            payload_in: 0,
+            last_out: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn report(&mut self, d: Diagnostic) {
+        if self.diagnostics.len() < SAN_MAX_DIAGNOSTICS {
+            self.diagnostics.push(d);
+        }
+    }
+
+    fn on_input(&mut self, rec: &R) {
+        if !rec.is_terminal() {
+            self.payload_in += 1;
+        }
+    }
+
+    fn on_output(&mut self, rec: &R) {
+        if rec.is_terminal() {
+            self.last_out = None;
+        } else {
+            if let Some(prev) = self.last_out {
+                if *rec < prev {
+                    self.report(Diagnostic::error(
+                        codes::SAN_OUT_OF_ORDER,
+                        "merger emitted a descending record within one output run",
+                    ));
+                }
+            }
+            self.last_out = Some(*rec);
+        }
+    }
+}
+
 /// Runtime statistics accumulated by a [`KMerger`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MergerStats {
@@ -57,6 +117,8 @@ pub struct KMerger<R> {
     left_run_done: bool,
     right_run_done: bool,
     stats: MergerStats,
+    #[cfg(feature = "sanitize")]
+    san: MergerSanitizer<R>,
 }
 
 impl<R: Record> KMerger<R> {
@@ -82,6 +144,8 @@ impl<R: Record> KMerger<R> {
             left_run_done: false,
             right_run_done: false,
             stats: MergerStats::default(),
+            #[cfg(feature = "sanitize")]
+            san: MergerSanitizer::new(),
         }
     }
 
@@ -109,10 +173,15 @@ impl<R: Record> KMerger<R> {
     ///
     /// Returns [`FifoFullError`] when that input FIFO is full.
     pub fn push_input(&mut self, side: Side, rec: R) -> Result<(), FifoFullError<R>> {
-        match side {
+        let res = match side {
             Side::Left => self.left.push(rec),
             Side::Right => self.right.push(rec),
+        };
+        #[cfg(feature = "sanitize")]
+        if res.is_ok() {
+            self.san.on_input(&rec);
         }
+        res
     }
 
     /// Pushes a record into the left input port.
@@ -121,7 +190,7 @@ impl<R: Record> KMerger<R> {
     ///
     /// Returns [`FifoFullError`] when the left input FIFO is full.
     pub fn push_left(&mut self, rec: R) -> Result<(), FifoFullError<R>> {
-        self.left.push(rec)
+        self.push_input(Side::Left, rec)
     }
 
     /// Pushes a record into the right input port.
@@ -130,7 +199,7 @@ impl<R: Record> KMerger<R> {
     ///
     /// Returns [`FifoFullError`] when the right input FIFO is full.
     pub fn push_right(&mut self, rec: R) -> Result<(), FifoFullError<R>> {
-        self.right.push(rec)
+        self.push_input(Side::Right, rec)
     }
 
     /// Pops the next output record (payload or terminal), if ready.
@@ -186,9 +255,18 @@ impl<R: Record> KMerger<R> {
             if self.left_run_done && self.right_run_done {
                 // Both runs exhausted: emit the terminal and flush state.
                 // The flush consumes the remainder of the cycle (§V-B).
-                self.out
-                    .push(R::TERMINAL)
-                    .expect("output space checked by loop condition");
+                if self.out.push(R::TERMINAL).is_err() {
+                    // Unreachable: the loop condition guarantees space.
+                    debug_assert!(false, "output fifo overflow on flush");
+                    #[cfg(feature = "sanitize")]
+                    self.san.report(Diagnostic::error(
+                        codes::SAN_FIFO_OVERFLOW,
+                        "merger output FIFO rejected the flush terminal",
+                    ));
+                    break;
+                }
+                #[cfg(feature = "sanitize")]
+                self.san.on_output(&R::TERMINAL);
                 self.left_run_done = false;
                 self.right_run_done = false;
                 self.stats.flushes += 1;
@@ -225,14 +303,28 @@ impl<R: Record> KMerger<R> {
                 (None, Some(_)) => false,
                 (None, None) => unreachable!("both-done case handled above"),
             };
-            let rec = if take_left {
-                self.left.pop().expect("peeked nonempty")
+            let popped = if take_left {
+                self.left.pop()
             } else {
-                self.right.pop().expect("peeked nonempty")
+                self.right.pop()
             };
-            self.out
-                .push(rec)
-                .expect("output space checked by loop condition");
+            let Some(rec) = popped else {
+                // Unreachable: the head was just peeked.
+                debug_assert!(false, "peeked head vanished");
+                break;
+            };
+            if self.out.push(rec).is_err() {
+                // Unreachable: the loop condition guarantees space.
+                debug_assert!(false, "output fifo overflow");
+                #[cfg(feature = "sanitize")]
+                self.san.report(Diagnostic::error(
+                    codes::SAN_FIFO_OVERFLOW,
+                    "merger output FIFO rejected a payload record",
+                ));
+                break;
+            }
+            #[cfg(feature = "sanitize")]
+            self.san.on_output(&rec);
             self.stats.records_out += 1;
             moved += 1;
         }
@@ -242,6 +334,29 @@ impl<R: Record> KMerger<R> {
         } else if input_starved {
             self.stats.input_stalls += 1;
         }
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<R: Record> KMerger<R> {
+    /// Drains the sanitizer's accumulated findings (`BON101`, `BON102`)
+    /// and, when the merger is drained, judges record conservation
+    /// (`BON103`: payload in must equal payload out).
+    ///
+    /// Only available with the `sanitize` feature.
+    pub fn sanitize_check(&mut self) -> Vec<Diagnostic> {
+        let mut out = std::mem::take(&mut self.san.diagnostics);
+        if self.is_drained() && self.san.payload_in != self.stats.records_out {
+            out.push(
+                Diagnostic::error(
+                    codes::SAN_RECORD_CONSERVATION,
+                    "merger consumed and produced different payload record counts",
+                )
+                .with("payload_in", self.san.payload_in)
+                .with("records_out", self.stats.records_out),
+            );
+        }
+        out
     }
 }
 
@@ -274,7 +389,11 @@ mod tests {
         feed_run(&mut m, Side::Left, &[1, 4, 7]);
         feed_run(&mut m, Side::Right, &[2, 3, 9]);
         let out = run_to_completion(&mut m, 16);
-        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        let vals: Vec<u32> = out
+            .iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| r.0)
+            .collect();
         assert_eq!(vals, vec![1, 2, 3, 4, 7, 9]);
         assert_eq!(out.iter().filter(|r| r.is_terminal()).count(), 1);
         assert!(m.is_drained());
@@ -284,8 +403,16 @@ mod tests {
     fn full_rate_is_k_records_per_cycle() {
         let k = 8;
         let mut m = KMerger::new(k, 64);
-        feed_run(&mut m, Side::Left, &(0..24).map(|i| 2 * i + 1).collect::<Vec<_>>());
-        feed_run(&mut m, Side::Right, &(0..24).map(|i| 2 * i + 2).collect::<Vec<_>>());
+        feed_run(
+            &mut m,
+            Side::Left,
+            &(0..24).map(|i| 2 * i + 1).collect::<Vec<_>>(),
+        );
+        feed_run(
+            &mut m,
+            Side::Right,
+            &(0..24).map(|i| 2 * i + 2).collect::<Vec<_>>(),
+        );
         // 48 records at 8/cycle = 6 busy cycles + 1 flush cycle.
         let out = run_to_completion(&mut m, 8);
         assert_eq!(out.len(), 49);
@@ -306,7 +433,11 @@ mod tests {
         // Now give right its (empty) run.
         m.push_right(U32Rec::TERMINAL).unwrap();
         let out = run_to_completion(&mut m, 8);
-        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        let vals: Vec<u32> = out
+            .iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| r.0)
+            .collect();
         assert_eq!(vals, vec![1, 2, 3]);
     }
 
@@ -336,7 +467,11 @@ mod tests {
         let out = run_to_completion(&mut m, 32);
         assert_eq!(out.iter().filter(|r| r.is_terminal()).count(), 4);
         assert_eq!(m.stats().flushes, 4);
-        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        let vals: Vec<u32> = out
+            .iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| r.0)
+            .collect();
         assert_eq!(vals, [1, 2, 3, 4].repeat(4));
     }
 
@@ -356,7 +491,11 @@ mod tests {
         feed_run(&mut m, Side::Left, &[5]);
         feed_run(&mut m, Side::Right, &(10..40).collect::<Vec<_>>());
         let out = run_to_completion(&mut m, 32);
-        let vals: Vec<u32> = out.iter().filter(|r| !r.is_terminal()).map(|r| r.0).collect();
+        let vals: Vec<u32> = out
+            .iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| r.0)
+            .collect();
         let mut expected = vec![5u32];
         expected.extend(10..40);
         assert_eq!(vals, expected);
@@ -372,5 +511,32 @@ mod tests {
     #[should_panic(expected = "at least one k-record tuple")]
     fn undersized_fifo_rejected() {
         let _ = KMerger::<U32Rec>::new(8, 4);
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn clean_merge_trips_no_probes() {
+        let mut m = KMerger::new(4, 32);
+        feed_run(&mut m, Side::Left, &[1, 4, 7]);
+        feed_run(&mut m, Side::Right, &[2, 3, 9]);
+        let _ = run_to_completion(&mut m, 16);
+        assert!(m.is_drained());
+        assert_eq!(m.sanitize_check(), Vec::new());
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn unsorted_input_run_trips_out_of_order_probe() {
+        use bonsai_check::codes;
+        let mut m = KMerger::new(2, 16);
+        // The contract requires sorted runs; feed a descending one.
+        feed_run(&mut m, Side::Left, &[9, 1]);
+        feed_run(&mut m, Side::Right, &[5]);
+        let _ = run_to_completion(&mut m, 16);
+        let diags = m.sanitize_check();
+        assert!(
+            diags.iter().any(|d| d.code == codes::SAN_OUT_OF_ORDER),
+            "{diags:?}"
+        );
     }
 }

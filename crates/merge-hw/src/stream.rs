@@ -81,7 +81,11 @@ pub fn split_runs<R: Record>(stream: &[R]) -> Result<RunSet<R>, StreamError> {
 
 /// *Zero filter*: strips every terminal record from a stream.
 pub fn filter_terminals<R: Record>(stream: &[R]) -> Vec<R> {
-    stream.iter().copied().filter(|r| !r.is_terminal()).collect()
+    stream
+        .iter()
+        .copied()
+        .filter(|r| !r.is_terminal())
+        .collect()
 }
 
 #[cfg(test)]

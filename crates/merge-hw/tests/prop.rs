@@ -1,11 +1,11 @@
-//! Property-based tests: the cycle-level merger is functionally a perfect
+//! Randomized tests: the cycle-level merger is functionally a perfect
 //! 2-way merge for arbitrary run shapes, and its throughput is k/cycle.
 
 use bonsai_merge_hw::stream::{append_terminals, split_runs};
 use bonsai_merge_hw::{KMerger, Side};
 use bonsai_records::run::RunSet;
 use bonsai_records::{Record, U32Rec};
-use proptest::prelude::*;
+use bonsai_rng::Rng;
 
 /// Drives a merger feeding whole runs lazily (respecting FIFO capacity)
 /// and collecting output until all input is consumed and drained.
@@ -34,10 +34,12 @@ fn drive_merger(k: usize, left_runs: &[Vec<u32>], right_runs: &[Vec<u32>]) -> Ve
     let mut idle = 0;
     while idle < 4 {
         while m.input_free(Side::Left) > 0 && !lstream.is_empty() {
-            m.push_left(lstream.pop().expect("nonempty")).expect("space checked");
+            m.push_left(lstream.pop().expect("nonempty"))
+                .expect("space checked");
         }
         while m.input_free(Side::Right) > 0 && !rstream.is_empty() {
-            m.push_right(rstream.pop().expect("nonempty")).expect("space checked");
+            m.push_right(rstream.pop().expect("nonempty"))
+                .expect("space checked");
         }
         m.tick();
         let before = out.len();
@@ -53,26 +55,26 @@ fn drive_merger(k: usize, left_runs: &[Vec<u32>], right_runs: &[Vec<u32>]) -> Ve
     out
 }
 
-fn sorted_runs(max_runs: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(1u32..u32::MAX, 0..max_len).prop_map(|mut v| {
+/// `1..max_runs` random runs of `0..max_len` records each, sorted.
+fn sorted_runs(rng: &mut Rng, max_runs: usize, max_len: usize) -> Vec<Vec<u32>> {
+    let n_runs = rng.range_usize(1, max_runs - 1);
+    (0..n_runs)
+        .map(|_| {
+            let len = rng.below_usize(max_len);
+            let mut v: Vec<u32> = (0..len).map(|_| rng.next_u32().max(1)).collect();
             v.sort_unstable();
             v
-        }),
-        1..max_runs,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn merger_merges_runs_pairwise(
-        k_log in 0usize..4,
-        left in sorted_runs(5, 40),
-        right in sorted_runs(5, 40),
-    ) {
-        let k = 1 << k_log;
+#[test]
+fn merger_merges_runs_pairwise() {
+    let mut rng = Rng::seed_from_u64(0x3E26_0001);
+    for _ in 0..64 {
+        let k = 1 << rng.below_usize(4);
+        let left = sorted_runs(&mut rng, 5, 40);
+        let right = sorted_runs(&mut rng, 5, 40);
         let n_pairs = left.len().min(right.len());
         let out = drive_merger(k, &left[..n_pairs], &right[..n_pairs]);
         let runs = split_runs(&out).expect("terminal-delimited output");
@@ -86,31 +88,39 @@ proptest! {
                 continue; // empty merged runs vanish in split_runs
             }
             let got: Vec<u32> = runs.run(run_idx).iter().map(|r| r.0).collect();
-            prop_assert_eq!(&got, &expected, "pair {}", i);
+            assert_eq!(&got, &expected, "pair {i}");
             run_idx += 1;
         }
-        prop_assert_eq!(run_idx, runs.num_runs());
+        assert_eq!(run_idx, runs.num_runs());
     }
+}
 
-    #[test]
-    fn merger_emits_one_terminal_per_pair(
-        left in sorted_runs(4, 20),
-        right in sorted_runs(4, 20),
-    ) {
+#[test]
+fn merger_emits_one_terminal_per_pair() {
+    let mut rng = Rng::seed_from_u64(0x3E26_0002);
+    for _ in 0..64 {
+        let left = sorted_runs(&mut rng, 4, 20);
+        let right = sorted_runs(&mut rng, 4, 20);
         let n_pairs = left.len().min(right.len());
         let out = drive_merger(4, &left[..n_pairs], &right[..n_pairs]);
         let terminals = out.iter().filter(|r| r.is_terminal()).count();
-        prop_assert_eq!(terminals, n_pairs);
+        assert_eq!(terminals, n_pairs);
     }
+}
 
-    #[test]
-    fn zero_append_filter_roundtrip(vals in proptest::collection::vec(1u32..u32::MAX, 0..100),
-                                    chunk in 1usize..16) {
-        let recs: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+#[test]
+fn zero_append_filter_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x3E26_0003);
+    for _ in 0..64 {
+        let len = rng.below_usize(100);
+        let chunk = rng.range_usize(1, 15);
+        let recs: Vec<U32Rec> = (0..len)
+            .map(|_| U32Rec::new(rng.next_u32().max(1)))
+            .collect();
         let runs = RunSet::from_chunks(recs, chunk);
         let stream = append_terminals(&runs);
         let back = split_runs(&stream).expect("well-formed stream");
-        prop_assert_eq!(back.records(), runs.records());
+        assert_eq!(back.records(), runs.records());
     }
 }
 

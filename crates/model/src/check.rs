@@ -1,0 +1,142 @@
+//! Static analysis of full AMT configurations against the resource
+//! model (Equations 8–10) and the tool-flow limits of §VI-B.
+//!
+//! This is the `BON02x` layer of the analyzer: where `bonsai-amt` and
+//! `bonsai-memsim` validate their own shapes, this module owns the
+//! checks that need the component cost library — the LUT budget of
+//! Equation 9 and the BRAM budget of Equation 10.
+
+use crate::components::ComponentLibrary;
+use crate::optimizer::FullConfig;
+use crate::params::HardwareParams;
+use crate::resource;
+use bonsai_check::Diagnostic;
+
+/// Cross-validate a [`FullConfig`] against the hardware and component
+/// library, exactly mirroring [`resource::config_fits`] but returning
+/// the analyzer's findings instead of a bare `bool`.
+///
+/// Emits `BON001`/`BON002` for malformed shapes, `BON022`/`BON023` for
+/// tool-flow limits, `BON024` for zero replication factors,
+/// `BON025`/`BON026` for the presorter chunk, and `BON020`/`BON021`
+/// when the replicated design exceeds the Equation 9 LUT or
+/// Equation 10 BRAM budget.
+#[must_use]
+pub fn check_full_config(
+    lib: &ComponentLibrary,
+    hw: &HardwareParams,
+    config: &FullConfig,
+    record_bits: u32,
+    presorter_chunk: Option<usize>,
+) -> Vec<Diagnostic> {
+    let FullConfig {
+        throughput_p: p,
+        leaves_l: l,
+        unroll,
+        pipeline,
+    } = *config;
+
+    let mut out = bonsai_check::check_amt_shape(p, l);
+    out.extend(bonsai_check::check_copies(unroll, pipeline));
+    out.extend(bonsai_check::check_tool_limits(p, l, hw.max_p, hw.max_l));
+    if let Some(chunk) = presorter_chunk {
+        let batch_records = (hw.batch_bytes * 8 / u64::from(record_bits.max(1))) as usize;
+        out.extend(bonsai_check::check_presort(chunk, batch_records));
+    }
+
+    // The budget equations need well-formed inputs; if the shape or the
+    // replication factors are already broken, stop here rather than
+    // panic inside `amt_lut`.
+    if bonsai_check::has_errors(&out) {
+        return out;
+    }
+
+    let copies = (unroll * pipeline) as u64;
+    let per_tree = resource::amt_lut(lib, p, l, record_bits)
+        + presorter_chunk.map_or(0, |c| resource::presorter_lut(c, record_bits));
+    out.extend(bonsai_check::check_lut_budget(
+        (copies * per_tree) as f64,
+        hw.c_lut as f64,
+    ));
+    out.extend(bonsai_check::check_bram_budget(
+        copies * hw.loader_bram_bytes(l as u64),
+        hw.c_bram,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(p: usize, l: usize, unroll: usize, pipeline: usize) -> FullConfig {
+        FullConfig {
+            throughput_p: p,
+            leaves_l: l,
+            unroll,
+            pipeline,
+        }
+    }
+
+    #[test]
+    fn agrees_with_config_fits() {
+        let lib = ComponentLibrary::paper();
+        let hw = HardwareParams::aws_f1();
+        for (p, l, copies) in [(32, 256, 1), (32, 256, 16), (1, 512, 1), (16, 64, 2)] {
+            let fits = resource::config_fits(&lib, &hw, p, l, 32, copies, Some(16));
+            let diags = check_full_config(&lib, &hw, &cfg(p, l, copies, 1), 32, Some(16));
+            assert_eq!(
+                !bonsai_check::has_errors(&diags),
+                fits,
+                "p={p} l={l} copies={copies}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_tree_reports_budget_codes() {
+        let lib = ComponentLibrary::paper();
+        let hw = HardwareParams::aws_f1();
+        // l = 512 exceeds both max_l and the Eq. 10 BRAM budget; the
+        // tool-limit error is reported first and budget checks bail.
+        let diags = check_full_config(&lib, &hw, &cfg(1, 512, 1, 1), 32, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::L_EXCEEDS_MAX));
+        // 16 copies of the largest legal tree blow the budgets proper.
+        let diags = check_full_config(&lib, &hw, &cfg(32, 256, 16, 1), 32, None);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&bonsai_check::codes::LUT_BUDGET_EXCEEDED),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&bonsai_check::codes::BRAM_BUDGET_EXCEEDED),
+            "{codes:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_shape_short_circuits_budgets() {
+        let lib = ComponentLibrary::paper();
+        let hw = HardwareParams::aws_f1();
+        let diags = check_full_config(&lib, &hw, &cfg(3, 64, 0, 1), 32, Some(10));
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&bonsai_check::codes::P_NOT_POWER_OF_TWO),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&bonsai_check::codes::COPIES_ZERO),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&bonsai_check::codes::PRESORT_NOT_POWER_OF_TWO),
+            "{codes:?}"
+        );
+        assert!(
+            !codes.contains(&bonsai_check::codes::LUT_BUDGET_EXCEEDED),
+            "{codes:?}"
+        );
+    }
+}

@@ -8,11 +8,9 @@
 //! (§II-A: a `2k`-merger is dominated by two bitonic half-mergers of
 //! `k·log k` compare-and-exchange units).
 
-use serde::{Deserialize, Serialize};
-
 /// One row of Table VI: LUT cost of the building blocks for `k ∈
 /// {1, 2, 4, 8, 16, 32}`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComponentTable {
     /// Record width in bits these measurements apply to.
     pub record_bits: u32,
@@ -59,7 +57,7 @@ pub const TABLE_VI_128BIT: ComponentTable = ComponentTable {
 /// assert_eq!(lib.merger_lut(32, 32), 18_853); // Table VI exact
 /// assert!(lib.merger_lut(32, 64) > lib.merger_lut(32, 32));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentLibrary {
     narrow: ComponentTable,
     wide: ComponentTable,

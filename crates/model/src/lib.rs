@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 mod components;
 mod optimizer;
 mod params;

@@ -1,15 +1,13 @@
 //! The Bonsai optimizer (§III-C): exhaustive search over AMT
 //! configurations subject to the resource constraints.
 
-use serde::{Deserialize, Serialize};
-
 use crate::components::ComponentLibrary;
 use crate::params::{ArrayParams, HardwareParams};
 use crate::perf;
 use crate::resource;
 
 /// A complete AMT configuration (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FullConfig {
     /// Tree throughput `p` (records/cycle).
     pub throughput_p: usize,
@@ -32,7 +30,7 @@ impl core::fmt::Display for FullConfig {
 }
 
 /// One scored configuration from the optimizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankedConfig {
     /// The configuration.
     pub config: FullConfig,

@@ -1,9 +1,7 @@
 //! The Bonsai input parameters (Table II of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Array parameters (Table IIa): what is being sorted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayParams {
     /// Number of records `N`.
     pub n_records: u64,
@@ -58,7 +56,7 @@ impl ArrayParams {
 ///
 /// Bandwidths are bytes/second; capacities are bytes (except `c_lut`,
 /// a LUT count).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareParams {
     /// Off-chip memory bandwidth `β_DRAM` (bytes/s, concurrent
     /// read+write as on the F1 DDR4).

@@ -67,8 +67,8 @@ pub fn eq2_latency(
         return 0.0;
     }
     let bytes_per_tree = n_per_tree as f64 * array.record_bytes as f64;
-    let rate = amt_throughput(p, array.record_bytes, hw.freq_hz)
-        .min(hw.beta_dram / lambda_unrl as f64);
+    let rate =
+        amt_throughput(p, array.record_bytes, hw.freq_hz).min(hw.beta_dram / lambda_unrl as f64);
     bytes_per_tree * f64::from(s) / rate
 }
 

@@ -8,13 +8,11 @@
 //! whether to keep the currently programmed AMT or pay the
 //! reprogramming cost for the job's optimal one, minimizing total time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::optimizer::{BonsaiOptimizer, FullConfig, OptimizerError, RankedConfig};
 use crate::params::ArrayParams;
 
 /// What the planner decided for one job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Decision {
     /// Keep the currently programmed configuration.
     Keep,
@@ -23,7 +21,7 @@ pub enum Decision {
 }
 
 /// The planner's verdict for one job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobPlan {
     /// Keep or reprogram.
     pub decision: Decision,
@@ -76,7 +74,10 @@ impl ReconfigPlanner {
     ///
     /// Panics if `reprogram_seconds` is negative.
     pub fn new(hw: crate::params::HardwareParams, reprogram_seconds: f64) -> Self {
-        assert!(reprogram_seconds >= 0.0, "reprogramming cost must be non-negative");
+        assert!(
+            reprogram_seconds >= 0.0,
+            "reprogramming cost must be non-negative"
+        );
         Self {
             optimizer: BonsaiOptimizer::new(hw),
             reprogram_seconds,

@@ -28,13 +28,17 @@ use crate::params::HardwareParams;
 /// ```
 pub fn amt_lut(lib: &ComponentLibrary, p: usize, l: usize, record_bits: u32) -> u64 {
     assert!(p >= 1 && p.is_power_of_two(), "p must be a power of two");
-    assert!(l >= 2 && l.is_power_of_two(), "l must be a power of two >= 2");
+    assert!(
+        l >= 2 && l.is_power_of_two(),
+        "l must be a power of two >= 2"
+    );
     let levels = l.trailing_zeros() as usize;
     let mut lut = 0u64;
     for n in 0..levels {
         let width = (p >> n).max(1);
         let mergers = 1u64 << n;
-        lut += mergers * (lib.merger_lut(width, record_bits) + 2 * lib.coupler_lut(width, record_bits));
+        lut += mergers
+            * (lib.merger_lut(width, record_bits) + 2 * lib.coupler_lut(width, record_bits));
     }
     lut + l as u64 * lib.fifo_lut(record_bits)
 }
@@ -220,7 +224,11 @@ mod tests {
         let sys = SystemResources::dram_sorter(&lib, 32, 64, 32, Some(16));
         // Table IV totals: 287 672 LUT, 768 906 FF, 960 BRAM.
         let t = sys.total();
-        assert!((t.lut as f64 - 287_672.0).abs() / 287_672.0 < 0.10, "lut {}", t.lut);
+        assert!(
+            (t.lut as f64 - 287_672.0).abs() / 287_672.0 < 0.10,
+            "lut {}",
+            t.lut
+        );
         assert!((t.bram_blocks as f64 - 960.0).abs() < 1.0);
         assert!(sys.fits());
         let (lut_u, ff_u, bram_u) = sys.utilization();

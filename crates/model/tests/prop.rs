@@ -1,91 +1,121 @@
-//! Property-based tests of the Bonsai models and optimizer.
+//! Randomized tests of the Bonsai models and optimizer.
 
-use bonsai_model::{perf, resource, ArrayParams, BonsaiOptimizer, ComponentLibrary, HardwareParams};
-use proptest::prelude::*;
+use bonsai_model::{
+    perf, resource, ArrayParams, BonsaiOptimizer, ComponentLibrary, HardwareParams,
+};
+use bonsai_rng::Rng;
 
-fn power_of_two(max_log: u32) -> impl Strategy<Value = usize> {
-    (0..=max_log).prop_map(|e| 1usize << e)
+fn power_of_two(rng: &mut Rng, max_log: u32) -> usize {
+    1usize << rng.below_usize(max_log as usize + 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn eq1_is_monotone_in_size(p in power_of_two(6), l_log in 1u32..9,
-                               gib in 1u64..64) {
-        let l = 1usize << l_log;
+#[test]
+fn eq1_is_monotone_in_size() {
+    let mut rng = Rng::seed_from_u64(0x40DE_0001);
+    for _ in 0..64 {
+        let p = power_of_two(&mut rng, 6);
+        let l = 1usize << rng.range_usize(1, 8);
+        let gib = rng.range_u64(1, 63);
         let hw = HardwareParams::aws_f1();
         let small = ArrayParams::from_bytes(gib << 30, 4);
         let big = ArrayParams::from_bytes((gib + 1) << 30, 4);
-        prop_assert!(
+        assert!(
             perf::eq1_latency(&small, &hw, p, l, 16)
                 <= perf::eq1_latency(&big, &hw, p, l, 16) + 1e-12
         );
     }
+}
 
-    #[test]
-    fn eq1_never_beats_the_io_bound(p in power_of_two(6), l_log in 1u32..9,
-                                    gib in 1u64..64) {
-        // Sorting needs at least one full read+write pass; Eq. 1 must be
-        // at least bytes / beta whenever any merging happens.
-        let l = 1usize << l_log;
+#[test]
+fn eq1_never_beats_the_io_bound() {
+    // Sorting needs at least one full read+write pass; Eq. 1 must be at
+    // least bytes / beta whenever any merging happens.
+    let mut rng = Rng::seed_from_u64(0x40DE_0002);
+    for _ in 0..64 {
+        let p = power_of_two(&mut rng, 6);
+        let l = 1usize << rng.range_usize(1, 8);
+        let gib = rng.range_u64(1, 63);
         let hw = HardwareParams::aws_f1();
         let array = ArrayParams::from_bytes(gib << 30, 4);
         let latency = perf::eq1_latency(&array, &hw, p, l, 16);
         let one_pass = array.total_bytes() as f64 / hw.beta_dram;
-        prop_assert!(latency >= one_pass * 0.999, "latency {latency} one-pass {one_pass}");
+        assert!(
+            latency >= one_pass * 0.999,
+            "latency {latency} one-pass {one_pass}"
+        );
     }
+}
 
-    #[test]
-    fn eq7_throughput_bounded_by_platform(p in power_of_two(5),
-                                          pipe in 1usize..8, unroll in 1usize..16) {
+#[test]
+fn eq7_throughput_bounded_by_platform() {
+    let mut rng = Rng::seed_from_u64(0x40DE_0003);
+    for _ in 0..64 {
+        let p = power_of_two(&mut rng, 5);
+        let pipe = rng.range_usize(1, 7);
+        let unroll = rng.range_usize(1, 15);
         let hw = HardwareParams::aws_f1_ssd();
         let t = perf::eq7_throughput(&hw, p, 4, pipe, unroll);
         // Aggregate can never exceed total DRAM bandwidth or
         // unroll x I/O bandwidth.
-        prop_assert!(t <= hw.beta_dram * 1.0001);
-        prop_assert!(t <= unroll as f64 * hw.beta_io * 1.0001);
+        assert!(t <= hw.beta_dram * 1.0001);
+        assert!(t <= unroll as f64 * hw.beta_io * 1.0001);
     }
+}
 
-    #[test]
-    fn amt_lut_is_monotone(p in power_of_two(5), l_log in 1u32..9, bits in prop::sample::select(vec![32u32, 64, 128, 256])) {
+#[test]
+fn amt_lut_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0x40DE_0004);
+    for _ in 0..64 {
+        let p = power_of_two(&mut rng, 5);
+        let l = 1usize << rng.range_usize(1, 8);
+        let bits = [32u32, 64, 128, 256][rng.below_usize(4)];
         let lib = ComponentLibrary::paper();
-        let l = 1usize << l_log;
         let base = resource::amt_lut(&lib, p, l, bits);
         if l < 512 {
-            prop_assert!(resource::amt_lut(&lib, p, 2 * l, bits) > base);
+            assert!(resource::amt_lut(&lib, p, 2 * l, bits) > base);
         }
         if p < 64 {
-            prop_assert!(resource::amt_lut(&lib, 2 * p, l, bits) > base);
+            assert!(resource::amt_lut(&lib, 2 * p, l, bits) > base);
         }
-        prop_assert!(resource::amt_lut(&lib, p, l, 2 * bits) > base);
+        assert!(resource::amt_lut(&lib, p, l, 2 * bits) > base);
     }
+}
 
-    #[test]
-    fn optimizer_outputs_are_always_feasible(gib in 1u64..64,
-                                             record_bytes in prop::sample::select(vec![4u64, 8, 16, 32]),
-                                             beta_gbps in 1u64..256) {
+#[test]
+fn optimizer_outputs_are_always_feasible() {
+    let mut rng = Rng::seed_from_u64(0x40DE_0005);
+    for _ in 0..24 {
+        let gib = rng.range_u64(1, 63);
+        let record_bytes = [4u64, 8, 16, 32][rng.below_usize(4)];
+        let beta_gbps = rng.range_u64(1, 255);
         let hw = HardwareParams::aws_f1().with_beta_dram(beta_gbps as f64 * 1e9);
         let opt = BonsaiOptimizer::new(hw);
         let array = ArrayParams::from_bytes(gib << 30, record_bytes);
         for c in opt.ranked_by_latency(&array).into_iter().take(10) {
-            prop_assert!(c.lut <= hw.c_lut, "Eq. 9 violated: {}", c.config);
-            prop_assert!(c.bram_bytes <= hw.c_bram, "Eq. 10 violated: {}", c.config);
-            prop_assert!(c.config.throughput_p <= hw.max_p);
-            prop_assert!(c.config.leaves_l <= hw.max_l);
-            prop_assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
+            assert!(c.lut <= hw.c_lut, "Eq. 9 violated: {}", c.config);
+            assert!(c.bram_bytes <= hw.c_bram, "Eq. 10 violated: {}", c.config);
+            assert!(c.config.throughput_p <= hw.max_p);
+            assert!(c.config.leaves_l <= hw.max_l);
+            assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
         }
     }
+}
 
-    #[test]
-    fn optimal_latency_is_monotone_in_bandwidth(gib in 1u64..32) {
+#[test]
+fn optimal_latency_is_monotone_in_bandwidth() {
+    let mut rng = Rng::seed_from_u64(0x40DE_0006);
+    for _ in 0..16 {
+        let gib = rng.range_u64(1, 31);
         let array = ArrayParams::from_bytes(gib << 30, 4);
         let mut last = f64::INFINITY;
         for beta in [1e9, 4e9, 16e9, 64e9, 256e9] {
             let opt = BonsaiOptimizer::new(HardwareParams::aws_f1().with_beta_dram(beta));
             let best = opt.latency_optimal(&array).expect("feasible");
-            prop_assert!(best.latency_s <= last * 1.0001,
-                "more bandwidth must never hurt: {} at {beta}", best.latency_s);
+            assert!(
+                best.latency_s <= last * 1.0001,
+                "more bandwidth must never hurt: {} at {beta}",
+                best.latency_s
+            );
             last = best.latency_s;
         }
     }

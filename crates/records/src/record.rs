@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width sortable record, as laid out in off-chip memory.
 ///
 /// The Bonsai datapath (§II, §V of the paper) treats records as opaque
@@ -70,7 +68,7 @@ macro_rules! uint_record {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $width:expr) => {
         $(#[$doc])*
         #[derive(
-            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(pub $inner);
 
@@ -176,9 +174,7 @@ uint_record!(
 /// assert_eq!(a.key(), 1);
 /// assert_eq!(a.value(), 99);
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct KvRec {
     key: u64,
     value: u64,
@@ -240,9 +236,7 @@ impl Record for KvRec {
 /// assert_eq!(rec.key(), 0xAABB);
 /// assert_eq!(rec.index(), 7);
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Packed16(u128);
 
 impl Packed16 {
@@ -305,7 +299,12 @@ impl Record for Packed16 {
 
 impl fmt::Debug for Packed16 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Packed16 {{ key: {:#x}, index: {} }}", self.key_bits(), self.index())
+        write!(
+            f,
+            "Packed16 {{ key: {:#x}, index: {} }}",
+            self.key_bits(),
+            self.index()
+        )
     }
 }
 
@@ -314,7 +313,6 @@ macro_rules! wide_record {
         $(#[$doc])*
         #[derive(
             Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub [u64; $limbs]);
 

@@ -253,7 +253,7 @@ impl<R: Record> RunSet<R> {
                 }
             }
         }
-        if let Some(at) = self.records.iter().position(|r| r.is_terminal()) {
+        if let Some(at) = self.records.iter().position(Record::is_terminal) {
             return Err(RunSetError::TerminalRecord { at });
         }
         Ok(())

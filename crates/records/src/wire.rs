@@ -98,7 +98,10 @@ impl WireRecord for Packed16 {
         let mut raw = [0u8; 16];
         raw.copy_from_slice(buf);
         let v = u128::from_le_bytes(raw);
-        Packed16::from_parts(v >> Self::INDEX_BITS, (v & ((1 << Self::INDEX_BITS) - 1)) as u64)
+        Packed16::from_parts(
+            v >> Self::INDEX_BITS,
+            (v & ((1 << Self::INDEX_BITS) - 1)) as u64,
+        )
     }
 }
 

@@ -1,78 +1,130 @@
-//! Property-based tests for record ordering and run-set invariants.
+//! Randomized property tests for record ordering and run-set
+//! invariants, driven by a seeded deterministic generator.
 
 use bonsai_records::run::{initial_runs, is_sorted, stages_needed, RunSet};
 use bonsai_records::{KvRec, Packed16, Record, U32Rec, U64Rec, W256Rec};
-use proptest::prelude::*;
+use bonsai_rng::Rng;
 
-proptest! {
-    #[test]
-    fn u32_order_agrees_with_key_order(a: u32, b: u32) {
+const CASES: usize = 256;
+
+#[test]
+fn u32_order_agrees_with_key_order() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0001);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let (ra, rb) = (U32Rec::new(a), U32Rec::new(b));
-        prop_assert_eq!(ra.cmp(&rb), a.cmp(&b));
-        prop_assert_eq!(ra.key().cmp(&rb.key()), a.cmp(&b));
+        assert_eq!(ra.cmp(&rb), a.cmp(&b));
+        assert_eq!(ra.key().cmp(&rb.key()), a.cmp(&b));
     }
+}
 
-    #[test]
-    fn kv_order_is_key_major(k1: u64, v1: u64, k2: u64, v2: u64) {
+#[test]
+fn kv_order_is_key_major() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0002);
+    for _ in 0..CASES {
+        let (k1, v1, k2, v2) = (
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        );
         let (ra, rb) = (KvRec::new(k1, v1), KvRec::new(k2, v2));
         if k1 != k2 {
-            prop_assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
+            assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
         }
     }
+}
 
-    #[test]
-    fn packed16_order_is_key_major(k1 in 0u128..(1 << 80), i1 in 0u64..(1 << 48),
-                                   k2 in 0u128..(1 << 80), i2 in 0u64..(1 << 48)) {
+#[test]
+fn packed16_order_is_key_major() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0003);
+    for _ in 0..CASES {
+        let k1 = u128::from(rng.next_u64()) << 16 | u128::from(rng.next_u32() & 0xFFFF);
+        let k2 = u128::from(rng.next_u64()) << 16 | u128::from(rng.next_u32() & 0xFFFF);
+        let i1 = rng.next_u64() & ((1 << 48) - 1);
+        let i2 = rng.next_u64() & ((1 << 48) - 1);
         let (ra, rb) = (Packed16::from_parts(k1, i1), Packed16::from_parts(k2, i2));
         if k1 != k2 {
-            prop_assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
+            assert_eq!(ra.cmp(&rb), k1.cmp(&k2));
         } else {
-            prop_assert_eq!(ra.cmp(&rb), i1.cmp(&i2));
+            assert_eq!(ra.cmp(&rb), i1.cmp(&i2));
         }
     }
+}
 
-    #[test]
-    fn sanitize_is_idempotent_and_nonterminal(v: u64) {
+#[test]
+fn sanitize_is_idempotent_and_nonterminal() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0004);
+    // Include the adversarial zero explicitly alongside random values.
+    let mut cases = vec![0u64, 1, u64::MAX];
+    cases.extend((0..CASES).map(|_| rng.next_u64()));
+    for v in cases {
         let r = U64Rec::new(v).sanitize();
-        prop_assert!(!r.is_terminal());
-        prop_assert_eq!(r.sanitize(), r);
+        assert!(!r.is_terminal());
+        assert_eq!(r.sanitize(), r);
     }
+}
 
-    #[test]
-    fn wide_sanitize_nonterminal(limbs: [u64; 4]) {
-        prop_assert!(!W256Rec::new(limbs).sanitize().is_terminal());
+#[test]
+fn wide_sanitize_nonterminal() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0005);
+    let mut cases = vec![[0u64; 4]];
+    cases.extend((0..CASES).map(|_| {
+        [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ]
+    }));
+    for limbs in cases {
+        assert!(!W256Rec::new(limbs).sanitize().is_terminal());
     }
+}
 
-    #[test]
-    fn stages_needed_is_minimal(n_runs in 1u64..1_000_000, fan_in in 2u64..512) {
+#[test]
+fn stages_needed_is_minimal() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0006);
+    for _ in 0..CASES {
+        let n_runs = rng.range_u64(1, 999_999);
+        let fan_in = rng.range_u64(2, 511);
         let s = stages_needed(n_runs, fan_in);
         // fan_in^s >= n_runs > fan_in^(s-1)
         let covers = fan_in.checked_pow(s).is_none_or(|c| c >= n_runs);
-        prop_assert!(covers, "fan_in^s must cover all runs");
+        assert!(covers, "fan_in^s must cover all runs");
         if s > 0 {
             let prev = fan_in.checked_pow(s - 1).expect("small exponent");
-            prop_assert!(prev < n_runs, "s must be minimal");
+            assert!(prev < n_runs, "s must be minimal");
         }
     }
+}
 
-    #[test]
-    fn initial_runs_covers_all_records(n in 1u64..10_000_000, presort in 1u64..64) {
+#[test]
+fn initial_runs_covers_all_records() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0007);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 9_999_999);
+        let presort = rng.range_u64(1, 63);
         let runs = initial_runs(n, presort);
-        prop_assert!(runs * presort >= n);
-        prop_assert!((runs - 1) * presort < n);
+        assert!(runs * presort >= n);
+        assert!((runs - 1) * presort < n);
     }
+}
 
-    #[test]
-    fn from_chunks_yields_sorted_runs(mut vals in proptest::collection::vec(1u32..u32::MAX, 0..200),
-                                      chunk in 1usize..32) {
-        vals.iter_mut().for_each(|v| *v = v.max(&mut 1u32).to_owned());
+#[test]
+fn from_chunks_yields_sorted_runs() {
+    let mut rng = Rng::seed_from_u64(0x5EC0_0008);
+    for _ in 0..64 {
+        let len = rng.below_usize(200);
+        let chunk = rng.range_usize(1, 31);
+        let vals: Vec<u32> = (0..len).map(|_| rng.next_u32().max(1)).collect();
         let data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
         let rs = RunSet::from_chunks(data, chunk);
-        prop_assert!(rs.validate().is_ok());
+        assert!(rs.validate().is_ok());
         for run in rs.iter_runs() {
-            prop_assert!(is_sorted(run));
-            prop_assert!(run.len() <= chunk);
+            assert!(is_sorted(run));
+            assert!(run.len() <= chunk);
         }
-        prop_assert_eq!(rs.len(), vals.len());
+        assert_eq!(rs.len(), vals.len());
     }
 }

@@ -1,0 +1,239 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds fully offline, so instead of depending on the
+//! `rand` crate this module provides the few primitives the workload
+//! generators and randomized tests need: a seedable 64-bit generator
+//! with uniform integer ranges, byte filling, shuffling and `f64`
+//! sampling. The core is xoshiro256** (Blackman & Vigna), seeded via
+//! splitmix64 — the same construction `rand`'s `SmallRng` family uses —
+//! which is far more than adequate for workload generation and
+//! property-style tests (it is *not* cryptographic).
+//!
+//! Determinism is part of the contract: the same seed must produce the
+//! same stream on every platform, so tests can name a failing seed in
+//! their source.
+
+/// Splitmix64 step: used for seeding and as a standalone mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams on every platform.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Uses Lemire's multiply-shift with rejection, so the result is
+    /// unbiased.
+    #[inline]
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below_u64 bound must be positive");
+        // Widening multiply: high 64 bits are uniform in [0, bound).
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `u32` in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below_u32(&mut self, bound: u32) -> u32 {
+        self.below_u64(u64::from(bound)) as u32
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+
+    /// Uniform `u64` in the inclusive range `[lo, hi]`. Panics if
+    /// `lo > hi`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64 requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below_u64(span + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `percent / 100`.
+    #[inline]
+    pub fn chance_percent(&mut self, percent: u32) -> bool {
+        self.below_u32(100) < percent
+    }
+
+    /// Fill a byte slice with uniform random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::from(u32::MAX)] {
+            for _ in 0..200 {
+                assert!(rng.below_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_hits_every_small_value() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.below_usize(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_endpoints() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match rng.range_u64(5, 8) {
+                5 => lo_seen = true,
+                8 => hi_seen = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Deterministic stream: not all bytes can be zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
+    }
+}

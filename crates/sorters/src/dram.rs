@@ -120,10 +120,7 @@ impl DramSorter {
     /// # Errors
     ///
     /// See [`DramSorter::plan`].
-    pub fn simulate<R: Record>(
-        &self,
-        data: Vec<R>,
-    ) -> Result<(Vec<R>, SorterReport), SorterError> {
+    pub fn simulate<R: Record>(&self, data: Vec<R>) -> Result<(Vec<R>, SorterReport), SorterError> {
         let array = ArrayParams::new(data.len() as u64, R::WIDTH_BYTES as u64);
         let plan = self.plan(&array)?;
         let amt = AmtConfig::new(plan.config.throughput_p, plan.config.leaves_l);
@@ -243,7 +240,11 @@ mod tests {
     fn small_arrays_take_three_stages() {
         // Figure 13: 0.5–2 GB sorts take 3 stages = 129 ms/GB.
         let report = sorter().project(1_000_000_000, 4).expect("fits");
-        assert!((report.ms_per_gb() - 129.0).abs() < 10.0, "{}", report.ms_per_gb());
+        assert!(
+            (report.ms_per_gb() - 129.0).abs() < 10.0,
+            "{}",
+            report.ms_per_gb()
+        );
     }
 
     #[test]

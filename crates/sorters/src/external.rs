@@ -132,9 +132,7 @@ impl ExternalSorter {
             stats.merge_passes += 1;
             pass += 1;
         }
-        fs::rename(&runs[0], output).or_else(|_| {
-            fs::copy(&runs[0], output).map(|_| ())
-        })?;
+        fs::rename(&runs[0], output).or_else(|_| fs::copy(&runs[0], output).map(|_| ()))?;
         Ok(stats)
     }
 }
@@ -235,7 +233,10 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("bonsai-external-test-{name}-{}", std::process::id()));
+        p.push(format!(
+            "bonsai-external-test-{name}-{}",
+            std::process::id()
+        ));
         p
     }
 
@@ -245,18 +246,22 @@ mod tests {
         let data = uniform_u32(n, n as u64 + 1);
         write_wire_file(&input, &data).expect("write input");
 
-        let sorter = ExternalSorter::new(budget, fan_in)
-            .with_scratch_dir(tmp(&format!("{name}-scratch")));
+        let sorter =
+            ExternalSorter::new(budget, fan_in).with_scratch_dir(tmp(&format!("{name}-scratch")));
         let stats = sorter.sort_file::<U32Rec>(&input, &output).expect("sort");
 
         let sorted: Vec<U32Rec> = read_wire_file(&output).expect("read output");
         let summary = valsort(&sorted);
         assert!(summary.is_sorted(), "{name}: output not sorted");
         assert_eq!(summary.records, n as u64);
-        assert_eq!(summary.checksum, valsort(&data).checksum, "{name}: permutation");
+        assert_eq!(
+            summary.checksum,
+            valsort(&data).checksum,
+            "{name}: permutation"
+        );
 
-        std::fs::remove_file(&input).ok();
-        std::fs::remove_file(&output).ok();
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
         stats
     }
 
@@ -287,13 +292,13 @@ mod tests {
     fn empty_input_produces_empty_output() {
         let input = tmp("empty-in");
         let output = tmp("empty-out");
-        std::fs::write(&input, []).expect("write");
+        fs::write(&input, []).expect("write");
         let sorter = ExternalSorter::new(1024, 4).with_scratch_dir(tmp("empty-scratch"));
         let stats = sorter.sort_file::<U32Rec>(&input, &output).expect("sort");
         assert_eq!(stats.records, 0);
-        assert_eq!(std::fs::metadata(&output).expect("exists").len(), 0);
-        std::fs::remove_file(&input).ok();
-        std::fs::remove_file(&output).ok();
+        assert_eq!(fs::metadata(&output).expect("exists").len(), 0);
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
     }
 
     #[test]

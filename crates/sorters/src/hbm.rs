@@ -196,7 +196,9 @@ mod tests {
         assert!(!merge_down.is_empty());
         // Later merge-down stages have less aggregate bandwidth and thus
         // take at least as long.
-        assert!(merge_down.windows(2).all(|w| w[0].seconds <= w[1].seconds + 1e-12));
+        assert!(merge_down
+            .windows(2)
+            .all(|w| w[0].seconds <= w[1].seconds + 1e-12));
     }
 
     #[test]

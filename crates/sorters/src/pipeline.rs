@@ -9,12 +9,10 @@
 //! measures the steady-state throughput and per-array latency that
 //! Equations 3 and 4 predict.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calibration::STREAM_EFFICIENCY;
 
 /// Configuration of a pipelined sorting run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Pipeline depth `λ_pipe` (one AMT per merge stage).
     pub depth: usize,
@@ -47,7 +45,7 @@ impl PipelineConfig {
 }
 
 /// Result of simulating a stream of arrays through the pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineRun {
     /// Completion time of each array (seconds from stream start).
     pub completion_times: Vec<f64>,
@@ -93,10 +91,8 @@ pub fn simulate(config: &PipelineConfig, arrays: usize, array_bytes: u64) -> Pip
     assert!(array_bytes > 0, "arrays must be nonempty");
     // Per-stage processing rate: each stage gets an equal DRAM share and
     // cannot exceed its tree rate; the measured streaming derate applies.
-    let stage_rate = config
-        .tree_rate
-        .min(config.beta_dram / config.depth as f64)
-        * STREAM_EFFICIENCY;
+    let stage_rate =
+        config.tree_rate.min(config.beta_dram / config.depth as f64) * STREAM_EFFICIENCY;
     let stage_time = array_bytes as f64 / stage_rate;
     let io_time = array_bytes as f64 / config.beta_io;
 

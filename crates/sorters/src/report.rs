@@ -1,11 +1,9 @@
 //! Sorter-level reports.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calibration::GB;
 
 /// Where a report's timing came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Timing {
     /// Cycle-approximate simulation of the full datapath on real data.
     Simulated,
@@ -15,7 +13,7 @@ pub enum Timing {
 }
 
 /// One phase of a sorting system (e.g. "phase one", "reprogramming").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Human-readable phase name.
     pub name: String,
@@ -26,7 +24,7 @@ pub struct Phase {
 }
 
 /// Timing report of an end-to-end sorter run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SorterReport {
     /// Sorter name ("Bonsai DRAM sorter", …).
     pub name: String,

@@ -199,10 +199,7 @@ mod tests {
         for gb in [128u64, 512, 2048] {
             let ms = sorter().project(gb * 1_000_000_000, 4).ms_per_gb();
             let reprogram_ms = 4.3 * 1e3 / gb as f64;
-            assert!(
-                (ms - 250.0 - reprogram_ms).abs() < 10.0,
-                "{gb} GB: {ms:.0}"
-            );
+            assert!((ms - 250.0 - reprogram_ms).abs() < 10.0, "{gb} GB: {ms:.0}");
         }
         let ms = sorter().project(100 * 1024 * 1_000_000_000, 4).ms_per_gb();
         assert!((ms - 375.0).abs() < 10.0, "100 TB: {ms:.0}");

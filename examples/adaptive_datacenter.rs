@@ -67,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = always.plan_job(&ArrayParams::from_bytes(gib << 30, rbytes))?;
         // Charge 4.3 s on every config change the naive policy makes.
         always_total += plan.sort_seconds
-            + if plan.decision == Decision::Reprogram { 4.3 } else { 0.0 };
+            + if plan.decision == Decision::Reprogram {
+                4.3
+            } else {
+                0.0
+            };
     }
     println!("always-chase-optimal policy: {always_total:.1} s");
     println!(

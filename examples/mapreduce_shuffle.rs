@@ -60,9 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!(
-        "reduce phase recovered {recovered}/{n} full records through the 48-bit value index"
-    );
+    println!("reduce phase recovered {recovered}/{n} full records through the 48-bit value index");
     assert_eq!(recovered, n);
 
     // The wide-record advantage (§VI-F2): the same merge tree sorts

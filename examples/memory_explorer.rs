@@ -60,7 +60,12 @@ fn main() {
     println!("\nranked alternatives on F1 (top 5) — §III-C: Bonsai lists all");
     println!("implementable configurations so near-optimal fallbacks exist:\n");
     let opt = BonsaiOptimizer::new(HardwareParams::aws_f1());
-    for (i, c) in opt.ranked_by_latency(&array).into_iter().take(5).enumerate() {
+    for (i, c) in opt
+        .ranked_by_latency(&array)
+        .into_iter()
+        .take(5)
+        .enumerate()
+    {
         println!(
             "  #{} {:<24} {:.2} s, {} LUTs",
             i + 1,

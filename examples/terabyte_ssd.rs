@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tb in [1u64, 2, 32, 100] {
         let bytes = tb * 1_000_000_000_000;
         let report = sorter.project(bytes, 4);
-        println!("{tb} TB -> {:.1} s total ({:.0} ms/GB)", report.seconds(), report.ms_per_gb());
+        println!(
+            "{tb} TB -> {:.1} s total ({:.0} ms/GB)",
+            report.seconds(),
+            report.ms_per_gb()
+        );
         for phase in &report.phases {
             println!("    {:<42} {:>8.1} s", phase.name, phase.seconds);
         }
@@ -45,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = uniform_u32(n, 77);
     let (sorted, _) = scaled.sort(data)?;
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
-    println!("two-phase output verified sorted ({} records)", sorted.len());
+    println!(
+        "two-phase output verified sorted ({} records)",
+        sorted.len()
+    );
     Ok(())
 }

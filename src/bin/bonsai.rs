@@ -124,8 +124,16 @@ fn platform(flags: &Flags) -> Result<HardwareParams, String> {
 
 fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let bytes = parse_size(flags.required("size")?)?;
-    let record_bytes: u64 = flags.get("record-bytes").unwrap_or("4").parse().map_err(|e| format!("bad --record-bytes: {e}"))?;
-    let top: usize = flags.get("top").unwrap_or("5").parse().map_err(|e| format!("bad --top: {e}"))?;
+    let record_bytes: u64 = flags
+        .get("record-bytes")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("bad --record-bytes: {e}"))?;
+    let top: usize = flags
+        .get("top")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|e| format!("bad --top: {e}"))?;
     let hw = platform(flags)?;
     let array = ArrayParams::new(bytes / record_bytes, record_bytes);
     let opt = BonsaiOptimizer::new(hw);
@@ -155,11 +163,22 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_gensort(flags: &Flags) -> Result<(), String> {
-    let n: u64 = flags.required("records")?.parse().map_err(|e| format!("bad --records: {e}"))?;
+    let n: u64 = flags
+        .required("records")?
+        .parse()
+        .map_err(|e| format!("bad --records: {e}"))?;
     let out = PathBuf::from(flags.required("out")?);
-    let seed: u64 = flags.get("seed").unwrap_or("0").parse().map_err(|e| format!("bad --seed: {e}"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
     generate_gensort_file(&out, n, seed).map_err(|e| e.to_string())?;
-    println!("wrote {n} gensort records ({} bytes) to {}", n * 100, out.display());
+    println!(
+        "wrote {n} gensort records ({} bytes) to {}",
+        n * 100,
+        out.display()
+    );
     Ok(())
 }
 
@@ -167,7 +186,11 @@ fn cmd_sort(flags: &Flags) -> Result<(), String> {
     let input = PathBuf::from(flags.required("in")?);
     let output = PathBuf::from(flags.required("out")?);
     let budget = parse_size(flags.get("mem-budget").unwrap_or("256MB"))? as usize;
-    let fan_in: usize = flags.get("fan-in").unwrap_or("256").parse().map_err(|e| format!("bad --fan-in: {e}"))?;
+    let fan_in: usize = flags
+        .get("fan-in")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|e| format!("bad --fan-in: {e}"))?;
     let sorter = ExternalSorter::new(budget, fan_in);
     let stats = match flags.get("format").unwrap_or("u32") {
         "u32" => sorter.sort_file::<U32Rec>(&input, &output),
@@ -208,7 +231,11 @@ fn cmd_valsort(flags: &Flags) -> Result<(), String> {
 
 fn cmd_project(flags: &Flags) -> Result<(), String> {
     let bytes = parse_size(flags.required("size")?)?;
-    let record_bytes: u64 = flags.get("record-bytes").unwrap_or("4").parse().map_err(|e| format!("bad --record-bytes: {e}"))?;
+    let record_bytes: u64 = flags
+        .get("record-bytes")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("bad --record-bytes: {e}"))?;
     let report = match DramSorter::new(HardwareParams::aws_f1()).project(bytes, record_bytes) {
         Ok(r) => r,
         Err(_) => SsdSorter::new(HardwareParams::aws_f1_ssd()).project(bytes, record_bytes),

@@ -82,8 +82,15 @@ fn wide_and_narrow_records_share_the_engine() {
     use bonsai::records::{KvRec, U64Rec, W256Rec};
 
     let n = 5_000usize;
-    let u64s: Vec<U64Rec> = uniform_u32(n, 5).iter().map(|r| U64Rec::new(u64::from(r.0) << 8)).collect();
-    let kvs: Vec<KvRec> = u64s.iter().enumerate().map(|(i, r)| KvRec::new(r.0, i as u64)).collect();
+    let u64s: Vec<U64Rec> = uniform_u32(n, 5)
+        .iter()
+        .map(|r| U64Rec::new(u64::from(r.0) << 8))
+        .collect();
+    let kvs: Vec<KvRec> = u64s
+        .iter()
+        .enumerate()
+        .map(|(i, r)| KvRec::new(r.0, i as u64))
+        .collect();
     let wides: Vec<W256Rec> = u64s.iter().map(|r| W256Rec::new([r.0, 1, 2, 3])).collect();
 
     let cfg8 = SimEngineConfig::dram_sorter(AmtConfig::new(2, 8), 8);

@@ -42,7 +42,11 @@ fn performance_model_tracks_simulation() {
         let sim = simulate(amt, n);
         let model = predict(amt, n);
         let err = (sim - model).abs() / sim;
-        assert!(err < 0.25, "{amt}: sim {sim:.4}s model {model:.4}s ({:.0}%)", err * 100.0);
+        assert!(
+            err < 0.25,
+            "{amt}: sim {sim:.4}s model {model:.4}s ({:.0}%)",
+            err * 100.0
+        );
     }
 }
 
@@ -80,9 +84,15 @@ fn saturation_behavior_matches_section_vi_b() {
     let array = ArrayParams::from_bytes(4 << 30, 4);
     let saturated = perf::eq1_latency(&array, &hw, 32, 64, 16);
     let over = perf::eq1_latency(&array, &hw, 64, 64, 16);
-    assert!((saturated - over).abs() < 1e-12, "p beyond saturation is free");
+    assert!(
+        (saturated - over).abs() < 1e-12,
+        "p beyond saturation is free"
+    );
     let more_leaves = perf::eq1_latency(&array, &hw, 32, 256, 16);
-    assert!(more_leaves < saturated, "leaves still help after saturation");
+    assert!(
+        more_leaves < saturated,
+        "leaves still help after saturation"
+    );
 }
 
 #[test]

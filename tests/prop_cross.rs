@@ -1,65 +1,70 @@
-//! Property-based cross-validation: arbitrary inputs sort identically
+//! Randomized cross-validation: arbitrary inputs sort identically
 //! through the cycle simulator, the functional schedule, the radix
 //! baseline, and the standard library.
 
 use bonsai::amt::{functional, AmtConfig, SimEngine, SimEngineConfig};
 use bonsai::baselines::radix::parallel_radix_sort;
 use bonsai::records::{Record, U32Rec};
-use proptest::prelude::*;
+use bonsai_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn sim_functional_radix_std_agree(
-        vals in proptest::collection::vec(1u32..u32::MAX, 0..3_000),
-        p_log in 0usize..4,
-        l_log in 1usize..6,
-    ) {
-        let data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+#[test]
+fn sim_functional_radix_std_agree() {
+    let mut rng = Rng::seed_from_u64(0xC405_0001);
+    for _ in 0..24 {
+        let len = rng.below_usize(3_000);
+        let data: Vec<U32Rec> = (0..len)
+            .map(|_| U32Rec::new(rng.next_u32().max(1)))
+            .collect();
+        let p = 1 << rng.below_usize(4);
+        let l = 1 << rng.range_usize(1, 5);
         let mut expected = data.clone();
         expected.sort_unstable();
 
-        let amt = AmtConfig::new(1 << p_log, 1 << l_log);
+        let amt = AmtConfig::new(p, l);
         let cfg = SimEngineConfig::dram_sorter(amt, 4);
         let (sim, _) = SimEngine::new(cfg).sort(data.clone());
-        prop_assert_eq!(&sim, &expected);
+        assert_eq!(&sim, &expected);
 
-        let (func, _) = functional::sort_balanced(data.clone(), 1 << l_log, 16);
-        prop_assert_eq!(&func, &expected);
+        let (func, _) = functional::sort_balanced(data.clone(), l, 16);
+        assert_eq!(&func, &expected);
 
         let mut radix = data;
         parallel_radix_sort(&mut radix, 2);
-        prop_assert_eq!(&radix, &expected);
+        assert_eq!(&radix, &expected);
     }
+}
 
-    #[test]
-    fn simulator_sanitizes_and_sorts_zero_heavy_input(
-        vals in proptest::collection::vec(0u32..8, 0..1_000),
-    ) {
-        // Zeros collide with the reserved terminal record; sanitize maps
-        // them to 1. The output must be the sorted sanitized multiset.
-        let data: Vec<U32Rec> = vals.iter().map(|&v| U32Rec::new(v)).collect();
+#[test]
+fn simulator_sanitizes_and_sorts_zero_heavy_input() {
+    // Zeros collide with the reserved terminal record; sanitize maps
+    // them to 1. The output must be the sorted sanitized multiset.
+    let mut rng = Rng::seed_from_u64(0xC405_0002);
+    for _ in 0..24 {
+        let len = rng.below_usize(1_000);
+        let data: Vec<U32Rec> = (0..len).map(|_| U32Rec::new(rng.below_u32(8))).collect();
         let mut expected: Vec<U32Rec> = data.iter().map(|r| r.sanitize()).collect();
         expected.sort_unstable();
 
         let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(2, 4), 4);
         let (out, _) = SimEngine::new(cfg).sort(data);
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn stage_count_invariant(
-        n in 1usize..50_000,
-        l_log in 1usize..9,
-        presort in prop::sample::select(vec![1usize, 4, 16]),
-    ) {
-        // The executed stage count always equals ceil(log_l(initial runs)).
-        let l = 1usize << l_log;
-        let data: Vec<U32Rec> = (0..n).map(|i| U32Rec::new((i as u32).wrapping_mul(2_654_435_761) | 1)).collect();
+#[test]
+fn stage_count_invariant() {
+    // The executed stage count always equals ceil(log_l(initial runs)).
+    let mut rng = Rng::seed_from_u64(0xC405_0003);
+    for _ in 0..24 {
+        let n = rng.range_usize(1, 49_999);
+        let l = 1usize << rng.range_usize(1, 8);
+        let presort = [1usize, 4, 16][rng.below_usize(3)];
+        let data: Vec<U32Rec> = (0..n)
+            .map(|i| U32Rec::new((i as u32).wrapping_mul(2_654_435_761) | 1))
+            .collect();
         let (out, stages) = functional::sort_balanced(data, l, presort);
-        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
         let runs0 = (n as u64).div_ceil(presort as u64);
-        prop_assert_eq!(stages, bonsai::records::run::stages_needed(runs0, l as u64));
+        assert_eq!(stages, bonsai::records::run::stages_needed(runs0, l as u64));
     }
 }

@@ -12,7 +12,10 @@ fn all_three_sorters_produce_identical_output() {
     let mut expected = data.clone();
     expected.sort_unstable();
 
-    let (dram, _) = Bonsai::aws_f1().dram_sorter().sort(data.clone()).expect("fits");
+    let (dram, _) = Bonsai::aws_f1()
+        .dram_sorter()
+        .sort(data.clone())
+        .expect("fits");
     assert_eq!(dram, expected);
 
     let (hbm, _) = Bonsai::hbm().hbm_sorter().sort(data.clone()).expect("fits");
@@ -46,8 +49,14 @@ fn dram_projection_is_scale_invariant_within_stage_bands() {
 
 #[test]
 fn hbm_sorter_projects_better_bandwidth_efficiency_than_dram_at_scale() {
-    let hbm = Bonsai::hbm().hbm_sorter().project(8_000_000_000, 4).expect("fits");
-    let dram = Bonsai::aws_f1().dram_sorter().project(8_000_000_000, 4).expect("fits");
+    let hbm = Bonsai::hbm()
+        .hbm_sorter()
+        .project(8_000_000_000, 4)
+        .expect("fits");
+    let dram = Bonsai::aws_f1()
+        .dram_sorter()
+        .project(8_000_000_000, 4)
+        .expect("fits");
     // Raw speed: HBM wins big.
     assert!(hbm.seconds() < dram.seconds() / 2.0);
 }
