@@ -13,7 +13,7 @@ const MAX_PASS_CYCLES: u64 = 50_000_000_000;
 
 /// The full cycle-approximate sorting engine of §II (Figure 2): it
 /// presorts the input, then repeatedly streams it from (modeled) off-chip
-/// memory through a [`MergeTree`] and back until one sorted run remains.
+/// memory through a [`MergeTree`](crate::MergeTree) and back until one sorted run remains.
 ///
 /// Every simulated run sorts **real data** — the output is verified
 /// sortable, and the cycle count is what the hardware's stall/throughput

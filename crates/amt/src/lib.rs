@@ -42,6 +42,7 @@
 mod config;
 mod engine;
 pub mod functional;
+pub mod graph;
 mod loser_tree;
 pub(crate) mod passsim;
 mod report;

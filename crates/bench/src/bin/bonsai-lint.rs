@@ -1,18 +1,26 @@
 //! `bonsai-lint`: the static configuration pass for CI.
 //!
 //! With no arguments, lints every configuration the experiment suite
-//! and examples construct and exits non-zero if any error-severity
-//! `BONxxx` diagnostic fires. With overrides, lints a single raw
-//! configuration instead — the hook CI uses to prove the linter rejects
-//! a deliberately broken config:
+//! and examples construct — shape checks, the four pipeline-graph
+//! analyses (deadlock, FIFO flush depth, min-cut bandwidth, dead
+//! components), the latency-bound certification and one
+//! model-vs-simulation drift probe — and exits non-zero if any
+//! error-severity `BONxxx` diagnostic fires. With overrides, lints a
+//! single raw configuration instead — the hook CI uses to prove the
+//! linter rejects a deliberately broken config:
 //!
 //! ```sh
-//! bonsai-lint                      # lint the whole in-repo suite
-//! bonsai-lint --p 6 --l 16        # BON001: p not a power of two
-//! bonsai-lint --batch-bytes 16    # BON010: batch below one DRAM burst
+//! bonsai-lint                        # lint the whole in-repo suite
+//! bonsai-lint --p 6 --l 16           # BON001: p not a power of two
+//! bonsai-lint --buffer-batches 0     # BON030: zero-credit deadlock
+//! bonsai-lint --p 32 --record-bytes 8  # BON032: min-cut infeasible
+//! bonsai-lint --json                 # machine-readable report
+//! bonsai-lint --dump-graph dot       # emit the pipeline-graph IR
 //! ```
 
-use bonsai_bench::lint;
+use bonsai_amt::graph::{lower_to_graph, LowerOptions};
+use bonsai_bench::lint::{self, RawEngineLint};
+use bonsai_memsim::MemoryConfig;
 use std::process::ExitCode;
 
 #[derive(Debug, Default)]
@@ -23,22 +31,66 @@ struct Overrides {
     record_bytes: Option<u64>,
     buffer_batches: Option<u64>,
     presort: Option<usize>,
+    memory: Option<MemoryConfig>,
+    banks: Option<usize>,
+    payload_bytes: Option<u64>,
+    json: bool,
+    dump_graph: Option<DumpFormat>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DumpFormat {
+    Dot,
+    Json,
 }
 
 impl Overrides {
-    fn any(&self) -> bool {
+    fn any_config(&self) -> bool {
         self.p.is_some()
             || self.l.is_some()
             || self.batch_bytes.is_some()
             || self.record_bytes.is_some()
             || self.buffer_batches.is_some()
             || self.presort.is_some()
+            || self.memory.is_some()
+            || self.banks.is_some()
+            || self.payload_bytes.is_some()
+    }
+
+    fn raw(&self) -> RawEngineLint {
+        let defaults = RawEngineLint::default();
+        RawEngineLint {
+            p: self.p.unwrap_or(defaults.p),
+            l: self.l.unwrap_or(defaults.l),
+            batch_bytes: self.batch_bytes.unwrap_or(defaults.batch_bytes),
+            record_bytes: self.record_bytes.unwrap_or(defaults.record_bytes),
+            buffer_batches: self.buffer_batches.unwrap_or(defaults.buffer_batches),
+            presort: Some(self.presort.unwrap_or(16)),
+            memory: self.memory.unwrap_or(defaults.memory),
+            banks: self.banks,
+            payload_bytes: self.payload_bytes,
+        }
     }
 }
 
 const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
-                     [--record-bytes N] [--buffer-batches N] [--presort N]\n\
-                     Without overrides, lints every in-repo experiment configuration.";
+[--record-bytes N] [--buffer-batches N] [--presort N] \
+[--memory ddr4|single|hbm|ssd] [--banks N] [--payload-bytes N] \
+[--json] [--dump-graph dot|json]
+
+Without overrides, lints every in-repo experiment configuration (shape
+checks, pipeline-graph analyses, latency-bound certification, drift
+probe). With overrides, lints a single raw engine configuration.
+
+  --json             emit the report as a JSON object for CI annotation
+  --dump-graph FMT   print the lowered pipeline-graph IR (Graphviz `dot`
+                     or the documented `json` schema, docs/GRAPH_IR.md)
+                     instead of a lint report
+
+exit codes:
+  0  no error-severity diagnostics (warnings allowed)
+  1  at least one BONxxx error diagnostic fired
+  2  invalid command line (unknown flag or malformed value)";
 
 fn usage_error() -> ! {
     eprintln!("{USAGE}");
@@ -62,6 +114,31 @@ fn parse_args() -> Overrides {
             "--record-bytes" => over.record_bytes = Some(value("--record-bytes")),
             "--buffer-batches" => over.buffer_batches = Some(value("--buffer-batches")),
             "--presort" => over.presort = Some(value("--presort") as usize),
+            "--banks" => over.banks = Some(value("--banks") as usize),
+            "--payload-bytes" => over.payload_bytes = Some(value("--payload-bytes")),
+            "--memory" => {
+                over.memory = Some(match args.next().as_deref() {
+                    Some("ddr4") => MemoryConfig::ddr4_aws_f1(),
+                    Some("single") => MemoryConfig::ddr4_single_bank(),
+                    Some("hbm") => MemoryConfig::hbm_u50(),
+                    Some("ssd") => MemoryConfig::throttled_to_ssd(),
+                    other => {
+                        eprintln!("bonsai-lint: --memory wants ddr4|single|hbm|ssd, got {other:?}");
+                        usage_error()
+                    }
+                });
+            }
+            "--json" => over.json = true,
+            "--dump-graph" => {
+                over.dump_graph = Some(match args.next().as_deref() {
+                    Some("dot") => DumpFormat::Dot,
+                    Some("json") => DumpFormat::Json,
+                    other => {
+                        eprintln!("bonsai-lint: --dump-graph wants dot|json, got {other:?}");
+                        usage_error()
+                    }
+                });
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -77,19 +154,40 @@ fn parse_args() -> Overrides {
 
 fn main() -> ExitCode {
     let over = parse_args();
-    let findings = if over.any() {
-        vec![lint::lint_raw_engine(
-            over.p.unwrap_or(32),
-            over.l.unwrap_or(64),
-            over.batch_bytes.unwrap_or(4096),
-            over.record_bytes.unwrap_or(4),
-            over.buffer_batches.unwrap_or(2),
-            Some(over.presort.unwrap_or(16)),
-        )]
+
+    if let Some(format) = over.dump_graph {
+        let raw = over.raw();
+        let opts = LowerOptions {
+            payload_bytes: raw.payload_bytes,
+        };
+        return match lower_to_graph(&raw.config(), &opts) {
+            Ok(graph) => {
+                match format {
+                    DumpFormat::Dot => print!("{}", graph.to_dot()),
+                    DumpFormat::Json => println!("{}", graph.to_json()),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprintln!("{d}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let findings = if over.any_config() {
+        vec![over.raw().lint()]
     } else {
         lint::lint_all()
     };
-    let (report, errors, _warnings) = lint::render(&findings);
+    let (report, errors, _warnings) = if over.json {
+        let (json, errors, warnings) = lint::render_json(&findings);
+        (format!("{json}\n"), errors, warnings)
+    } else {
+        lint::render(&findings)
+    };
     print!("{report}");
     if errors > 0 {
         ExitCode::FAILURE

@@ -8,13 +8,22 @@
 //! the whole suite so CI rejects a bad config before any simulation
 //! spends minutes on it.
 
+use bonsai_amt::graph::{lower_to_graph, required_bytes_per_cycle, LowerOptions};
 use bonsai_amt::{AmtConfig, SimEngineConfig};
 use bonsai_check::Diagnostic;
 use bonsai_memsim::MemoryConfig;
-use bonsai_model::check::check_full_config;
+use bonsai_model::check::{certify_latency_bound, check_full_config, model_drift_probe};
 use bonsai_model::{ArrayParams, BonsaiOptimizer, ComponentLibrary, FullConfig, HardwareParams};
 
 use crate::experiments::fig8_9;
+
+/// Array the latency-bound certification runs each engine target
+/// against: 1 GiB of records keeps every stage count realistic.
+const CERTIFY_BYTES: u64 = 1 << 30;
+
+/// Record count for the model-drift simulation probe; small enough that
+/// the probe costs milliseconds, large enough for several merge stages.
+const DRIFT_PROBE_RECORDS: usize = 20_000;
 
 /// One linted configuration: where it came from and what the analyzer
 /// said about it.
@@ -127,15 +136,47 @@ pub fn model_targets() -> Vec<(String, FullConfig, Option<usize>)> {
     targets
 }
 
-/// Runs the static pass over every in-repo configuration.
+/// The shape + graph + certification pass for one engine configuration:
+/// the shape checks, then the four pipeline-graph analyses against the
+/// config's own required throughput, then the Eq. 1 latency-bound
+/// certification. Lowering failures add only codes the shape checks did
+/// not already report (e.g. `BON017`, which only the lowering can see).
+pub fn engine_diagnostics(
+    cfg: &SimEngineConfig,
+    opts: &LowerOptions,
+    hw: &HardwareParams,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = cfg.validate();
+    match lower_to_graph(cfg, opts) {
+        Ok(graph) => {
+            diagnostics.extend(graph.analyze_all(required_bytes_per_cycle(cfg)));
+            let array = ArrayParams::from_bytes(CERTIFY_BYTES, cfg.loader.record_bytes.max(1));
+            diagnostics.extend(certify_latency_bound(cfg, &array, hw));
+        }
+        Err(fatal) => {
+            for d in fatal {
+                if !diagnostics.iter().any(|seen| seen.code == d.code) {
+                    diagnostics.push(d);
+                }
+            }
+        }
+    }
+    diagnostics
+}
+
+/// Runs the static pass over every in-repo configuration: shape checks,
+/// the four pipeline-graph analyses and the latency-bound certification
+/// for every engine target, the resource-model checks for every full
+/// config, plus one model-vs-simulation drift probe.
 pub fn lint_all() -> Vec<LintFinding> {
     let lib = ComponentLibrary::paper();
     let hw = HardwareParams::aws_f1();
+    let opts = LowerOptions::default();
     let mut findings = Vec::new();
     for (target, cfg) in engine_targets() {
         findings.push(LintFinding {
             target,
-            diagnostics: cfg.validate(),
+            diagnostics: engine_diagnostics(&cfg, &opts, &hw),
         });
     }
     for (target, cfg, presort) in model_targets() {
@@ -144,12 +185,99 @@ pub fn lint_all() -> Vec<LintFinding> {
             diagnostics: check_full_config(&lib, &hw, &cfg, 32, presort),
         });
     }
+    // One tolerance-gated drift probe: Eq. 1 against an actual engine
+    // run on the paper's reference shape.
+    let probe_cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    findings.push(LintFinding {
+        target: format!("drift_probe/amt4_16_n{DRIFT_PROBE_RECORDS}"),
+        diagnostics: model_drift_probe(&probe_cfg, &hw, DRIFT_PROBE_RECORDS, 7),
+    });
     findings
 }
 
-/// Lints a single, possibly malformed, engine configuration assembled
-/// from raw numbers (the CLI override path — no panicking constructors
-/// on the way in).
+/// A raw engine configuration assembled from CLI numbers — deliberately
+/// bypassing the panicking constructors so malformed shapes reach the
+/// analyzer instead of aborting.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEngineLint {
+    /// Root throughput `p`.
+    pub p: usize,
+    /// Leaf count `l`.
+    pub l: usize,
+    /// Loader batch size in bytes.
+    pub batch_bytes: u64,
+    /// Record width in bytes.
+    pub record_bytes: u64,
+    /// Leaf buffer capacity in batches.
+    pub buffer_batches: u64,
+    /// Presorter chunk length.
+    pub presort: Option<usize>,
+    /// Memory model the engine streams through.
+    pub memory: MemoryConfig,
+    /// Override of the memory bank count (degenerate-config probe).
+    pub banks: Option<usize>,
+    /// Write-back payload width override; `Some(0)` is the `BON017`
+    /// probe.
+    pub payload_bytes: Option<u64>,
+}
+
+impl Default for RawEngineLint {
+    fn default() -> Self {
+        Self {
+            p: 32,
+            l: 64,
+            batch_bytes: 4096,
+            record_bytes: 4,
+            buffer_batches: 2,
+            presort: Some(16),
+            memory: MemoryConfig::ddr4_aws_f1(),
+            banks: None,
+            payload_bytes: None,
+        }
+    }
+}
+
+impl RawEngineLint {
+    /// The engine configuration these raw numbers describe.
+    pub fn config(&self) -> SimEngineConfig {
+        let mut memory = self.memory;
+        if let Some(banks) = self.banks {
+            memory.banks = banks;
+        }
+        SimEngineConfig {
+            amt: AmtConfig {
+                p: self.p,
+                l: self.l,
+            },
+            loader: bonsai_memsim::LoaderConfig {
+                batch_bytes: self.batch_bytes,
+                record_bytes: self.record_bytes,
+                buffer_batches: self.buffer_batches,
+            },
+            memory,
+            presort: self.presort,
+        }
+    }
+
+    /// Runs the full engine pass (shape + graph + certification) over
+    /// this raw configuration.
+    pub fn lint(&self) -> LintFinding {
+        let cfg = self.config();
+        let opts = LowerOptions {
+            payload_bytes: self.payload_bytes,
+        };
+        LintFinding {
+            target: format!(
+                "cli/p{}_l{}_b{}_r{}",
+                self.p, self.l, self.batch_bytes, self.record_bytes
+            ),
+            diagnostics: engine_diagnostics(&cfg, &opts, &HardwareParams::aws_f1()),
+        }
+    }
+}
+
+/// Lints a single raw engine configuration on the default DDR4 memory
+/// (back-compat wrapper over [`RawEngineLint`]).
 pub fn lint_raw_engine(
     p: usize,
     l: usize,
@@ -158,20 +286,16 @@ pub fn lint_raw_engine(
     buffer_batches: u64,
     presort: Option<usize>,
 ) -> LintFinding {
-    let cfg = SimEngineConfig {
-        amt: AmtConfig { p, l },
-        loader: bonsai_memsim::LoaderConfig {
-            batch_bytes,
-            record_bytes,
-            buffer_batches,
-        },
-        memory: MemoryConfig::ddr4_aws_f1(),
+    RawEngineLint {
+        p,
+        l,
+        batch_bytes,
+        record_bytes,
+        buffer_batches,
         presort,
-    };
-    LintFinding {
-        target: format!("cli/p{p}_l{l}_b{batch_bytes}_r{record_bytes}"),
-        diagnostics: cfg.validate(),
+        ..RawEngineLint::default()
     }
+    .lint()
 }
 
 /// Renders findings as a report; returns `(report, error_count,
@@ -202,6 +326,87 @@ pub fn render(findings: &[LintFinding]) -> (String, usize, usize) {
         "{} configuration(s), {errors} error(s), {warnings} warning(s)",
         findings.len()
     );
+    (out, errors, warnings)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a single JSON object for CI annotation tooling;
+/// returns `(json, error_count, warning_count)`. Schema:
+///
+/// ```json
+/// {
+///   "targets": [
+///     {"target": "...", "status": "ok|warn|fail",
+///      "diagnostics": [{"code": "BONxxx", "severity": "error|warning",
+///                       "message": "...", "context": {"name": "value"}}]}
+///   ],
+///   "errors": 0,
+///   "warnings": 0
+/// }
+/// ```
+pub fn render_json(findings: &[LintFinding]) -> (String, usize, usize) {
+    use std::fmt::Write as _;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut out = String::from("{\"targets\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let status = if f.has_errors() {
+            "fail"
+        } else if f.diagnostics.is_empty() {
+            "ok"
+        } else {
+            "warn"
+        };
+        let _ = write!(
+            out,
+            "{{\"target\":\"{}\",\"status\":\"{status}\",\"diagnostics\":[",
+            json_escape(&f.target)
+        );
+        for (j, d) in f.diagnostics.iter().enumerate() {
+            if d.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"context\":{{",
+                d.code,
+                d.severity,
+                json_escape(&d.message)
+            );
+            for (k, (name, value)) in d.context.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(name), json_escape(value));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+    }
+    let _ = write!(out, "],\"errors\":{errors},\"warnings\":{warnings}}}");
     (out, errors, warnings)
 }
 
@@ -256,5 +461,92 @@ mod tests {
         assert_eq!((errors, warnings), (1, 1));
         assert!(report.contains("FAIL  b"));
         assert!(report.contains("BON012"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_counts_match() {
+        let findings = vec![
+            LintFinding {
+                target: "clean \"quoted\"".into(),
+                diagnostics: vec![],
+            },
+            LintFinding {
+                target: "broken".into(),
+                diagnostics: vec![
+                    Diagnostic::error(bonsai_check::codes::BATCH_ZERO, "e").with("batch_bytes", 0)
+                ],
+            },
+        ];
+        let (json, errors, warnings) = render_json(&findings);
+        assert_eq!((errors, warnings), (1, 0));
+        // The graph module's strict JSON reader doubles as a validator.
+        assert!(
+            bonsai_check::graph::PipelineGraph::from_json(&json)
+                .unwrap_err()
+                .contains("version"),
+            "output must be syntactically valid JSON (only the schema differs)"
+        );
+        assert!(json.contains("\"code\":\"BON012\""));
+        assert!(json.contains("\"status\":\"fail\""));
+        assert!(json.contains("clean \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn raw_lint_runs_the_graph_analyses() {
+        // Zero buffer batches: credits dry up -> BON030.
+        let f = RawEngineLint {
+            buffer_batches: 0,
+            ..RawEngineLint::default()
+        }
+        .lint();
+        assert!(
+            f.diagnostics
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::GRAPH_DEADLOCK),
+            "{:?}",
+            f.diagnostics
+        );
+
+        // Zero write payload: only the lowering can see this (BON017).
+        let f = RawEngineLint {
+            payload_bytes: Some(0),
+            ..RawEngineLint::default()
+        }
+        .lint();
+        assert!(
+            f.diagnostics
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::WRITE_PAYLOAD_ZERO),
+            "{:?}",
+            f.diagnostics
+        );
+
+        // Zero banks: BON013 from the shape pass and BON035 from the
+        // graph, without duplicating the shape codes.
+        let f = RawEngineLint {
+            banks: Some(0),
+            ..RawEngineLint::default()
+        }
+        .lint();
+        let codes: Vec<_> = f.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&bonsai_check::codes::MEMORY_ZERO_BANKS),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&bonsai_check::codes::GRAPH_CHANNEL_ZERO_BANKS),
+            "{codes:?}"
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_not_duplicated_by_the_lowering() {
+        let f = lint_raw_engine(6, 16, 4096, 4, 2, Some(16));
+        let bon001 = f
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == bonsai_check::codes::P_NOT_POWER_OF_TWO)
+            .count();
+        assert_eq!(bon001, 1, "{:?}", f.diagnostics);
     }
 }

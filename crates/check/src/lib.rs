@@ -15,6 +15,7 @@
 //! | `BON00x`   | AMT / record shape   | [`codes::P_NOT_POWER_OF_TWO`] |
 //! | `BON01x`   | Loader / memory      | [`codes::BATCH_BELOW_BUS_WIDTH`] |
 //! | `BON02x`   | Resource model       | [`codes::LUT_BUDGET_EXCEEDED`] |
+//! | `BON03x`   | Pipeline graph       | [`codes::GRAPH_DEADLOCK`] |
 //! | `BON1xx`   | Simulation sanitizer | [`codes::SAN_FIFO_OVERFLOW`] |
 //!
 //! Every code is catalogued with cause and fix in
@@ -25,6 +26,8 @@
 //! `bonsai-records` — so that every other crate in the workspace can
 //! depend on it without cycles. The integration tests reach back up the
 //! stack through dev-dependencies.
+
+pub mod graph;
 
 use std::fmt;
 
@@ -182,6 +185,8 @@ pub mod codes {
     pub const CAPACITY_BELOW_BATCH: &str = "BON015";
     /// Burst setup overhead wastes most of the bandwidth.
     pub const BURST_EFFICIENCY_LOW: &str = "BON016";
+    /// Write-back payload width is zero bytes.
+    pub const WRITE_PAYLOAD_ZERO: &str = "BON017";
 
     // --- BON02x: resource model -----------------------------------------
 
@@ -199,6 +204,28 @@ pub mod codes {
     pub const PRESORT_NOT_POWER_OF_TWO: &str = "BON025";
     /// Presorter chunk exceeds one loader batch of records.
     pub const PRESORT_EXCEEDS_BATCH: &str = "BON026";
+
+    // --- BON03x: pipeline-graph analyses --------------------------------
+
+    /// The pipeline graph can deadlock (zero-credit edge or dataflow
+    /// cycle over the credit/backpressure dependency graph).
+    pub const GRAPH_DEADLOCK: &str = "BON030";
+    /// An edge FIFO is shallower than the consumer's flush requirement.
+    pub const GRAPH_FIFO_BELOW_FLUSH: &str = "BON031";
+    /// Source→sink min-cut bandwidth below the required throughput.
+    pub const GRAPH_BANDWIDTH_INFEASIBLE: &str = "BON032";
+    /// The analytical model predicts below the graph's static latency
+    /// lower bound (critical path / min-cut certification failed).
+    pub const GRAPH_LATENCY_BOUND_VIOLATION: &str = "BON033";
+    /// A node lies on no source→sink dataflow path.
+    pub const GRAPH_DEAD_COMPONENT: &str = "BON034";
+    /// A memory-channel node has zero assigned banks.
+    pub const GRAPH_CHANNEL_ZERO_BANKS: &str = "BON035";
+    /// Model latency drifted beyond tolerance from a SimEngine probe.
+    pub const GRAPH_MODEL_DRIFT: &str = "BON036";
+    /// The graph IR itself is malformed (dangling edge, missing
+    /// source/sink).
+    pub const GRAPH_MALFORMED: &str = "BON037";
 
     // --- BON1xx: simulation sanitizer -----------------------------------
 
@@ -278,6 +305,11 @@ pub mod codes {
             summary: "burst efficiency below 50%",
         },
         CodeInfo {
+            code: WRITE_PAYLOAD_ZERO,
+            severity: Severity::Error,
+            summary: "write-back payload width is zero",
+        },
+        CodeInfo {
             code: LUT_BUDGET_EXCEEDED,
             severity: Severity::Error,
             summary: "LUT budget exceeded (Eq. 9)",
@@ -311,6 +343,46 @@ pub mod codes {
             code: PRESORT_EXCEEDS_BATCH,
             severity: Severity::Warning,
             summary: "presort chunk exceeds one batch",
+        },
+        CodeInfo {
+            code: GRAPH_DEADLOCK,
+            severity: Severity::Error,
+            summary: "pipeline graph can deadlock",
+        },
+        CodeInfo {
+            code: GRAPH_FIFO_BELOW_FLUSH,
+            severity: Severity::Error,
+            summary: "FIFO below the consumer's flush requirement",
+        },
+        CodeInfo {
+            code: GRAPH_BANDWIDTH_INFEASIBLE,
+            severity: Severity::Error,
+            summary: "min-cut bandwidth below required throughput",
+        },
+        CodeInfo {
+            code: GRAPH_LATENCY_BOUND_VIOLATION,
+            severity: Severity::Error,
+            summary: "model predicts below the static latency bound",
+        },
+        CodeInfo {
+            code: GRAPH_DEAD_COMPONENT,
+            severity: Severity::Error,
+            summary: "node on no source->sink path",
+        },
+        CodeInfo {
+            code: GRAPH_CHANNEL_ZERO_BANKS,
+            severity: Severity::Error,
+            summary: "memory channel has zero assigned banks",
+        },
+        CodeInfo {
+            code: GRAPH_MODEL_DRIFT,
+            severity: Severity::Warning,
+            summary: "model drifted from simulation beyond tolerance",
+        },
+        CodeInfo {
+            code: GRAPH_MALFORMED,
+            severity: Severity::Error,
+            summary: "pipeline graph IR is malformed",
         },
         CodeInfo {
             code: SAN_FIFO_OVERFLOW,

@@ -220,6 +220,114 @@ fn bon026_presort_exceeds_batch() {
     assert!(!has_errors(&diags));
 }
 
+// --- Pipeline-graph codes (BON017, BON03x) ---------------------------
+
+fn dram(p: usize, l: usize, record_bytes: u64) -> bonsai_amt::SimEngineConfig {
+    bonsai_amt::SimEngineConfig::dram_sorter(bonsai_amt::AmtConfig::new(p, l), record_bytes)
+}
+
+fn graph_diags(cfg: &bonsai_amt::SimEngineConfig) -> Vec<Diagnostic> {
+    bonsai_amt::graph::analyze_graph(cfg, &bonsai_amt::graph::LowerOptions::default())
+}
+
+#[test]
+fn bon017_zero_write_payload() {
+    let err = bonsai_amt::graph::lower_to_graph(
+        &dram(4, 16, 4),
+        &bonsai_amt::graph::LowerOptions {
+            payload_bytes: Some(0),
+        },
+    )
+    .unwrap_err();
+    assert_emits(&err, codes::WRITE_PAYLOAD_ZERO);
+}
+
+#[test]
+fn bon030_zero_credit_deadlock() {
+    let mut cfg = dram(4, 16, 4);
+    cfg.loader.buffer_batches = 0;
+    assert_emits(&graph_diags(&cfg), codes::GRAPH_DEADLOCK);
+}
+
+#[test]
+fn bon031_fifo_below_flush() {
+    // 4-wide bottom mergers need 5-record FIFOs; 32-byte batches of
+    // 16-byte records double-buffer only 4.
+    let mut cfg = dram(8, 4, 16);
+    cfg.loader.batch_bytes = 32;
+    assert_emits(&graph_diags(&cfg), codes::GRAPH_FIFO_BELOW_FLUSH);
+}
+
+#[test]
+fn bon032_min_cut_below_required() {
+    // p=32 of 8-byte records needs 256 B/cyc; DDR4 reads 128.
+    assert_emits(
+        &graph_diags(&dram(32, 64, 8)),
+        codes::GRAPH_BANDWIDTH_INFEASIBLE,
+    );
+}
+
+#[test]
+fn bon033_model_promises_more_than_the_min_cut() {
+    // p=16 on SSD-throttled memory: Eq. 1 with the F1 card claims twice
+    // what the lowered graph's min cut can carry.
+    let config = bonsai_amt::SimEngineConfig::with_memory(
+        bonsai_amt::AmtConfig::new(16, 64),
+        4,
+        bonsai_memsim::MemoryConfig::throttled_to_ssd(),
+    );
+    let diags = bonsai_model::check::certify_latency_bound(
+        &config,
+        &bonsai_model::ArrayParams::from_bytes(1 << 30, 4),
+        &bonsai_model::HardwareParams::aws_f1(),
+    );
+    assert_emits(&diags, codes::GRAPH_LATENCY_BOUND_VIOLATION);
+}
+
+#[test]
+fn bon034_dead_memory_channels() {
+    // 4 leaves cannot cover 32 HBM read channels.
+    let cfg = bonsai_amt::SimEngineConfig::with_memory(
+        bonsai_amt::AmtConfig::new(2, 4),
+        4,
+        bonsai_memsim::MemoryConfig::hbm_u50(),
+    );
+    assert_emits(&graph_diags(&cfg), codes::GRAPH_DEAD_COMPONENT);
+}
+
+#[test]
+fn bon035_zero_bank_channel() {
+    let mut cfg = dram(4, 16, 4);
+    cfg.memory.banks = 0;
+    assert_emits(&graph_diags(&cfg), codes::GRAPH_CHANNEL_ZERO_BANKS);
+}
+
+#[test]
+fn bon036_model_drift_is_a_warning() {
+    // A model card claiming 10x the engine's clock drifts past any
+    // tolerance — but drift must not reject the config.
+    let mut hw = bonsai_model::HardwareParams::aws_f1();
+    hw.freq_hz *= 10.0;
+    hw.beta_dram *= 10.0;
+    let diags = bonsai_model::check::model_drift_probe(&dram(4, 16, 4), &hw, 20_000, 7);
+    assert_emits(&diags, codes::GRAPH_MODEL_DRIFT);
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn bon037_malformed_graph() {
+    use bonsai_check::graph::{Edge, PipelineGraph};
+    let mut g = PipelineGraph::new();
+    g.add_edge(Edge {
+        from: 0,
+        to: 7,
+        fifo_depth: 1,
+        credits: 1,
+        bytes_per_cycle: 1,
+    });
+    assert_emits(&g.validate(), codes::GRAPH_MALFORMED);
+}
+
 // --- Sanitizer codes (BON1xx) ---------------------------------------
 //
 // BON102 has a reachable trigger from outside (violating the sorted-run

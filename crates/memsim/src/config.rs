@@ -160,6 +160,21 @@ impl MemoryConfig {
         let transfer = batch_bytes.div_ceil(self.read_bytes_per_cycle.max(1));
         transfer as f64 / (transfer + self.burst_setup_cycles) as f64
     }
+
+    /// The bank that leaf `leaf` streams its run from: input streams
+    /// stripe round-robin over the banks (`leaf mod banks`). `None` when
+    /// there are no banks at all.
+    pub fn bank_for_leaf(&self, leaf: usize) -> Option<usize> {
+        (self.banks > 0).then(|| leaf % self.banks)
+    }
+
+    /// How many banks serve at least one leaf under the round-robin
+    /// striping of [`MemoryConfig::bank_for_leaf`]. Banks beyond this
+    /// count are idle on the read side — dead hardware that the
+    /// pipeline-graph analysis flags (`BON034`).
+    pub fn banks_serving(&self, leaves: usize) -> usize {
+        self.banks.min(leaves)
+    }
 }
 
 /// Configuration of the I/O bus (PCIe to the host or SSD, §III-A3).
@@ -319,6 +334,21 @@ mod tests {
         assert_eq!(l.buffer_records(), 2048);
         // Equation 10: 256 leaves at 4KB double-buffered = 2 MiB of BRAM.
         assert_eq!(l.bram_bytes(256), 2 << 20);
+    }
+
+    #[test]
+    fn bank_striping_round_robins_leaves() {
+        let m = MemoryConfig::ddr4_aws_f1();
+        assert_eq!(m.bank_for_leaf(0), Some(0));
+        assert_eq!(m.bank_for_leaf(5), Some(1));
+        assert_eq!(m.banks_serving(2), 2);
+        assert_eq!(m.banks_serving(64), 4);
+        let none = MemoryConfig {
+            banks: 0,
+            ..MemoryConfig::ddr4_aws_f1()
+        };
+        assert_eq!(none.bank_for_leaf(3), None);
+        assert_eq!(none.banks_serving(64), 0);
     }
 
     #[test]

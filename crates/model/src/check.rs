@@ -5,12 +5,32 @@
 //! `bonsai-memsim` validate their own shapes, this module owns the
 //! checks that need the component cost library — the LUT budget of
 //! Equation 9 and the BRAM budget of Equation 10.
+//!
+//! It also owns the model side of the pipeline-graph analyses
+//! (`BON03x`): [`certify_latency_bound`] asserts the analytical latency
+//! model (Eqs. 1–2) never predicts below the static lower bound derived
+//! from the lowered graph's min-cut and critical path, and
+//! [`model_drift_probe`] cross-checks the model against an actual
+//! `SimEngine` measurement with a tolerance gate.
 
 use crate::components::ComponentLibrary;
 use crate::optimizer::FullConfig;
-use crate::params::HardwareParams;
-use crate::resource;
-use bonsai_check::Diagnostic;
+use crate::params::{ArrayParams, HardwareParams};
+use crate::{perf, resource};
+use bonsai_amt::graph::{lower_to_graph, LowerOptions};
+use bonsai_amt::{SimEngine, SimEngineConfig};
+use bonsai_check::{codes, Diagnostic};
+
+/// Relative slack granted to the model before `BON033` fires: the model
+/// may predict down to `bound / (1 + CERTIFY_TOLERANCE)` to absorb the
+/// critical-path term on equality-bound configurations.
+pub const CERTIFY_TOLERANCE: f64 = 0.02;
+
+/// Relative model-vs-simulation drift tolerated by
+/// [`model_drift_probe`] before `BON036` fires. §VI-B reports the model
+/// within 10 % of measurement at scale; small probe arrays see extra
+/// fill/drain overhead, hence the looser gate.
+pub const DRIFT_TOLERANCE: f64 = 0.35;
 
 /// Cross-validate a [`FullConfig`] against the hardware and component
 /// library, exactly mirroring [`resource::config_fits`] but returning
@@ -39,8 +59,19 @@ pub fn check_full_config(
     let mut out = bonsai_check::check_amt_shape(p, l);
     out.extend(bonsai_check::check_copies(unroll, pipeline));
     out.extend(bonsai_check::check_tool_limits(p, l, hw.max_p, hw.max_l));
-    if let Some(chunk) = presorter_chunk {
-        let batch_records = (hw.batch_bytes * 8 / u64::from(record_bits.max(1))) as usize;
+    if record_bits == 0 {
+        // Every derived quantity below divides by the record width; a
+        // silent `.max(1)` here would validate presort math against a
+        // record shape that cannot exist.
+        out.push(
+            Diagnostic::error(
+                codes::RECORD_WIDTH_ZERO,
+                "record width must be positive to size the presorter and batches",
+            )
+            .with("record_bits", record_bits),
+        );
+    } else if let Some(chunk) = presorter_chunk {
+        let batch_records = (hw.batch_bytes * 8 / u64::from(record_bits)) as usize;
         out.extend(bonsai_check::check_presort(chunk, batch_records));
     }
 
@@ -65,9 +96,125 @@ pub fn check_full_config(
     out
 }
 
+/// Latency-bound certification (`BON033`).
+///
+/// Lowers `config` to the pipeline graph and derives a static lower
+/// bound on sorting `array`: each of the `s` merge stages must move
+/// every byte through the graph's min-cut, plus one pipeline fill along
+/// the critical path —
+///
+/// ```text
+/// bound = s · bytes / (min_cut · f)  +  critical_path / f
+/// ```
+///
+/// The analytical model (Eq. 1 with `hw`) predicting *below* this bound
+/// means the model and the lowered hardware disagree — typically `hw`'s
+/// `beta_dram` promising bandwidth the configured `MemoryConfig` does
+/// not have. A [`CERTIFY_TOLERANCE`] relative slack absorbs the
+/// critical-path term on configurations that sit exactly on the bound.
+///
+/// Configurations that fail to lower return no findings here: the shape
+/// diagnostics are already reported by the shape checks.
+#[must_use]
+pub fn certify_latency_bound(
+    config: &SimEngineConfig,
+    array: &ArrayParams,
+    hw: &HardwareParams,
+) -> Vec<Diagnostic> {
+    let Ok(graph) = lower_to_graph(config, &LowerOptions::default()) else {
+        return Vec::new();
+    };
+    let (Some(cut), Some(cp)) = (
+        graph.max_flow_bytes_per_cycle(),
+        graph.critical_path_cycles(),
+    ) else {
+        return Vec::new(); // malformed/cyclic graphs are BON037/BON030's job
+    };
+    let presort = config.presort.unwrap_or(1);
+    let s = perf::stages(array.n_records, config.amt.l, presort);
+    if s == 0 {
+        return Vec::new();
+    }
+    let f = hw.freq_hz;
+    let model_secs = perf::eq1_latency(array, hw, config.amt.p, config.amt.l, presort);
+    let bound_secs = if cut == 0 {
+        f64::INFINITY
+    } else {
+        f64::from(s) * array.total_bytes() as f64 / (cut as f64 * f) + cp as f64 / f
+    };
+    if model_secs * (1.0 + CERTIFY_TOLERANCE) < bound_secs {
+        vec![Diagnostic::error(
+            codes::GRAPH_LATENCY_BOUND_VIOLATION,
+            "analytical model predicts below the graph's static latency lower bound",
+        )
+        .with("model_ms", format!("{:.3}", model_secs * 1e3))
+        .with("bound_ms", format!("{:.3}", bound_secs * 1e3))
+        .with("min_cut_bytes_per_cycle", cut)
+        .with("critical_path_cycles", cp)
+        .with("stages", s)]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Tolerance-gated drift report (`BON036`, warning).
+///
+/// Sorts `n_records` pseudo-random `u32` records through the actual
+/// [`SimEngine`] and compares the measured latency against the Eq. 1
+/// prediction for the same array. Drift beyond [`DRIFT_TOLERANCE`]
+/// means the analytical model no longer tracks the simulator it claims
+/// to describe — a warning, because either side may have legitimately
+/// moved first.
+#[must_use]
+pub fn model_drift_probe(
+    config: &SimEngineConfig,
+    hw: &HardwareParams,
+    n_records: usize,
+    seed: u64,
+) -> Vec<Diagnostic> {
+    use bonsai_records::U32Rec;
+    // xorshift64*: deterministic probe data without a generator dep.
+    let mut state = seed.max(1);
+    let data: Vec<U32Rec> = (0..n_records)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            U32Rec::new((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32)
+        })
+        .collect();
+    let (_, report) = SimEngine::new(*config).sort(data);
+    let array = ArrayParams {
+        n_records: n_records as u64,
+        record_bytes: config.loader.record_bytes,
+    };
+    let presort = config.presort.unwrap_or(1);
+    let model_secs = perf::eq1_latency(&array, hw, config.amt.p, config.amt.l, presort);
+    let sim_secs = report.seconds();
+    if model_secs <= 0.0 || sim_secs <= 0.0 {
+        return Vec::new();
+    }
+    let drift = (sim_secs - model_secs).abs() / model_secs;
+    if drift > DRIFT_TOLERANCE {
+        vec![Diagnostic::warning(
+            codes::GRAPH_MODEL_DRIFT,
+            "analytical model drifted beyond tolerance from a SimEngine measurement",
+        )
+        .with("model_us", format!("{:.1}", model_secs * 1e6))
+        .with("simulated_us", format!("{:.1}", sim_secs * 1e6))
+        .with("drift", format!("{:.2}", drift))
+        .with("tolerance", format!("{DRIFT_TOLERANCE:.2}"))
+        .with("n_records", n_records)]
+    } else {
+        Vec::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bonsai_amt::AmtConfig;
+    use bonsai_memsim::MemoryConfig;
 
     fn cfg(p: usize, l: usize, unroll: usize, pipeline: usize) -> FullConfig {
         FullConfig {
@@ -100,20 +247,12 @@ mod tests {
         // l = 512 exceeds both max_l and the Eq. 10 BRAM budget; the
         // tool-limit error is reported first and budget checks bail.
         let diags = check_full_config(&lib, &hw, &cfg(1, 512, 1, 1), 32, None);
-        assert!(diags
-            .iter()
-            .any(|d| d.code == bonsai_check::codes::L_EXCEEDS_MAX));
+        assert!(diags.iter().any(|d| d.code == codes::L_EXCEEDS_MAX));
         // 16 copies of the largest legal tree blow the budgets proper.
         let diags = check_full_config(&lib, &hw, &cfg(32, 256, 16, 1), 32, None);
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
-        assert!(
-            codes.contains(&bonsai_check::codes::LUT_BUDGET_EXCEEDED),
-            "{codes:?}"
-        );
-        assert!(
-            codes.contains(&bonsai_check::codes::BRAM_BUDGET_EXCEEDED),
-            "{codes:?}"
-        );
+        assert!(codes.contains(&codes::LUT_BUDGET_EXCEEDED), "{codes:?}");
+        assert!(codes.contains(&codes::BRAM_BUDGET_EXCEEDED), "{codes:?}");
     }
 
     #[test]
@@ -122,21 +261,101 @@ mod tests {
         let hw = HardwareParams::aws_f1();
         let diags = check_full_config(&lib, &hw, &cfg(3, 64, 0, 1), 32, Some(10));
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&codes::P_NOT_POWER_OF_TWO), "{codes:?}");
+        assert!(codes.contains(&codes::COPIES_ZERO), "{codes:?}");
         assert!(
-            codes.contains(&bonsai_check::codes::P_NOT_POWER_OF_TWO),
+            codes.contains(&codes::PRESORT_NOT_POWER_OF_TWO),
             "{codes:?}"
         );
+        assert!(!codes.contains(&codes::LUT_BUDGET_EXCEEDED), "{codes:?}");
+    }
+
+    #[test]
+    fn zero_record_bits_reports_bon004_instead_of_guessing() {
+        let lib = ComponentLibrary::paper();
+        let hw = HardwareParams::aws_f1();
+        let diags = check_full_config(&lib, &hw, &cfg(32, 64, 1, 1), 0, Some(16));
         assert!(
-            codes.contains(&bonsai_check::codes::COPIES_ZERO),
-            "{codes:?}"
+            diags.iter().any(|d| d.code == codes::RECORD_WIDTH_ZERO),
+            "{diags:?}"
         );
-        assert!(
-            codes.contains(&bonsai_check::codes::PRESORT_NOT_POWER_OF_TWO),
-            "{codes:?}"
+    }
+
+    #[test]
+    fn in_repo_shapes_certify_against_their_graphs() {
+        let hw = HardwareParams::aws_f1();
+        let array = ArrayParams::from_bytes(1 << 30, 4);
+        for (p, l) in [(4, 16), (8, 64), (16, 256), (32, 64), (32, 256)] {
+            let config = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+            let diags = certify_latency_bound(&config, &array, &hw);
+            assert!(diags.is_empty(), "AMT({p},{l}): {diags:?}");
+        }
+        // The SSD-throttled validation shapes are p-bound at 8 GB/s on
+        // both sides of the comparison.
+        for l in [64, 256] {
+            let config = SimEngineConfig::with_memory(
+                AmtConfig::new(8, l),
+                4,
+                MemoryConfig::throttled_to_ssd(),
+            );
+            let diags = certify_latency_bound(&config, &array, &hw);
+            assert!(diags.is_empty(), "ssd l={l}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn model_promising_more_than_the_memory_violates_the_bound() {
+        // p=16 against SSD-throttled memory: Eq. 1 with the F1 hardware
+        // card claims 16 GB/s, but the lowered graph's min-cut carries
+        // only 8 GB/s.
+        let hw = HardwareParams::aws_f1();
+        let array = ArrayParams::from_bytes(1 << 30, 4);
+        let config = SimEngineConfig::with_memory(
+            AmtConfig::new(16, 64),
+            4,
+            MemoryConfig::throttled_to_ssd(),
         );
-        assert!(
-            !codes.contains(&bonsai_check::codes::LUT_BUDGET_EXCEEDED),
-            "{codes:?}"
-        );
+        let diags = certify_latency_bound(&config, &array, &hw);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::GRAPH_LATENCY_BOUND_VIOLATION);
+    }
+
+    #[test]
+    fn certification_skips_trivial_and_unlowerable_configs() {
+        let hw = HardwareParams::aws_f1();
+        let config = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        // 16 records presorted in one chunk: zero merge stages.
+        let tiny = ArrayParams {
+            n_records: 16,
+            record_bytes: 4,
+        };
+        assert!(certify_latency_bound(&config, &tiny, &hw).is_empty());
+        // Unlowerable configs are the shape checks' problem.
+        let mut broken = config;
+        broken.loader.record_bytes = 0;
+        let array = ArrayParams::from_bytes(1 << 30, 4);
+        assert!(certify_latency_bound(&broken, &array, &hw).is_empty());
+    }
+
+    #[test]
+    fn drift_probe_is_quiet_on_the_paper_configuration() {
+        let hw = HardwareParams::aws_f1();
+        let config = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let diags = model_drift_probe(&config, &hw, 20_000, 7);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn drift_probe_flags_a_model_that_cannot_match_the_engine() {
+        // Tell the model the hardware runs 10x faster than the engine
+        // being measured: guaranteed drift beyond any tolerance.
+        let mut hw = HardwareParams::aws_f1();
+        hw.freq_hz *= 10.0;
+        hw.beta_dram *= 10.0;
+        let config = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let diags = model_drift_probe(&config, &hw, 20_000, 7);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::GRAPH_MODEL_DRIFT);
+        assert!(!diags[0].is_error(), "drift is a warning");
     }
 }
