@@ -1,10 +1,12 @@
 //! The cycle-approximate merge-sort engine.
 
+use bonsai_check::Diagnostic;
 use bonsai_memsim::Memory;
 use bonsai_records::run::RunSet;
 use bonsai_records::Record;
 
 use crate::config::SimEngineConfig;
+use crate::error::SortError;
 use crate::report::{PassReport, SortReport};
 
 /// Safety bound: a single pass may never exceed this many cycles (a
@@ -24,26 +26,49 @@ const MAX_PASS_CYCLES: u64 = 50_000_000_000;
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     config: SimEngineConfig,
+    max_pass_cycles: u64,
     #[cfg(feature = "sanitize")]
-    diagnostics: Vec<bonsai_check::Diagnostic>,
+    diagnostics: Vec<Diagnostic>,
 }
 
 impl SimEngine {
+    /// Creates an engine from its configuration, rejecting invalid ones
+    /// with the structured `BONxxx` diagnostics of
+    /// [`SimEngineConfig::validate`] (e.g. `BON004` for a zero record
+    /// width) instead of panicking.
+    pub fn try_new(config: SimEngineConfig) -> Result<Self, Vec<Diagnostic>> {
+        let config = config.try_validated()?;
+        Ok(Self {
+            config,
+            max_pass_cycles: MAX_PASS_CYCLES,
+            #[cfg(feature = "sanitize")]
+            diagnostics: Vec::new(),
+        })
+    }
+
     /// Creates an engine from its configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the loader record width is zero.
+    /// Panics if the configuration fails [`SimEngineConfig::validate`]
+    /// (e.g. a zero record width). Use [`SimEngine::try_new`] to get the
+    /// diagnostics instead.
     pub fn new(config: SimEngineConfig) -> Self {
-        assert!(
-            config.loader.record_bytes > 0,
-            "record width must be positive"
-        );
-        Self {
-            config,
-            #[cfg(feature = "sanitize")]
-            diagnostics: Vec::new(),
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(diagnostics) => panic!("invalid engine configuration: {diagnostics:?}"),
         }
+    }
+
+    /// Overrides the per-pass livelock cycle bound (default 5·10¹⁰).
+    ///
+    /// A pass still ticking at the bound fails with `BON040`
+    /// ([`SortError`]); batch runtimes lower this to bound one job's
+    /// worst-case simulation time.
+    #[must_use]
+    pub fn with_max_pass_cycles(mut self, bound: u64) -> Self {
+        self.max_pass_cycles = bound;
+        self
     }
 
     /// The engine configuration.
@@ -56,7 +81,7 @@ impl SimEngine {
     ///
     /// Only available with the `sanitize` feature.
     #[cfg(feature = "sanitize")]
-    pub fn sanitizer_diagnostics(&self) -> &[bonsai_check::Diagnostic] {
+    pub fn sanitizer_diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
     }
 
@@ -65,7 +90,85 @@ impl SimEngine {
     /// Input records are [`Record::sanitize`]d first (the reserved
     /// terminal value is remapped), exactly as the hardware contract
     /// requires (§V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass exceeds the livelock cycle bound; use
+    /// [`SimEngine::try_sort`] to receive the `BON040` [`SortError`]
+    /// instead.
     pub fn sort<R: Record>(&mut self, data: Vec<R>) -> (Vec<R>, SortReport) {
+        match self.try_sort(data) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`SimEngine::sort`]: a pass that exceeds the livelock
+    /// cycle bound surfaces as a `BON040` [`SortError`] rather than
+    /// aborting the process, so a batch runtime can fail one job and
+    /// keep going.
+    pub fn try_sort<R: Record>(&mut self, data: Vec<R>) -> Result<(Vec<R>, SortReport), SortError> {
+        self.sort_with(data, |engine, runs, fan_in, stage| {
+            engine.run_pass(runs, fan_in, stage)
+        })
+    }
+
+    /// Sorts `data` with each merge pass sharded across its independent
+    /// merge groups on `workers` threads (`0` = one per core).
+    ///
+    /// The sorted output and the report are bit-identical for every
+    /// worker count (see [`crate::shard`] for the determinism argument
+    /// and how the sharded timing model relates to [`SimEngine::sort`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass exceeds the livelock cycle bound; use
+    /// [`SimEngine::try_sort_sharded`] for the structured error.
+    pub fn sort_sharded<R: Record>(
+        &mut self,
+        data: Vec<R>,
+        workers: usize,
+    ) -> (Vec<R>, SortReport) {
+        match self.try_sort_sharded(data, workers) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`SimEngine::sort_sharded`]: livelocked passes surface
+    /// as `BON040` [`SortError`]s. The first failing merge group in
+    /// group order wins, independent of the worker count.
+    pub fn try_sort_sharded<R: Record>(
+        &mut self,
+        data: Vec<R>,
+        workers: usize,
+    ) -> Result<(Vec<R>, SortReport), SortError> {
+        self.sort_with(data, |engine, runs, fan_in, stage| {
+            crate::shard::run_pass_sharded(
+                &engine.config,
+                &runs,
+                fan_in,
+                stage,
+                workers,
+                engine.max_pass_cycles,
+                #[cfg(feature = "sanitize")]
+                &mut engine.diagnostics,
+            )
+        })
+    }
+
+    /// The shared sort skeleton: presort, then run the balanced fan-in
+    /// schedule with `run_pass` executing each stage.
+    fn sort_with<R: Record>(
+        &mut self,
+        data: Vec<R>,
+        mut run_pass: impl FnMut(
+            &mut Self,
+            RunSet<R>,
+            usize,
+            u32,
+        ) -> Result<(RunSet<R>, PassReport), SortError>,
+    ) -> Result<(Vec<R>, SortReport), SortError> {
         #[cfg(feature = "sanitize")]
         self.diagnostics.clear();
         let n_records = data.len() as u64;
@@ -83,13 +186,13 @@ impl SimEngine {
             crate::schedule::fan_in_schedule(runs.num_runs() as u64, self.config.amt.l as u64);
         for (stage0, &m) in fan_ins.iter().enumerate() {
             debug_assert!(runs.num_runs() > 1);
-            let (next, pass) = self.run_pass(runs, m as usize, stage0 as u32 + 1);
+            let (next, pass) = run_pass(self, runs, m as usize, stage0 as u32 + 1)?;
             runs = next;
             passes.push(pass);
         }
         debug_assert!(runs.num_runs() <= 1, "schedule must fully sort");
         let report = SortReport::from_passes(passes, n_records, record_bytes);
-        (runs.into_records(), report)
+        Ok((runs.into_records(), report))
     }
 
     /// Executes one merge stage: merges every group of `fan_in ≤ ℓ` runs
@@ -99,16 +202,15 @@ impl SimEngine {
         runs: RunSet<R>,
         fan_in: usize,
         stage: u32,
-    ) -> (RunSet<R>, PassReport) {
+    ) -> Result<(RunSet<R>, PassReport), SortError> {
         let mut sim = crate::passsim::PassSim::new(&self.config, runs, fan_in);
         let mut memory = Memory::new(self.config.memory);
         let mut cycle = 0u64;
         while !sim.tick(cycle, &mut memory) {
             cycle += 1;
-            assert!(
-                cycle < MAX_PASS_CYCLES,
-                "pass exceeded cycle bound (livelock?)"
-            );
+            if cycle >= self.max_pass_cycles {
+                return Err(SortError::livelock(stage, self.max_pass_cycles));
+            }
         }
         #[cfg(feature = "sanitize")]
         self.diagnostics.extend(
@@ -119,7 +221,7 @@ impl SimEngine {
         let (out_runs, mut pass) = sim.finish(stage);
         pass.bytes_read = memory.bytes_read();
         pass.bytes_written = memory.bytes_written();
-        (out_runs, pass)
+        Ok((out_runs, pass))
     }
 }
 

@@ -1,0 +1,72 @@
+//! Structured simulation-runtime errors.
+
+use bonsai_check::{codes, Diagnostic};
+
+/// A merge sort that could not run to completion.
+///
+/// Unlike the configuration diagnostics returned by
+/// [`SimEngine::try_new`](crate::SimEngine::try_new), a `SortError`
+/// happens *while* simulating: the engine detected that a pass would spin
+/// forever (`BON040`). The error carries the diagnostic plus enough
+/// progress information for a batch runtime to report the failed job
+/// without aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortError {
+    /// The structured finding (stable `BONxxx` code).
+    pub diagnostic: Diagnostic,
+    /// The 1-based merge stage that failed.
+    pub stage: u32,
+    /// Cycles the failing pass had burned when the bound tripped.
+    pub cycles: u64,
+}
+
+impl SortError {
+    /// Builds the `BON040` livelock error: a pass hit `bound` cycles
+    /// without completing.
+    #[must_use]
+    pub fn livelock(stage: u32, bound: u64) -> Self {
+        Self {
+            diagnostic: Diagnostic::error(
+                codes::SIM_PASS_LIVELOCK,
+                "merge pass exceeded its cycle bound without completing (livelock)",
+            )
+            .with("stage", stage)
+            .with("max_pass_cycles", bound),
+            stage,
+            cycles: bound,
+        }
+    }
+
+    /// The stable diagnostic code (`BON040` for livelock).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        self.diagnostic.code
+    }
+}
+
+impl core::fmt::Display for SortError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "sort failed at stage {}: {}",
+            self.stage, self.diagnostic
+        )
+    }
+}
+
+impl std::error::Error for SortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn livelock_error_carries_code_and_context() {
+        let err = SortError::livelock(3, 1000);
+        assert_eq!(err.code(), codes::SIM_PASS_LIVELOCK);
+        assert_eq!(err.stage, 3);
+        let s = err.to_string();
+        assert!(s.contains("BON040"), "{s}");
+        assert!(s.contains("stage 3"), "{s}");
+    }
+}

@@ -41,17 +41,20 @@
 
 mod config;
 mod engine;
+mod error;
 pub mod functional;
 pub mod graph;
 mod loser_tree;
 pub(crate) mod passsim;
 mod report;
 pub mod schedule;
+pub mod shard;
 mod tree;
 mod unrolled;
 
 pub use config::{AmtConfig, SimEngineConfig};
 pub use engine::SimEngine;
+pub use error::SortError;
 pub use loser_tree::{loser_tree_merge, LoserTree};
 pub use report::{PassReport, SortReport};
 pub use tree::{MergeTree, TreeStats};

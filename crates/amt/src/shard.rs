@@ -1,0 +1,181 @@
+//! Pass-sharded parallel simulation.
+//!
+//! A merge pass is a set of *independent* merge groups: group `g` merges
+//! runs `[g·m, (g+1)·m)` into one output run, touching nobody else's
+//! runs, banks or tree state (§II–III — each group is its own engine fed
+//! by banked memory). This module exploits that independence to simulate
+//! the groups of one pass concurrently on a [`std::thread`] worker pool.
+//!
+//! **Determinism guarantee.** Each group is simulated by a pure function
+//! of `(config, its runs, fan_in)` against a private [`Memory`] built
+//! from [`bonsai_memsim::MemoryConfig::shard_view`], and the per-group
+//! accounting is
+//! folded into the [`PassReport`] in ascending group order. The worker
+//! count therefore affects wall-clock time only: `workers = 1` and
+//! `workers = N` produce bit-identical sorted output *and* bit-identical
+//! cycle counts, and the first failing group (by index) always wins
+//! error reporting.
+//!
+//! **Timing model.** The sharded pass charges each group the cycles of
+//! its standalone simulation and reports their sum, i.e. the groups
+//! time-multiplexed on one tree with the pipeline drained between
+//! groups. The fused engine ([`SimEngine::sort`](crate::SimEngine::sort))
+//! instead overlaps adjacent groups in the tree pipeline, so its cycle
+//! counts are slightly lower; `workers = 1` on the *fused* path is the
+//! exact legacy engine, while this module is the seam the parallel
+//! runtime lives behind.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use bonsai_memsim::Memory;
+use bonsai_records::run::RunSet;
+use bonsai_records::Record;
+
+use crate::config::SimEngineConfig;
+use crate::error::SortError;
+use crate::passsim::PassSim;
+use crate::report::PassReport;
+
+/// Resolves the worker knob: `0` means one worker per available core.
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+/// Everything one simulated merge group contributes to the pass.
+struct GroupOutcome<R> {
+    /// The group's single output run, terminal-free and sorted.
+    out_records: Vec<R>,
+    cycles: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    input_stalls: u64,
+    output_stalls: u64,
+    #[cfg(feature = "sanitize")]
+    diagnostics: Vec<bonsai_check::Diagnostic>,
+}
+
+/// Copies group `g`'s runs (`[g·fan_in, (g+1)·fan_in)`, clamped) out of
+/// the pass input as a standalone [`RunSet`].
+fn group_input<R: Record>(runs: &RunSet<R>, g: usize, fan_in: usize) -> RunSet<R> {
+    let lo = g * fan_in;
+    let hi = ((g + 1) * fan_in).min(runs.num_runs());
+    let mut records = Vec::new();
+    let mut starts = Vec::with_capacity(hi - lo);
+    for i in lo..hi {
+        starts.push(records.len());
+        records.extend_from_slice(runs.run(i));
+    }
+    RunSet::from_parts(records, starts)
+}
+
+/// Simulates one merge group to completion against its own bank view.
+fn simulate_group<R: Record>(
+    config: &SimEngineConfig,
+    runs: RunSet<R>,
+    fan_in: usize,
+    stage: u32,
+    max_cycles: u64,
+) -> Result<GroupOutcome<R>, SortError> {
+    let mut sim = PassSim::new(config, runs, fan_in);
+    let mut memory = Memory::new(config.memory.shard_view(fan_in));
+    let mut cycle = 0u64;
+    while !sim.tick(cycle, &mut memory) {
+        cycle += 1;
+        if cycle >= max_cycles {
+            return Err(SortError::livelock(stage, max_cycles));
+        }
+    }
+    #[cfg(feature = "sanitize")]
+    let diagnostics = sim.sanitize_check();
+    let (out_runs, pass) = sim.finish(stage);
+    Ok(GroupOutcome {
+        out_records: out_runs.into_records(),
+        cycles: pass.cycles,
+        bytes_read: memory.bytes_read(),
+        bytes_written: memory.bytes_written(),
+        input_stalls: pass.input_stalls,
+        output_stalls: pass.output_stalls,
+        #[cfg(feature = "sanitize")]
+        diagnostics,
+    })
+}
+
+/// Runs one merge stage sharded across its groups on `workers` threads
+/// (`0` = all cores), merging the per-group accounting back into a
+/// single [`PassReport`] in group order.
+pub(crate) fn run_pass_sharded<R: Record>(
+    config: &SimEngineConfig,
+    runs: &RunSet<R>,
+    fan_in: usize,
+    stage: u32,
+    workers: usize,
+    max_cycles: u64,
+    #[cfg(feature = "sanitize")] diagnostics: &mut Vec<bonsai_check::Diagnostic>,
+) -> Result<(RunSet<R>, PassReport), SortError> {
+    let n_runs = runs.num_runs();
+    let groups = n_runs.div_ceil(fan_in);
+    let threads = resolve_workers(workers).min(groups).max(1);
+
+    // One slot per group; workers claim group indices from a shared
+    // counter, so the mapping of groups to threads is dynamic but the
+    // result in each slot depends only on the group itself.
+    let slots: Vec<OnceLock<Result<GroupOutcome<R>, SortError>>> =
+        (0..groups).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= groups {
+                    break;
+                }
+                let input = group_input(runs, g, fan_in);
+                let result = simulate_group(config, input, fan_in, stage, max_cycles);
+                let _ = slots[g].set(result);
+            });
+        }
+    });
+
+    let mut out_records = Vec::with_capacity(runs.len() + 1);
+    let mut starts = Vec::with_capacity(groups);
+    let mut pass = PassReport {
+        stage,
+        cycles: 0,
+        records: runs.len() as u64,
+        runs_in: n_runs as u64,
+        runs_out: groups as u64,
+        bytes_read: 0,
+        bytes_written: 0,
+        input_stalls: 0,
+        output_stalls: 0,
+    };
+    for (g, slot) in slots.into_iter().enumerate() {
+        let outcome = slot
+            .into_inner()
+            .expect("worker pool simulated every group")?;
+        starts.push(out_records.len());
+        out_records.extend(outcome.out_records);
+        pass.cycles += outcome.cycles;
+        pass.bytes_read += outcome.bytes_read;
+        pass.bytes_written += outcome.bytes_written;
+        pass.input_stalls += outcome.input_stalls;
+        pass.output_stalls += outcome.output_stalls;
+        #[cfg(feature = "sanitize")]
+        diagnostics.extend(
+            outcome
+                .diagnostics
+                .into_iter()
+                .map(|d| d.with("stage", stage).with("group", g)),
+        );
+        #[cfg(not(feature = "sanitize"))]
+        let _ = g;
+    }
+    Ok((RunSet::from_parts(out_records, starts), pass))
+}

@@ -1,0 +1,93 @@
+//! Parallel-throughput smoke bench for the batch sort runtime.
+//!
+//! CI gate for the sharded runtime: sorts the same batch of jobs with a
+//! single worker and with one worker per core, verifies the results are
+//! bit-identical (the determinism contract), and — on a multi-core host
+//! — fails if the multi-worker runtime is slower than single-threaded
+//! on the DRAM config. On the HBM config it reports the speedup the
+//! acceptance bar measures on a ≥ 4-core host.
+//!
+//! Usage: `runtime_smoke [jobs] [records_per_job] [workers]`
+//! (defaults 8 × 60 000 on one worker per core).
+
+use std::time::{Duration, Instant};
+
+use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::MemoryConfig;
+use bonsai_records::U32Rec;
+use bonsai_runtime::{JobOutput, Runtime, RuntimeConfig, SortJob};
+
+/// Sorts `jobs` copies of `data` under `cfg` on `workers` threads,
+/// returning the batch wall time and every job's output.
+fn run_batch(
+    cfg: SimEngineConfig,
+    data: &[U32Rec],
+    jobs: u64,
+    workers: usize,
+) -> (Duration, Vec<JobOutput<U32Rec>>) {
+    let runtime = Runtime::start(RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    });
+    let start = Instant::now();
+    for id in 0..jobs {
+        runtime.submit(SortJob::new(id, cfg, data.to_vec()));
+    }
+    let results = runtime.finish();
+    let wall = start.elapsed();
+    let outputs = results
+        .into_iter()
+        .map(|r| r.result.unwrap_or_else(|e| panic!("job failed: {e}")))
+        .collect();
+    (wall, outputs)
+}
+
+/// One config's smoke run: serial vs parallel wall time, with the
+/// determinism check. Returns `(serial, parallel)`.
+fn smoke(name: &str, cfg: SimEngineConfig, data: &[U32Rec], jobs: u64, cores: usize) -> (f64, f64) {
+    let (wall_1, out_1) = run_batch(cfg, data, jobs, 1);
+    let (wall_n, out_n) = run_batch(cfg, data, jobs, cores);
+    assert_eq!(
+        out_1, out_n,
+        "{name}: runtime output depends on worker count"
+    );
+    let (s, p) = (wall_1.as_secs_f64(), wall_n.as_secs_f64());
+    println!(
+        "{name:<12} {jobs} jobs x {} records: 1 worker {s:>7.3}s, {cores} workers {p:>7.3}s ({:.2}x)",
+        data.len(),
+        s / p
+    );
+    (s, p)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let records: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(cores);
+    let data = uniform_u32(records, 2024);
+
+    println!("== runtime_smoke ({cores} core(s), {workers} worker(s)) ==");
+    let dram = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    let (serial, parallel) = smoke("dram", dram, &data, jobs, workers);
+    let hbm = SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::hbm_u50());
+    smoke("hbm", hbm, &data, jobs, workers);
+
+    if cores < 2 {
+        println!("single-core host: skipping the speedup gate");
+        return;
+    }
+    // The gate the satellite demands: N workers must not be slower than
+    // one on the DRAM config. 10% slack absorbs scheduler noise.
+    assert!(
+        parallel <= serial * 1.10,
+        "parallel runtime is slower than single-threaded: {parallel:.3}s vs {serial:.3}s"
+    );
+    println!("gate passed: {workers}-worker batch is not slower than single-threaded");
+}

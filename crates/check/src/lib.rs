@@ -16,6 +16,7 @@
 //! | `BON01x`   | Loader / memory      | [`codes::BATCH_BELOW_BUS_WIDTH`] |
 //! | `BON02x`   | Resource model       | [`codes::LUT_BUDGET_EXCEEDED`] |
 //! | `BON03x`   | Pipeline graph       | [`codes::GRAPH_DEADLOCK`] |
+//! | `BON04x`   | Simulation runtime   | [`codes::SIM_PASS_LIVELOCK`] |
 //! | `BON1xx`   | Simulation sanitizer | [`codes::SAN_FIFO_OVERFLOW`] |
 //!
 //! Every code is catalogued with cause and fix in
@@ -205,6 +206,11 @@ pub mod codes {
     /// Presorter chunk exceeds one loader batch of records.
     pub const PRESORT_EXCEEDS_BATCH: &str = "BON026";
 
+    // --- BON04x: simulation runtime -------------------------------------
+
+    /// A simulated merge pass exceeded its livelock cycle bound.
+    pub const SIM_PASS_LIVELOCK: &str = "BON040";
+
     // --- BON03x: pipeline-graph analyses --------------------------------
 
     /// The pipeline graph can deadlock (zero-credit edge or dataflow
@@ -343,6 +349,11 @@ pub mod codes {
             code: PRESORT_EXCEEDS_BATCH,
             severity: Severity::Warning,
             summary: "presort chunk exceeds one batch",
+        },
+        CodeInfo {
+            code: SIM_PASS_LIVELOCK,
+            severity: Severity::Error,
+            summary: "simulated pass exceeded its livelock cycle bound",
         },
         CodeInfo {
             code: GRAPH_DEADLOCK,

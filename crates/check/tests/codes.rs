@@ -202,6 +202,23 @@ fn bon024_copies_zero() {
 }
 
 #[test]
+fn bon024_guards_pipeline_config_depth() {
+    // The §III-A3 pipeline model routes its depth through the same
+    // copies check: depth 0 must be a diagnostic, not a silent `inf`
+    // from Equation 3's `β_DRAM / λ_pipe` term.
+    let cfg = bonsai_sorters::pipeline::PipelineConfig {
+        depth: 0,
+        ..bonsai_sorters::pipeline::PipelineConfig::ssd_phase_one()
+    };
+    let diags = cfg.validate();
+    assert_emits(&diags, codes::COPIES_ZERO);
+    assert!(has_errors(&diags));
+    assert!(bonsai_sorters::pipeline::PipelineConfig::ssd_phase_one()
+        .validate()
+        .is_empty());
+}
+
+#[test]
 fn bon025_presort_not_power_of_two() {
     assert_emits(
         &bonsai_check::check_presort(10, 1024),
@@ -326,6 +343,41 @@ fn bon037_malformed_graph() {
         bytes_per_cycle: 1,
     });
     assert_emits(&g.validate(), codes::GRAPH_MALFORMED);
+}
+
+// --- Simulation-runtime codes (BON04x) -------------------------------
+
+#[test]
+fn bon040_pass_livelock_is_a_structured_error() {
+    let data = bonsai_gensort::dist::uniform_u32(50_000, 1);
+    // A 10-cycle bound livelocks immediately on a real pass; the engine
+    // must surface BON040 instead of panicking mid-sort.
+    let mut engine = bonsai_amt::SimEngine::try_new(dram(4, 16, 4))
+        .expect("valid config")
+        .with_max_pass_cycles(10);
+    let err = engine.try_sort(data.clone()).unwrap_err();
+    assert_emits(
+        std::slice::from_ref(&err.diagnostic),
+        codes::SIM_PASS_LIVELOCK,
+    );
+    assert_eq!(err.code(), codes::SIM_PASS_LIVELOCK);
+    assert_eq!(err.stage, 1, "first pass trips the bound");
+
+    // The sharded runtime reports the identical error: the first
+    // failing group in group order wins, whatever the worker count.
+    let mut engine = bonsai_amt::SimEngine::try_new(dram(4, 16, 4))
+        .expect("valid config")
+        .with_max_pass_cycles(10);
+    let sharded = engine.try_sort_sharded(data, 4).unwrap_err();
+    assert_eq!(err, sharded);
+}
+
+#[test]
+fn engine_try_new_reports_bon004_instead_of_panicking() {
+    let mut cfg = dram(4, 16, 4);
+    cfg.loader.record_bytes = 0;
+    let diags = bonsai_amt::SimEngine::try_new(cfg).unwrap_err();
+    assert_emits(&diags, codes::RECORD_WIDTH_ZERO);
 }
 
 // --- Sanitizer codes (BON1xx) ---------------------------------------

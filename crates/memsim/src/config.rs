@@ -175,6 +175,21 @@ impl MemoryConfig {
     pub fn banks_serving(&self, leaves: usize) -> usize {
         self.banks.min(leaves)
     }
+
+    /// The bank view one merge-group shard owns when a pass is sharded
+    /// across its independent groups: a group streaming `active_leaves`
+    /// runs can occupy at most [`MemoryConfig::banks_serving`] of the
+    /// banks (one read stream per active leaf), so its private memory
+    /// keeps the per-bank port shape and drops the banks it can never
+    /// touch. With `banks <= active_leaves` the view is the whole
+    /// memory, so sharding a wide-enough pass changes no bank count.
+    #[must_use]
+    pub fn shard_view(&self, active_leaves: usize) -> Self {
+        Self {
+            banks: self.banks_serving(active_leaves.max(1)).max(1),
+            ..*self
+        }
+    }
 }
 
 /// Configuration of the I/O bus (PCIe to the host or SSD, §III-A3).

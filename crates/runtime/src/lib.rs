@@ -1,0 +1,380 @@
+//! Batch sort-job runtime over the pass-sharded [`SimEngine`].
+//!
+//! The bench configs are CPU-bound on one core; under batch traffic the
+//! host has two axes of parallelism to spend:
+//!
+//! - **across jobs** — independent sorts run on a pool of worker
+//!   threads fed by a [`BoundedQueue`], whose bounded depth gives
+//!   submitters backpressure instead of unbounded buffering;
+//! - **within a job** — each worker drives
+//!   [`SimEngine::try_sort_sharded`], which can further shard every
+//!   merge pass across its independent merge groups.
+//!
+//! Failures stay per-job: an invalid configuration
+//! ([`JobError::Invalid`], `BONxxx` diagnostics) or a livelocked pass
+//! ([`JobError::Sim`], `BON040`) fails that [`JobResult`] while the rest
+//! of the batch keeps sorting. Reports are bit-identical for every
+//! worker-count setting (see [`bonsai_amt::shard`]).
+//!
+//! # Example
+//!
+//! ```
+//! use bonsai_amt::{AmtConfig, SimEngineConfig};
+//! use bonsai_gensort::dist::uniform_u32;
+//! use bonsai_runtime::{Runtime, RuntimeConfig, SortJob};
+//!
+//! let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+//! let runtime = Runtime::start(RuntimeConfig::default());
+//! for id in 0..4 {
+//!     runtime.submit(SortJob::new(id, cfg, uniform_u32(10_000, id)));
+//! }
+//! let results = runtime.finish();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.result.is_ok()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queue;
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bonsai_amt::{SimEngine, SimEngineConfig, SortError, SortReport};
+use bonsai_check::Diagnostic;
+use bonsai_records::Record;
+
+pub use queue::{BoundedQueue, PushError};
+
+/// Knobs of the batch runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads draining the job queue (`0` = one per core).
+    pub workers: usize,
+    /// Bounded queue depth; a full queue blocks [`Runtime::submit`]
+    /// (backpressure).
+    pub queue_depth: usize,
+    /// Threads each worker may spend sharding one job's merge passes
+    /// (`0` = one per core). The default of `1` keeps one job per core;
+    /// raise it when jobs are few and wide.
+    pub pass_workers: usize,
+    /// Per-pass livelock cycle bound handed to the engine; `None` keeps
+    /// the engine default.
+    pub max_pass_cycles: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 16,
+            pass_workers: 1,
+            max_pass_cycles: None,
+        }
+    }
+}
+
+/// One sort request: records plus the engine configuration to sort
+/// them under.
+#[derive(Debug, Clone)]
+pub struct SortJob<R> {
+    /// Caller-chosen identifier, echoed in the [`JobResult`].
+    pub id: u64,
+    /// Engine configuration for this job.
+    pub config: SimEngineConfig,
+    /// The records to sort.
+    pub data: Vec<R>,
+}
+
+impl<R> SortJob<R> {
+    /// Bundles a job.
+    pub fn new(id: u64, config: SimEngineConfig, data: Vec<R>) -> Self {
+        Self { id, config, data }
+    }
+}
+
+/// Why one job failed (the rest of the batch is unaffected).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The job's engine configuration was rejected (`BONxxx` errors
+    /// from [`bonsai_amt::SimEngineConfig::validate`]).
+    Invalid(Vec<Diagnostic>),
+    /// The simulation itself failed (e.g. `BON040` pass livelock).
+    Sim(SortError),
+}
+
+impl core::fmt::Display for JobError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JobError::Invalid(diagnostics) => {
+                write!(f, "invalid job configuration: {diagnostics:?}")
+            }
+            JobError::Sim(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The sorted records and timing report of one successful job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput<R> {
+    /// The sorted records.
+    pub sorted: Vec<R>,
+    /// The engine's cycle-approximate timing report.
+    pub report: SortReport,
+}
+
+/// Outcome of one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult<R> {
+    /// The identifier from [`SortJob::id`].
+    pub id: u64,
+    /// The sorted output, or why this job failed.
+    pub result: Result<JobOutput<R>, JobError>,
+    /// Wall-clock time the worker spent on the job.
+    pub wall: Duration,
+}
+
+struct Shared<R> {
+    queue: BoundedQueue<SortJob<R>>,
+    results: Mutex<Vec<JobResult<R>>>,
+}
+
+/// A worker pool sorting batches of [`SortJob`]s.
+///
+/// Submissions flow through a bounded queue; [`Runtime::finish`] closes
+/// the queue, joins the workers and returns every [`JobResult`] ordered
+/// by job id.
+#[derive(Debug)]
+pub struct Runtime<R: Record> {
+    config: RuntimeConfig,
+    shared: Arc<Shared<R>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<R: Record> std::fmt::Debug for Shared<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue", &self.queue)
+            .finish()
+    }
+}
+
+fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
+    let start = std::time::Instant::now();
+    let result = SimEngine::try_new(job.config)
+        .map_err(JobError::Invalid)
+        .and_then(|engine| {
+            let mut engine = match config.max_pass_cycles {
+                Some(bound) => engine.with_max_pass_cycles(bound),
+                None => engine,
+            };
+            engine
+                .try_sort_sharded(job.data, config.pass_workers)
+                .map(|(sorted, report)| JobOutput { sorted, report })
+                .map_err(JobError::Sim)
+        });
+    JobResult {
+        id: job.id,
+        result,
+        wall: start.elapsed(),
+    }
+}
+
+impl<R: Record> Runtime<R> {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(config: RuntimeConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            results: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        let result = run_job(job, &config);
+                        shared.results.lock().unwrap().push(result);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            config,
+            shared,
+            handles,
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Jobs waiting in the queue (not yet claimed by a worker).
+    pub fn pending(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Runtime::finish`] closed the queue —
+    /// impossible through this API, which consumes the runtime.
+    pub fn submit(&self, job: SortJob<R>) {
+        if self.shared.queue.push(job).is_err() {
+            unreachable!("queue closes only when finish() consumes the runtime");
+        }
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] hands the job back when the queue is at
+    /// capacity; retry or apply backpressure upstream.
+    // The large Err is the point: the rejected job (with its data)
+    // returns to the caller instead of being dropped.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, job: SortJob<R>) -> Result<(), PushError<SortJob<R>>> {
+        self.shared.queue.try_push(job)
+    }
+
+    /// Drains the queue, stops the workers and returns every job's
+    /// result, ordered by job id.
+    #[must_use]
+    pub fn finish(self) -> Vec<JobResult<R>> {
+        self.shared.queue.close();
+        for handle in self.handles {
+            handle.join().expect("runtime worker panicked");
+        }
+        let mut results = std::mem::take(&mut *self.shared.results.lock().unwrap());
+        results.sort_by_key(|r| r.id);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_amt::AmtConfig;
+    use bonsai_gensort::dist::uniform_u32;
+    use bonsai_memsim::LoaderConfig;
+    use bonsai_records::U32Rec;
+
+    fn dram_cfg() -> SimEngineConfig {
+        SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4)
+    }
+
+    #[test]
+    fn batch_sorts_every_job_in_id_order() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        let inputs: Vec<Vec<U32Rec>> = (0..6).map(|id| uniform_u32(5_000, id)).collect();
+        for (id, data) in inputs.iter().enumerate() {
+            runtime.submit(SortJob::new(id as u64, dram_cfg(), data.clone()));
+        }
+        let results = runtime.finish();
+        assert_eq!(results.len(), 6);
+        for (id, r) in results.iter().enumerate() {
+            assert_eq!(r.id, id as u64, "results must be ordered by job id");
+            let out = r.result.as_ref().expect("valid jobs succeed");
+            assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(out.sorted.len(), inputs[id].len());
+            assert!(out.report.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn invalid_job_fails_alone() {
+        let mut bad = dram_cfg();
+        bad.loader = LoaderConfig {
+            record_bytes: 0,
+            ..bad.loader
+        };
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        runtime.submit(SortJob::new(0, dram_cfg(), uniform_u32(2_000, 1)));
+        runtime.submit(SortJob::new(1, bad, uniform_u32(2_000, 2)));
+        runtime.submit(SortJob::new(2, dram_cfg(), uniform_u32(2_000, 3)));
+        let results = runtime.finish();
+        assert!(results[0].result.is_ok());
+        assert!(results[2].result.is_ok(), "batch survives a bad job");
+        match &results[1].result {
+            Err(JobError::Invalid(diagnostics)) => {
+                assert!(diagnostics
+                    .iter()
+                    .any(|d| d.code == bonsai_check::codes::RECORD_WIDTH_ZERO));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn livelock_bound_fails_the_job_not_the_process() {
+        let runtime = Runtime::<U32Rec>::start(RuntimeConfig {
+            workers: 1,
+            max_pass_cycles: Some(10),
+            ..RuntimeConfig::default()
+        });
+        runtime.submit(SortJob::new(0, dram_cfg(), uniform_u32(50_000, 4)));
+        let results = runtime.finish();
+        match &results[0].result {
+            Err(JobError::Sim(err)) => {
+                assert_eq!(err.code(), bonsai_check::codes::SIM_PASS_LIVELOCK);
+                assert_eq!(err.stage, 1);
+            }
+            other => panic!("expected a BON040 Sim error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_are_identical_across_runtime_shapes() {
+        let data = uniform_u32(20_000, 9);
+        let shapes = [
+            RuntimeConfig {
+                workers: 1,
+                pass_workers: 1,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                workers: 4,
+                pass_workers: 2,
+                queue_depth: 2,
+                ..RuntimeConfig::default()
+            },
+        ];
+        let outputs: Vec<JobOutput<U32Rec>> = shapes
+            .iter()
+            .map(|&shape| {
+                let runtime = Runtime::start(shape);
+                for id in 0..3 {
+                    runtime.submit(SortJob::new(id, dram_cfg(), data.clone()));
+                }
+                let mut results = runtime.finish();
+                assert_eq!(results.len(), 3);
+                results.remove(0).result.expect("sorts")
+            })
+            .collect();
+        assert_eq!(outputs[0].sorted, outputs[1].sorted);
+        assert_eq!(
+            outputs[0].report, outputs[1].report,
+            "reports must not depend on worker shape"
+        );
+    }
+}

@@ -123,18 +123,51 @@ impl DramSorter {
     pub fn simulate<R: Record>(&self, data: Vec<R>) -> Result<(Vec<R>, SorterReport), SorterError> {
         let array = ArrayParams::new(data.len() as u64, R::WIDTH_BYTES as u64);
         let plan = self.plan(&array)?;
+        let cfg = self.engine_config(&array, &plan);
+        let (sorted, sim) = SimEngine::new(cfg).sort(data);
+        Ok((sorted, self.simulated_report(&array, &plan, &sim)))
+    }
+
+    /// Like [`DramSorter::simulate`], but shards each merge pass across
+    /// its independent merge groups on `workers` threads (`0` = one per
+    /// core). The report is bit-identical for every worker count; see
+    /// [`bonsai_amt::shard`] for the sharded timing model.
+    ///
+    /// # Errors
+    ///
+    /// See [`DramSorter::plan`].
+    pub fn simulate_parallel<R: Record>(
+        &self,
+        data: Vec<R>,
+        workers: usize,
+    ) -> Result<(Vec<R>, SorterReport), SorterError> {
+        let array = ArrayParams::new(data.len() as u64, R::WIDTH_BYTES as u64);
+        let plan = self.plan(&array)?;
+        let cfg = self.engine_config(&array, &plan);
+        let (sorted, sim) = SimEngine::new(cfg).sort_sharded(data, workers);
+        Ok((sorted, self.simulated_report(&array, &plan, &sim)))
+    }
+
+    /// The cycle-simulator configuration for this plan, with the memory
+    /// model's bandwidth scaled to this sorter's hardware.
+    fn engine_config(&self, array: &ArrayParams, plan: &RankedConfig) -> SimEngineConfig {
         let amt = AmtConfig::new(plan.config.throughput_p, plan.config.leaves_l);
-        let mut cfg = SimEngineConfig {
+        let scale = self.hw.beta_dram / 32e9;
+        SimEngineConfig {
             amt,
             loader: LoaderConfig::paper_default(array.record_bytes),
-            memory: MemoryConfig::ddr4_aws_f1(),
+            memory: MemoryConfig::ddr4_aws_f1().with_bandwidth_scale(scale),
             presort: (plan.presort > 1).then_some(plan.presort),
-        };
-        // Scale the memory model's bandwidth to this sorter's hardware.
-        let scale = self.hw.beta_dram / 32e9;
-        cfg.memory = cfg.memory.with_bandwidth_scale(scale);
-        let (sorted, sim) = SimEngine::new(cfg).sort(data);
-        let report = SorterReport {
+        }
+    }
+
+    fn simulated_report(
+        &self,
+        array: &ArrayParams,
+        plan: &RankedConfig,
+        sim: &bonsai_amt::SortReport,
+    ) -> SorterReport {
+        SorterReport {
             name: "Bonsai DRAM sorter".into(),
             config: plan.config.to_string(),
             bytes: array.total_bytes(),
@@ -148,8 +181,7 @@ impl DramSorter {
                 })
                 .collect(),
             timing: Timing::Simulated,
-        };
-        Ok((sorted, report))
+        }
     }
 
     /// Projects the sorting time for an array of `bytes` without
@@ -221,6 +253,17 @@ mod tests {
         // Simulated and modeled times agree within the validation band.
         let ratio = rb.seconds() / ra.seconds();
         assert!((0.5..1.7).contains(&ratio), "sim/model ratio {ratio}");
+    }
+
+    #[test]
+    fn parallel_simulate_matches_serial_output() {
+        let data = uniform_u32(100_000, 9);
+        let (serial, _) = sorter().simulate(data.clone()).expect("fits");
+        let (w1, r1) = sorter().simulate_parallel(data.clone(), 1).expect("fits");
+        let (w4, r4) = sorter().simulate_parallel(data, 4).expect("fits");
+        assert_eq!(serial, w1, "sharded path must sort identically");
+        assert_eq!(w1, w4);
+        assert_eq!(r1, r4, "reports must not depend on worker count");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! measures the steady-state throughput and per-array latency that
 //! Equations 3 and 4 predict.
 
+use bonsai_check::Diagnostic;
+
 use crate::calibration::STREAM_EFFICIENCY;
 
 /// Configuration of a pipelined sorting run.
@@ -36,8 +38,25 @@ impl PipelineConfig {
         }
     }
 
+    /// Checks the configuration, reporting a `BON024` diagnostic for a
+    /// zero pipeline depth (which would otherwise make [`Self::eq3_rate`]
+    /// silently return `inf` from the `β_DRAM / λ_pipe` term).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        bonsai_check::check_copies(1, self.depth)
+    }
+
     /// The Equation 3 stage rate: `min(p·f·r, β_DRAM/λ_pipe, β_I/O)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`Self::validate`] (zero
+    /// pipeline depth).
     pub fn eq3_rate(&self) -> f64 {
+        let diagnostics = self.validate();
+        assert!(
+            !bonsai_check::has_errors(&diagnostics),
+            "invalid pipeline configuration: {diagnostics:?}"
+        );
         self.tree_rate
             .min(self.beta_dram / self.depth as f64)
             .min(self.beta_io)
@@ -85,9 +104,14 @@ impl PipelineRun {
 ///
 /// # Panics
 ///
-/// Panics if `depth` is zero or `array_bytes` is zero.
+/// Panics if the configuration fails [`PipelineConfig::validate`]
+/// (zero depth) or `array_bytes` is zero.
 pub fn simulate(config: &PipelineConfig, arrays: usize, array_bytes: u64) -> PipelineRun {
-    assert!(config.depth >= 1, "pipeline depth must be at least 1");
+    let diagnostics = config.validate();
+    assert!(
+        !bonsai_check::has_errors(&diagnostics),
+        "invalid pipeline configuration: {diagnostics:?}"
+    );
     assert!(array_bytes > 0, "arrays must be nonempty");
     // Per-stage processing rate: each stage gets an equal DRAM share and
     // cannot exceed its tree rate; the measured streaming derate applies.
@@ -140,6 +164,21 @@ pub fn simulate(config: &PipelineConfig, arrays: usize, array_bytes: u64) -> Pip
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_depth_is_a_bon024_error_not_inf() {
+        let cfg = PipelineConfig {
+            depth: 0,
+            ..PipelineConfig::ssd_phase_one()
+        };
+        let diagnostics = cfg.validate();
+        assert!(bonsai_check::has_errors(&diagnostics));
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::COPIES_ZERO));
+        assert!(std::panic::catch_unwind(|| cfg.eq3_rate()).is_err());
+        assert!(PipelineConfig::ssd_phase_one().validate().is_empty());
+    }
 
     #[test]
     fn steady_state_throughput_matches_eq3() {

@@ -15,6 +15,7 @@
 //! - [`amt`]: the Adaptive Merge Tree engine (the paper's architecture),
 //! - [`model`]: the Bonsai analytical models and configuration optimizer,
 //! - [`sorters`]: end-to-end DRAM / HBM / SSD sorting systems,
+//! - [`runtime`]: batch sort-job runtime (bounded queue, worker pool),
 //! - [`baselines`]: CPU radix-sort baseline and published-number models,
 //! - [`gensort`]: workload generation (including gensort 100-byte records).
 //!
@@ -39,4 +40,5 @@ pub use bonsai_memsim as memsim;
 pub use bonsai_merge_hw as merge_hw;
 pub use bonsai_model as model;
 pub use bonsai_records as records;
+pub use bonsai_runtime as runtime;
 pub use bonsai_sorters as sorters;
