@@ -27,8 +27,20 @@ const MAX_PASS_CYCLES: u64 = 50_000_000_000;
 pub struct SimEngine {
     config: SimEngineConfig,
     max_pass_cycles: u64,
+    reference_loop: bool,
     #[cfg(feature = "sanitize")]
     diagnostics: Vec<Diagnostic>,
+}
+
+/// Environment variable that forces the reference per-cycle loop
+/// (`BONSAI_SIM_REFERENCE=1`) instead of the event-driven fast path.
+/// The two paths produce bit-identical output and accounting (the
+/// equivalence suite enforces this); the variable exists so CI and
+/// debugging sessions can pin the loop that executes every cycle.
+pub const REFERENCE_LOOP_ENV: &str = "BONSAI_SIM_REFERENCE";
+
+fn reference_loop_from_env() -> bool {
+    std::env::var(REFERENCE_LOOP_ENV).is_ok_and(|v| v == "1")
 }
 
 impl SimEngine {
@@ -41,6 +53,7 @@ impl SimEngine {
         Ok(Self {
             config,
             max_pass_cycles: MAX_PASS_CYCLES,
+            reference_loop: reference_loop_from_env(),
             #[cfg(feature = "sanitize")]
             diagnostics: Vec::new(),
         })
@@ -69,6 +82,22 @@ impl SimEngine {
     pub fn with_max_pass_cycles(mut self, bound: u64) -> Self {
         self.max_pass_cycles = bound;
         self
+    }
+
+    /// Selects the simulation loop: `true` forces the reference per-cycle
+    /// loop, `false` the event-driven fast path (the default unless
+    /// [`REFERENCE_LOOP_ENV`] is set to `1`). Both produce bit-identical
+    /// sorted output and reports; only wall-clock time and the
+    /// `fast_forwarded_cycles` observability counters differ.
+    #[must_use]
+    pub fn with_reference_loop(mut self, reference: bool) -> Self {
+        self.reference_loop = reference;
+        self
+    }
+
+    /// Whether this engine runs the reference per-cycle loop.
+    pub fn reference_loop(&self) -> bool {
+        self.reference_loop
     }
 
     /// The engine configuration.
@@ -151,6 +180,7 @@ impl SimEngine {
                 stage,
                 workers,
                 engine.max_pass_cycles,
+                engine.reference_loop,
                 #[cfg(feature = "sanitize")]
                 &mut engine.diagnostics,
             )
@@ -205,13 +235,12 @@ impl SimEngine {
     ) -> Result<(RunSet<R>, PassReport), SortError> {
         let mut sim = crate::passsim::PassSim::new(&self.config, runs, fan_in);
         let mut memory = Memory::new(self.config.memory);
-        let mut cycle = 0u64;
-        while !sim.tick(cycle, &mut memory) {
-            cycle += 1;
-            if cycle >= self.max_pass_cycles {
-                return Err(SortError::livelock(stage, self.max_pass_cycles));
-            }
-        }
+        sim.run(
+            &mut memory,
+            self.reference_loop,
+            self.max_pass_cycles,
+            stage,
+        )?;
         #[cfg(feature = "sanitize")]
         self.diagnostics.extend(
             sim.sanitize_check()

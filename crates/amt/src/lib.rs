@@ -45,7 +45,7 @@ mod error;
 pub mod functional;
 pub mod graph;
 mod loser_tree;
-pub(crate) mod passsim;
+pub mod passsim;
 mod report;
 pub mod schedule;
 pub mod shard;
@@ -53,7 +53,7 @@ mod tree;
 mod unrolled;
 
 pub use config::{AmtConfig, SimEngineConfig};
-pub use engine::SimEngine;
+pub use engine::{SimEngine, REFERENCE_LOOP_ENV};
 pub use error::SortError;
 pub use loser_tree::{loser_tree_merge, LoserTree};
 pub use report::{PassReport, SortReport};

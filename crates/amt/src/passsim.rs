@@ -1,6 +1,18 @@
 //! A steppable single-stage pass simulation, shared by [`crate::SimEngine`]
 //! (one tree, private memory) and [`crate::UnrolledSim`] (λ trees
 //! contending for one memory).
+//!
+//! The pass can be driven two ways with bit-identical accounting:
+//!
+//! - [`PassSim::tick`] — the reference per-cycle loop: one call per
+//!   simulated cycle, exactly the schedule the hardware executes.
+//! - [`PassSim::advance`] — the event-driven fast path: when a tick
+//!   changes *nothing* (tree quiescent, no burst delivered or issued),
+//!   every following cycle is provably identical until the next memory
+//!   event, so the clock jumps straight to
+//!   `min(loader, drain).next_event_cycle()` and the skipped span is
+//!   folded into the same `cycles`/stall counters the per-cycle loop
+//!   would have produced (see `docs/SIMULATOR.md` for the argument).
 
 use bonsai_memsim::{DataLoader, Memory, WriteDrain};
 use bonsai_merge_hw::stream::split_runs;
@@ -8,6 +20,7 @@ use bonsai_records::run::RunSet;
 use bonsai_records::Record;
 
 use crate::config::SimEngineConfig;
+use crate::error::SortError;
 use crate::report::PassReport;
 use crate::tree::MergeTree;
 
@@ -15,7 +28,7 @@ use crate::tree::MergeTree;
 /// caller-provided [`Memory`] (so several passes can share the memory's
 /// ports and contend for bandwidth, as unrolled trees do on real banks).
 #[derive(Debug)]
-pub(crate) struct PassSim<R> {
+pub struct PassSim<R> {
     l: usize,
     n_records: u64,
     runs_in: u64,
@@ -31,6 +44,7 @@ pub(crate) struct PassSim<R> {
     draining_signalled: bool,
     done: bool,
     cycles: u64,
+    fast_forwarded: u64,
 }
 
 impl<R: Record> PassSim<R> {
@@ -39,7 +53,7 @@ impl<R: Record> PassSim<R> {
     /// # Panics
     ///
     /// Panics unless `2 <= fan_in <= l`.
-    pub(crate) fn new(config: &SimEngineConfig, runs: RunSet<R>, fan_in: usize) -> Self {
+    pub fn new(config: &SimEngineConfig, runs: RunSet<R>, fan_in: usize) -> Self {
         let l = config.amt.l;
         assert!(fan_in >= 2 && fan_in <= l, "fan-in must be in [2, l]");
         let runs_in = runs.num_runs() as u64;
@@ -88,35 +102,71 @@ impl<R: Record> PassSim<R> {
             draining_signalled: false,
             done: false,
             cycles: 0,
+            fast_forwarded: 0,
         }
     }
 
-    /// Advances one cycle against `memory`. Returns `true` when done.
-    pub(crate) fn tick(&mut self, cycle: u64, memory: &mut Memory) -> bool {
-        if self.done {
-            return true;
-        }
+    /// Returns `true` once the pass has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Cycles simulated so far (including fast-forwarded spans).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Of [`PassSim::cycles`], how many were fast-forwarded.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.fast_forwarded
+    }
+
+    /// Simulates exactly one cycle; returns `true` when any state in the
+    /// pass changed (the quiescence signal the fast path keys on).
+    fn step(&mut self, cycle: u64, memory: &mut Memory) -> bool {
         self.cycles += 1;
-        self.loader.tick(cycle, memory);
+        let mut changed = self.loader.tick(cycle, memory);
 
         // Feed leaves: terminals flow freely (generated on chip by the
-        // zero-append unit); payload is gated by the loader.
+        // zero-append unit); payload is gated by the loader. Free FIFO
+        // space and loader availability are sampled once per leaf per
+        // cycle and the records move as one batch.
         for leaf in 0..self.l {
             let stream = &self.leaf_streams[leaf];
-            while self.leaf_pos[leaf] < stream.len() && self.tree.leaf_free(leaf) > 0 {
-                let rec = stream[self.leaf_pos[leaf]];
-                if !rec.is_terminal() {
-                    if self.loader.available(leaf) == 0 {
-                        break;
-                    }
-                    self.loader.consume(leaf, 1);
-                }
-                self.tree.push_leaf(leaf, rec);
-                self.leaf_pos[leaf] += 1;
+            let pos = self.leaf_pos[leaf];
+            if pos == stream.len() {
+                continue;
             }
+            let free = self.tree.leaf_free(leaf);
+            if free == 0 {
+                continue;
+            }
+            let avail = self.loader.available(leaf);
+            let mut take = 0usize;
+            let mut payload = 0u64;
+            while take < free && pos + take < stream.len() {
+                if stream[pos + take].is_terminal() {
+                    take += 1;
+                } else if payload < avail {
+                    payload += 1;
+                    take += 1;
+                } else {
+                    break;
+                }
+            }
+            if take == 0 {
+                continue;
+            }
+            if payload > 0 {
+                self.loader.consume(leaf, payload);
+            }
+            let pushed = self.tree.push_leaf_slice(leaf, &stream[pos..pos + take]);
+            debug_assert_eq!(pushed, take, "leaf_free promised space");
+            self.leaf_pos[leaf] += take;
+            changed = true;
         }
 
-        self.tree.tick();
+        changed |= self.tree.tick();
 
         // Zero filter + packer: move root output into the write drain;
         // terminals mark run boundaries and cost no bandwidth.
@@ -128,6 +178,7 @@ impl<R: Record> PassSim<R> {
                 self.drain.push_records(1);
             }
             self.out_stream.push(rec);
+            changed = true;
         }
 
         let input_done = self
@@ -138,13 +189,103 @@ impl<R: Record> PassSim<R> {
         if input_done && self.tree.is_drained() && !self.draining_signalled {
             self.drain.set_draining();
             self.draining_signalled = true;
+            changed = true;
         }
 
-        self.drain.tick(cycle, memory);
+        changed |= self.drain.tick(cycle, memory);
         if input_done && self.tree.is_drained() && self.drain.is_idle() {
             self.done = true;
+            changed = true;
         }
+        changed
+    }
+
+    /// Advances one cycle against `memory` — the reference per-cycle
+    /// loop. Returns `true` when done.
+    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) -> bool {
+        if self.done {
+            return true;
+        }
+        self.step(cycle, memory);
         self.done
+    }
+
+    /// Advances the pass by *at least* one cycle, returning how many
+    /// simulated cycles were consumed — the event-driven fast path.
+    ///
+    /// The cycle at `cycle` is always simulated exactly. If it changed
+    /// nothing, the pass is quiescent: every later cycle is a provable
+    /// no-op until the earliest loader/drain event, so the clock jumps
+    /// there in O(1) ([`MergeTree::fast_forward`]) with the skipped span
+    /// folded into the identical cycle and stall counters. With no
+    /// pending event at all the pass is livelocked and a saturating span
+    /// is returned so the caller's cycle bound trips exactly as it would
+    /// on the reference loop.
+    ///
+    /// Check [`PassSim::is_done`] after each call.
+    pub fn advance(&mut self, cycle: u64, memory: &mut Memory) -> u64 {
+        if self.done {
+            return 1;
+        }
+        let changed = self.step(cycle, memory);
+        if changed || self.done {
+            return 1;
+        }
+        let next = match (
+            self.loader.next_event_cycle(cycle, memory),
+            self.drain.next_event_cycle(cycle, memory),
+        ) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) | (None, Some(a)) => a,
+            // Livelocked: nothing in flight, nothing issuable, tree
+            // frozen. No future cycle can differ, so report a span that
+            // saturates the caller's livelock bound.
+            (None, None) => return u64::MAX - cycle,
+        };
+        debug_assert!(next > cycle, "events must be in the future");
+        let skip = next.saturating_sub(cycle + 1);
+        if skip > 0 {
+            self.cycles += skip;
+            self.fast_forwarded += skip;
+            self.tree.fast_forward(skip);
+        }
+        1 + skip
+    }
+
+    /// Drives the pass to completion against `memory` — on the reference
+    /// per-cycle loop when `reference` is true, else on the event-driven
+    /// fast path. A pass still unfinished when the simulated clock
+    /// reaches `max_cycles` fails with the `BON040` livelock
+    /// [`SortError`] for `stage`. The bound is checked against the same
+    /// simulated clock on both loops (fast-forwarded spans count in
+    /// full, and a livelocked pass reports a saturating span), and
+    /// neither loop ever simulates a cycle `>= max_cycles`, so the two
+    /// paths succeed or fail identically.
+    pub fn run(
+        &mut self,
+        memory: &mut Memory,
+        reference: bool,
+        max_cycles: u64,
+        stage: u32,
+    ) -> Result<(), SortError> {
+        let mut cycle = 0u64;
+        loop {
+            if reference {
+                if self.tick(cycle, memory) {
+                    return Ok(());
+                }
+                cycle += 1;
+            } else {
+                let consumed = self.advance(cycle, memory);
+                if self.done {
+                    return Ok(());
+                }
+                cycle = cycle.saturating_add(consumed);
+            }
+            if cycle >= max_cycles {
+                return Err(SortError::livelock(stage, max_cycles));
+            }
+        }
     }
 
     /// Runs every sanitizer probe over the pass: merger-level findings
@@ -155,7 +296,7 @@ impl<R: Record> PassSim<R> {
     /// Call after the pass is done; only available with the `sanitize`
     /// feature.
     #[cfg(feature = "sanitize")]
-    pub(crate) fn sanitize_check(&mut self) -> Vec<bonsai_check::Diagnostic> {
+    pub fn sanitize_check(&mut self) -> Vec<bonsai_check::Diagnostic> {
         use bonsai_check::{codes, Diagnostic};
         let mut out = self.tree.sanitize_check();
         out.extend(self.loader.sanitize_check());
@@ -194,7 +335,7 @@ impl<R: Record> PassSim<R> {
     /// # Panics
     ///
     /// Panics if the pass is not done.
-    pub(crate) fn finish(self, stage: u32) -> (RunSet<R>, PassReport) {
+    pub fn finish(self, stage: u32) -> (RunSet<R>, PassReport) {
         assert!(self.done, "pass must run to completion before finish()");
         debug_assert_eq!(self.drain.completed_records(), self.n_records);
         let out_runs = split_runs(&self.out_stream).expect("root output is terminal-delimited");
@@ -212,6 +353,7 @@ impl<R: Record> PassSim<R> {
             bytes_written: 0,
             input_stalls: tree_stats.total_input_stalls,
             output_stalls: tree_stats.total_output_stalls,
+            fast_forwarded_cycles: self.fast_forwarded,
         };
         (out_runs, pass)
     }

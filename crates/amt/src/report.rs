@@ -24,6 +24,11 @@ pub struct PassReport {
     pub input_stalls: u64,
     /// Total merger output-stall cycles (across all mergers).
     pub output_stalls: u64,
+    /// Of `cycles`, how many were skipped by the event-driven
+    /// fast-forward scheduler rather than simulated one by one.
+    /// Observability only: always `0` on the reference per-cycle path,
+    /// and excluded from cross-path equivalence comparisons.
+    pub fast_forwarded_cycles: u64,
 }
 
 impl PassReport {
@@ -53,18 +58,23 @@ pub struct SortReport {
     pub record_bytes: u64,
     /// Kernel clock in Hz used for time conversions.
     pub freq_hz: f64,
+    /// Total simulated cycles the fast-forward scheduler skipped instead
+    /// of ticking (see [`PassReport::fast_forwarded_cycles`]).
+    pub fast_forwarded_cycles: u64,
 }
 
 impl SortReport {
     /// Builds a report from per-stage passes at the default clock.
     pub fn from_passes(passes: Vec<PassReport>, n_records: u64, record_bytes: u64) -> Self {
         let total_cycles = passes.iter().map(|p| p.cycles).sum();
+        let fast_forwarded_cycles = passes.iter().map(|p| p.fast_forwarded_cycles).sum();
         Self {
             passes,
             total_cycles,
             n_records,
             record_bytes,
             freq_hz: DEFAULT_FREQ_HZ,
+            fast_forwarded_cycles,
         }
     }
 
@@ -133,6 +143,7 @@ mod tests {
             bytes_written: records * 4,
             input_stalls: 0,
             output_stalls: 0,
+            fast_forwarded_cycles: 0,
         }
     }
 

@@ -57,6 +57,7 @@ struct GroupOutcome<R> {
     bytes_written: u64,
     input_stalls: u64,
     output_stalls: u64,
+    fast_forwarded_cycles: u64,
     #[cfg(feature = "sanitize")]
     diagnostics: Vec<bonsai_check::Diagnostic>,
 }
@@ -82,16 +83,11 @@ fn simulate_group<R: Record>(
     fan_in: usize,
     stage: u32,
     max_cycles: u64,
+    reference: bool,
 ) -> Result<GroupOutcome<R>, SortError> {
     let mut sim = PassSim::new(config, runs, fan_in);
     let mut memory = Memory::new(config.memory.shard_view(fan_in));
-    let mut cycle = 0u64;
-    while !sim.tick(cycle, &mut memory) {
-        cycle += 1;
-        if cycle >= max_cycles {
-            return Err(SortError::livelock(stage, max_cycles));
-        }
-    }
+    sim.run(&mut memory, reference, max_cycles, stage)?;
     #[cfg(feature = "sanitize")]
     let diagnostics = sim.sanitize_check();
     let (out_runs, pass) = sim.finish(stage);
@@ -102,6 +98,7 @@ fn simulate_group<R: Record>(
         bytes_written: memory.bytes_written(),
         input_stalls: pass.input_stalls,
         output_stalls: pass.output_stalls,
+        fast_forwarded_cycles: pass.fast_forwarded_cycles,
         #[cfg(feature = "sanitize")]
         diagnostics,
     })
@@ -110,6 +107,7 @@ fn simulate_group<R: Record>(
 /// Runs one merge stage sharded across its groups on `workers` threads
 /// (`0` = all cores), merging the per-group accounting back into a
 /// single [`PassReport`] in group order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_pass_sharded<R: Record>(
     config: &SimEngineConfig,
     runs: &RunSet<R>,
@@ -117,6 +115,7 @@ pub(crate) fn run_pass_sharded<R: Record>(
     stage: u32,
     workers: usize,
     max_cycles: u64,
+    reference: bool,
     #[cfg(feature = "sanitize")] diagnostics: &mut Vec<bonsai_check::Diagnostic>,
 ) -> Result<(RunSet<R>, PassReport), SortError> {
     let n_runs = runs.num_runs();
@@ -137,7 +136,7 @@ pub(crate) fn run_pass_sharded<R: Record>(
                     break;
                 }
                 let input = group_input(runs, g, fan_in);
-                let result = simulate_group(config, input, fan_in, stage, max_cycles);
+                let result = simulate_group(config, input, fan_in, stage, max_cycles, reference);
                 let _ = slots[g].set(result);
             });
         }
@@ -155,6 +154,7 @@ pub(crate) fn run_pass_sharded<R: Record>(
         bytes_written: 0,
         input_stalls: 0,
         output_stalls: 0,
+        fast_forwarded_cycles: 0,
     };
     for (g, slot) in slots.into_iter().enumerate() {
         let outcome = slot
@@ -167,6 +167,7 @@ pub(crate) fn run_pass_sharded<R: Record>(
         pass.bytes_written += outcome.bytes_written;
         pass.input_stalls += outcome.input_stalls;
         pass.output_stalls += outcome.output_stalls;
+        pass.fast_forwarded_cycles += outcome.fast_forwarded_cycles;
         #[cfg(feature = "sanitize")]
         diagnostics.extend(
             outcome

@@ -30,6 +30,23 @@ pub struct TreeStats {
 /// Input streams must be terminal-delimited runs, one terminal per run
 /// per leaf, with every leaf carrying the same number of runs; the root
 /// then emits one terminal-delimited merged run per input "wave".
+///
+/// # Active-node worklist
+///
+/// Ticking every merger every cycle wastes work on settled subtrees, so
+/// the tree keeps a worklist: a merger whose tick changes nothing (and
+/// whose coupler moves nothing) is *deactivated* and skipped until an
+/// event that could unblock it — input pushed ([`MergeTree::push_leaf`]),
+/// root output popped ([`MergeTree::pop_root`]), its coupler delivering
+/// into the parent, or its parent consuming input (which frees coupler
+/// space). Skipped cycles are still accounted: each node carries an
+/// `accounted`-through counter, and the arrears are settled in bulk via
+/// [`bonsai_merge_hw::KMerger::add_stalled_cycles`] before the node's
+/// state can next change (or virtually, in [`MergeTree::stats`]). Since a
+/// skipped node's state is frozen, the bulk classification (output stall
+/// if its output FIFO is full, input stall otherwise) is exactly what
+/// per-cycle ticks would have recorded, so cycle and stall counters are
+/// bit-identical to the always-tick schedule.
 #[derive(Debug, Clone)]
 pub struct MergeTree<R> {
     config: AmtConfig,
@@ -37,6 +54,15 @@ pub struct MergeTree<R> {
     nodes: Vec<KMerger<R>>,
     /// Index of the first deepest-level merger.
     first_leaf_node: usize,
+    /// Completed tree ticks (including fast-forwarded spans).
+    tick_count: u64,
+    /// Per-node count of ticks already reflected in its `MergerStats`;
+    /// `tick_count - accounted[i]` is node `i`'s stall arrears.
+    accounted: Vec<u64>,
+    /// Worklist membership: only active nodes are ticked.
+    active: Vec<bool>,
+    /// Number of `true` entries in `active`.
+    active_count: usize,
 }
 
 impl<R: Record> MergeTree<R> {
@@ -56,10 +82,35 @@ impl<R: Record> MergeTree<R> {
             }
         }
         let first_leaf_node = (config.l / 2) - 1;
+        let n = nodes.len();
         Self {
             config,
             nodes,
             first_leaf_node,
+            tick_count: 0,
+            accounted: vec![0; n],
+            active: vec![true; n],
+            active_count: n,
+        }
+    }
+
+    /// Settles node `idx`'s stall arrears so its stats reflect every
+    /// completed tick. Must be called before any mutation that could
+    /// change the node's stall classification (popping its output).
+    fn settle(&mut self, idx: usize) {
+        let due = self.tick_count.saturating_sub(self.accounted[idx]);
+        if due > 0 {
+            self.nodes[idx].add_stalled_cycles(due);
+            self.accounted[idx] = self.tick_count;
+        }
+    }
+
+    /// Settles arrears and puts node `idx` back on the worklist.
+    fn wake(&mut self, idx: usize) {
+        self.settle(idx);
+        if !self.active[idx] {
+            self.active[idx] = true;
+            self.active_count += 1;
         }
     }
 
@@ -100,14 +151,39 @@ impl<R: Record> MergeTree<R> {
     /// first.
     pub fn push_leaf(&mut self, leaf: usize, rec: R) {
         let (node, side) = self.leaf_port(leaf);
+        self.wake(node);
         self.nodes[node]
             .push_input(side, rec)
             .unwrap_or_else(|_| panic!("leaf {leaf} FIFO overflow"));
     }
 
+    /// Pushes as many records from `recs` as fit into leaf `leaf`, in
+    /// order, and returns how many were accepted — the bulk counterpart
+    /// of [`MergeTree::push_leaf`] for batched leaf feeding.
+    pub fn push_leaf_slice(&mut self, leaf: usize, recs: &[R]) -> usize {
+        if recs.is_empty() {
+            return 0;
+        }
+        let (node, side) = self.leaf_port(leaf);
+        self.wake(node);
+        self.nodes[node].push_input_slice(side, recs)
+    }
+
     /// Pops the next root output record, if any.
     pub fn pop_root(&mut self) -> Option<R> {
-        self.nodes[0].pop_output()
+        if self.nodes[0].output_len() == 0 {
+            return None;
+        }
+        // Settle before the pop: removing output can flip the root's
+        // stall class from output- to input-stalled.
+        self.settle(0);
+        let rec = self.nodes[0].pop_output();
+        debug_assert!(rec.is_some(), "output_len promised a record");
+        if !self.active[0] {
+            self.active[0] = true;
+            self.active_count += 1;
+        }
+        rec
     }
 
     /// Records currently queued at the root output.
@@ -119,27 +195,94 @@ impl<R: Record> MergeTree<R> {
     /// first, each level's output moving straight into its parent's input
     /// FIFO (the couplers), so the root sees this cycle's production —
     /// modeling the fully pipelined hardware datapath.
-    pub fn tick(&mut self) {
+    ///
+    /// Only active (worklist) nodes are ticked; skipped nodes' stall
+    /// cycles accrue as arrears (see the type-level docs). Returns `true`
+    /// when any merger or coupler changed state this cycle. A `false`
+    /// return is stable: with no external push or pop, every future tick
+    /// is also a no-op, so the caller may [`MergeTree::fast_forward`].
+    pub fn tick(&mut self) -> bool {
+        if self.active_count == 0 {
+            self.tick_count += 1;
+            return false;
+        }
+        let mut tree_changed = false;
         for node_idx in (0..self.nodes.len()).rev() {
-            self.nodes[node_idx].tick();
-            if node_idx == 0 {
-                break;
+            if !self.active[node_idx] {
+                continue;
             }
-            let parent = (node_idx - 1) / 2;
-            let side = if node_idx % 2 == 1 {
-                Side::Left
-            } else {
-                Side::Right
-            };
-            while self.nodes[parent].input_free(side) > 0 {
-                let Some(rec) = self.nodes[node_idx].pop_output() else {
-                    break;
+            // A node woken mid-previous-tick may still owe one stall
+            // cycle; settle before ticking so stats stay exact.
+            self.settle(node_idx);
+            let node_changed = self.nodes[node_idx].tick();
+            self.accounted[node_idx] += 1;
+
+            let mut coupler_moved = false;
+            if node_idx > 0 {
+                let parent = (node_idx - 1) / 2;
+                let side = if node_idx % 2 == 1 {
+                    Side::Left
+                } else {
+                    Side::Right
                 };
-                self.nodes[parent]
-                    .push_input(side, rec)
-                    .expect("space checked above");
+                if self.nodes[node_idx].output_len() > 0 && self.nodes[parent].input_free(side) > 0
+                {
+                    // The parent's input is about to change: settle its
+                    // arrears and put it on the worklist (it sits at a
+                    // lower index, so it still ticks later this cycle —
+                    // same order the always-tick schedule sees).
+                    self.wake(parent);
+                    while self.nodes[parent].input_free(side) > 0 {
+                        let Some(rec) = self.nodes[node_idx].pop_output() else {
+                            break;
+                        };
+                        self.nodes[parent]
+                            .push_input(side, rec)
+                            .expect("space checked above");
+                        coupler_moved = true;
+                    }
+                }
+            }
+
+            if node_changed || coupler_moved {
+                tree_changed = true;
+                // The node consumed input and/or drained output, so its
+                // children may have coupler space again next cycle.
+                let child = 2 * node_idx + 1;
+                if child < self.nodes.len() {
+                    self.wake(child);
+                    if child + 1 < self.nodes.len() {
+                        self.wake(child + 1);
+                    }
+                }
+            } else {
+                // Pure stall (already recorded by its own tick): freeze
+                // the node until an external event can unblock it.
+                self.active[node_idx] = false;
+                self.active_count -= 1;
             }
         }
+        self.tick_count += 1;
+        tree_changed
+    }
+
+    /// Number of completed tree ticks, including fast-forwarded spans.
+    pub fn tick_count(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// Advances the clock by `cycles` ticks in O(1) without simulating
+    /// them. Only valid when the tree is quiescent — the previous
+    /// [`MergeTree::tick`] returned `false`, which guarantees every node
+    /// was deactivated and each skipped cycle is a stall identical to the
+    /// last one; the span lands in the same per-node stall counters via
+    /// the arrears mechanism.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert_eq!(
+            self.active_count, 0,
+            "fast-forward requires a quiescent tree (last tick returned false)"
+        );
+        self.tick_count += cycles;
     }
 
     /// Returns `true` when no records remain anywhere in the tree.
@@ -161,6 +304,10 @@ impl<R: Record> MergeTree<R> {
     }
 
     /// Aggregated statistics.
+    ///
+    /// Includes each node's unsettled stall arrears (classified exactly
+    /// as settling would), so the result is independent of when skipped
+    /// nodes were last woken.
     pub fn stats(&self) -> TreeStats {
         let root = self.nodes[0].stats();
         let mut s = TreeStats {
@@ -168,10 +315,18 @@ impl<R: Record> MergeTree<R> {
             root_flushes: root.flushes,
             ..TreeStats::default()
         };
-        for node in &self.nodes {
+        for (idx, node) in self.nodes.iter().enumerate() {
             let st = node.stats();
             s.total_input_stalls += st.input_stalls;
             s.total_output_stalls += st.output_stalls;
+            let due = self.tick_count.saturating_sub(self.accounted[idx]);
+            if due > 0 {
+                if node.output_full() {
+                    s.total_output_stalls += due;
+                } else {
+                    s.total_input_stalls += due;
+                }
+            }
         }
         s
     }
@@ -299,5 +454,109 @@ mod tests {
     fn push_to_invalid_leaf_panics() {
         let mut tree: MergeTree<U32Rec> = MergeTree::new(AmtConfig::new(2, 4));
         tree.push_leaf(4, U32Rec::new(1));
+    }
+
+    /// Every node must account for every elapsed cycle, either in its
+    /// settled `MergerStats` or as pending arrears — the conservation law
+    /// behind the lazy worklist accounting.
+    #[test]
+    fn worklist_accounting_balances_every_cycle() {
+        let config = AmtConfig::new(2, 8);
+        let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+        // Feed only two leaves so most of the tree is permanently
+        // starved (deactivated, accruing arrears).
+        let recs: Vec<U32Rec> = (1..=6).map(U32Rec::new).collect();
+        tree.push_leaf_slice(0, &recs);
+        tree.push_leaf(0, U32Rec::TERMINAL);
+        tree.push_leaf(1, U32Rec::new(4));
+        tree.push_leaf(1, U32Rec::TERMINAL);
+        for t in 0..60u64 {
+            tree.tick();
+            if t % 3 == 0 {
+                let _ = tree.pop_root();
+            }
+            let n = tree.nodes.len() as u64;
+            let settled: u64 = tree.nodes.iter().map(|m| m.stats().cycles).sum();
+            let arrears: u64 = (0..tree.nodes.len())
+                .map(|i| tree.tick_count - tree.accounted[i])
+                .sum();
+            assert_eq!(settled + arrears, tree.tick_count * n, "cycle {t}");
+            assert_eq!(tree.tick_count(), t + 1);
+        }
+        // With nothing moving anymore the tree reports quiescence, and a
+        // fast-forwarded span lands entirely in the stall counters.
+        assert!(!tree.tick());
+        let before = tree.stats();
+        tree.fast_forward(1_000);
+        let after = tree.stats();
+        let extra_stalls = (after.total_input_stalls + after.total_output_stalls)
+            - (before.total_input_stalls + before.total_output_stalls);
+        assert_eq!(extra_stalls, 1_000 * tree.nodes.len() as u64);
+        assert_eq!(after.root_records_out, before.root_records_out);
+    }
+
+    /// The worklist + arrears machinery must be invisible in the stats:
+    /// a 1-node tree driven with idle gaps and output back-pressure has
+    /// to report exactly what an always-ticked standalone merger does.
+    #[test]
+    fn single_node_tree_stats_match_always_ticked_merger() {
+        let config = AmtConfig::new(4, 2);
+        let mut tree: MergeTree<U32Rec> = MergeTree::new(config);
+        // Same width and FIFO capacity as the tree's single node.
+        let mut reference: KMerger<U32Rec> = KMerger::new(4, 32);
+
+        let mut left: Vec<U32Rec> = Vec::new();
+        let mut right: Vec<U32Rec> = Vec::new();
+        for run in 0..3 {
+            for v in 0..10u32 {
+                left.push(U32Rec::new(100 * run + 2 * v + 1));
+                right.push(U32Rec::new(100 * run + 2 * v + 2));
+            }
+            left.push(U32Rec::TERMINAL);
+            right.push(U32Rec::TERMINAL);
+        }
+        let (mut lp, mut rp) = (0, 0);
+        let mut tree_out = Vec::new();
+        let mut ref_out = Vec::new();
+        for t in 0..400u64 {
+            // Bursty feed: several idle windows, then a few records.
+            if t % 13 < 2 {
+                let n = tree.leaf_free(0).min(3).min(left.len() - lp);
+                for rec in &left[lp..lp + n] {
+                    tree.push_leaf(0, *rec);
+                    reference.push_left(*rec).unwrap();
+                }
+                lp += n;
+                let n = tree.leaf_free(1).min(2).min(right.len() - rp);
+                for rec in &right[rp..rp + n] {
+                    tree.push_leaf(1, *rec);
+                    reference.push_right(*rec).unwrap();
+                }
+                rp += n;
+            }
+            tree.tick();
+            reference.tick();
+            // Pop rarely so output back-pressure windows occur.
+            if t % 9 == 0 {
+                while let Some(r) = tree.pop_root() {
+                    tree_out.push(r);
+                }
+                while let Some(r) = reference.pop_output() {
+                    ref_out.push(r);
+                }
+            }
+        }
+        assert_eq!(tree_out, ref_out);
+        assert_eq!(lp, left.len(), "feed script must finish");
+        // Virtual (stats) view and the always-ticked reference agree.
+        let stats = tree.stats();
+        let want = reference.stats();
+        assert_eq!(stats.root_records_out, want.records_out);
+        assert_eq!(stats.root_flushes, want.flushes);
+        assert_eq!(stats.total_input_stalls, want.input_stalls);
+        assert_eq!(stats.total_output_stalls, want.output_stalls);
+        // And settling for real matches too.
+        tree.settle(0);
+        assert_eq!(tree.nodes[0].stats(), want);
     }
 }

@@ -1,0 +1,137 @@
+//! Cross-path equivalence: event-driven fast forward vs reference loop.
+//!
+//! The fast-forward scheduler's contract is that it is a wall-clock
+//! optimization and nothing else: for any configuration, the fast path
+//! and the reference per-cycle loop must produce the same sorted output
+//! and the same `SortReport`, bit for bit, with the sole exception of
+//! the `fast_forwarded_cycles` observability counters (always zero on
+//! the reference path). These tests draw randomized configurations and
+//! check the invariant on the fused and the sharded engine; the in-repo
+//! experiment configs are covered by the bench crate's equivalence
+//! suite.
+
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig, SortReport};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::MemoryConfig;
+use bonsai_records::U32Rec;
+use bonsai_rng::Rng;
+
+/// Strips the observability counters that legitimately differ between
+/// the two loops; everything else must match exactly.
+fn normalized(mut r: SortReport) -> SortReport {
+    r.fast_forwarded_cycles = 0;
+    for p in &mut r.passes {
+        p.fast_forwarded_cycles = 0;
+    }
+    r
+}
+
+fn engine(cfg: SimEngineConfig, reference: bool) -> SimEngine {
+    SimEngine::new(cfg).with_reference_loop(reference)
+}
+
+fn random_config(rng: &mut Rng) -> SimEngineConfig {
+    let p = 1 << rng.below_usize(4);
+    let l = 1 << rng.range_usize(1, 6);
+    let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+    if rng.chance_percent(25) {
+        cfg = cfg.without_presort();
+    }
+    if rng.chance_percent(30) {
+        cfg.memory = MemoryConfig::ddr4_single_bank();
+    }
+    cfg
+}
+
+fn random_data(rng: &mut Rng, max_len: usize) -> Vec<U32Rec> {
+    let len = rng.range_usize(1, max_len);
+    (0..len)
+        .map(|_| U32Rec::new(rng.next_u32().max(1)))
+        .collect()
+}
+
+#[test]
+fn fast_path_matches_reference_on_random_configs() {
+    let mut rng = Rng::seed_from_u64(0x0FA5_7F0D);
+    for round in 0..18 {
+        let cfg = random_config(&mut rng);
+        let data = random_data(&mut rng, 25_000);
+        let (out_ref, rep_ref) = engine(cfg, true).sort(data.clone());
+        let (out_fast, rep_fast) = engine(cfg, false).sort(data);
+        assert_eq!(out_ref, out_fast, "round {round}: fused outputs diverge");
+        assert_eq!(
+            rep_ref.fast_forwarded_cycles, 0,
+            "round {round}: reference path must never fast-forward"
+        );
+        assert_eq!(
+            normalized(rep_ref),
+            normalized(rep_fast),
+            "round {round}: fused reports diverge"
+        );
+    }
+}
+
+#[test]
+fn sharded_fast_path_matches_reference_at_every_worker_count() {
+    let mut rng = Rng::seed_from_u64(0xEC01_2303);
+    for round in 0..8 {
+        let cfg = random_config(&mut rng);
+        let data = random_data(&mut rng, 20_000);
+        let (out_ref, rep_ref) = engine(cfg, true).sort_sharded(data.clone(), 1);
+        // 0 = one worker per core, the "max" point of the matrix.
+        for workers in [1usize, 2, 0] {
+            let (out_fast, rep_fast) = engine(cfg, false).sort_sharded(data.clone(), workers);
+            assert_eq!(
+                out_ref, out_fast,
+                "round {round} workers={workers}: sharded outputs diverge"
+            );
+            assert_eq!(
+                normalized(rep_ref.clone()),
+                normalized(rep_fast),
+                "round {round} workers={workers}: sharded reports diverge"
+            );
+        }
+    }
+}
+
+/// The SSD-scale shape of the perf baseline: a single slow access
+/// stream with flash-scale burst setup, so the machine spends most of
+/// its cycles waiting on memory.
+fn ssd_scale_config() -> SimEngineConfig {
+    let mut cfg =
+        SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::ssd_direct());
+    // Flash batches are large to amortize the access latency.
+    cfg.loader.batch_bytes = 131_072;
+    cfg
+}
+
+#[test]
+fn memory_bound_config_fast_forwards_most_cycles() {
+    let cfg = ssd_scale_config();
+    let data = uniform_u32(40_000, 7);
+    let (out_fast, rep_fast) = engine(cfg, false).sort(data.clone());
+    assert!(
+        rep_fast.fast_forwarded_cycles > rep_fast.total_cycles / 2,
+        "only {} of {} cycles fast-forwarded on a memory-bound config",
+        rep_fast.fast_forwarded_cycles,
+        rep_fast.total_cycles
+    );
+    let (out_ref, rep_ref) = engine(cfg, true).sort(data);
+    assert_eq!(out_ref, out_fast);
+    assert_eq!(normalized(rep_ref), normalized(rep_fast));
+}
+
+#[test]
+fn livelock_bound_trips_identically_on_both_paths() {
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    let data = uniform_u32(50_000, 4);
+    let err_ref = engine(cfg, true)
+        .with_max_pass_cycles(10)
+        .try_sort(data.clone())
+        .expect_err("bound of 10 cycles must trip");
+    let err_fast = engine(cfg, false)
+        .with_max_pass_cycles(10)
+        .try_sort(data)
+        .expect_err("bound of 10 cycles must trip");
+    assert_eq!(err_ref, err_fast, "BON040 must not depend on the loop");
+}

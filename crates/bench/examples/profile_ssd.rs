@@ -1,0 +1,56 @@
+//! Scratch profiler for the fast-forward scheduler (not part of the suite).
+use bonsai_amt::passsim::PassSim;
+use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::{Memory, MemoryConfig};
+use bonsai_records::run::RunSet;
+use bonsai_records::{Record, U32Rec};
+use std::time::Instant;
+
+fn profile(label: &str, cfg: SimEngineConfig, n: usize, fan_in: usize) {
+    let data = uniform_u32(n, 2025);
+    let sanitized: Vec<U32Rec> = data.into_iter().map(Record::sanitize).collect();
+    for reference in [true, false] {
+        let runs = RunSet::from_chunks(sanitized.clone(), cfg.initial_run_len());
+        let mut sim = PassSim::new(&cfg, runs, fan_in);
+        let mut memory = Memory::new(cfg.memory);
+        let t1 = Instant::now();
+        let mut cycle = 0u64;
+        let mut calls = 0u64;
+        let mut zero_skips = 0u64;
+        let mut windows = 0u64;
+        while !sim.is_done() {
+            if reference {
+                sim.tick(cycle, &mut memory);
+                cycle += 1;
+            } else {
+                let ff_before = sim.fast_forwarded_cycles();
+                let consumed = sim.advance(cycle, &mut memory);
+                if consumed == 1 && sim.fast_forwarded_cycles() == ff_before {
+                    zero_skips += 1;
+                } else {
+                    windows += 1;
+                }
+                cycle += consumed;
+            }
+            calls += 1;
+        }
+        println!(
+            "{label} reference={reference}: loop {:?}, calls {calls}, cycles {}, ff {}, windows {windows}, zero-skip-or-active {zero_skips}",
+            t1.elapsed(), sim.cycles(), sim.fast_forwarded_cycles()
+        );
+    }
+}
+
+fn main() {
+    profile(
+        "dram",
+        SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4),
+        150_000,
+        16,
+    );
+    let mut ssd =
+        SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::ssd_direct());
+    ssd.loader.batch_bytes = 131_072;
+    profile("ssd", ssd, 150_000, 64);
+}

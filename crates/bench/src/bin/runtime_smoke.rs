@@ -12,7 +12,8 @@
 
 use std::time::{Duration, Instant};
 
-use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_bench::perf::{normalized, ssd_scale_config};
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_memsim::MemoryConfig;
 use bonsai_records::U32Rec;
@@ -78,6 +79,39 @@ fn main() {
     let (serial, parallel) = smoke("dram", dram, &data, jobs, workers);
     let hbm = SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::hbm_u50());
     smoke("hbm", hbm, &data, jobs, workers);
+
+    // Fast-forward perf smoke: on the SSD-scale shape the event-driven
+    // fast path must beat the reference per-cycle loop by >= 2x (the
+    // full perf_baseline measures >= 5x; the smoke bound leaves room
+    // for CI noise), while agreeing with it bit for bit.
+    let ssd = ssd_scale_config();
+    let ssd_data = uniform_u32(100_000, 77);
+    let start = Instant::now();
+    let (out_ref, rep_ref) = SimEngine::new(ssd)
+        .with_reference_loop(true)
+        .sort(ssd_data.clone());
+    let wall_ref = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (out_fast, rep_fast) = SimEngine::new(ssd)
+        .with_reference_loop(false)
+        .sort(ssd_data);
+    let wall_fast = start.elapsed().as_secs_f64();
+    assert_eq!(out_ref, out_fast, "ssd smoke: paths sorted differently");
+    assert_eq!(
+        normalized(rep_ref),
+        normalized(rep_fast),
+        "ssd smoke: paths reported different accounting"
+    );
+    println!(
+        "ssd_scale    fast-forward smoke: reference {wall_ref:>7.3}s, fast {wall_fast:>7.3}s ({:.2}x)",
+        wall_ref / wall_fast
+    );
+    assert!(
+        wall_fast * 2.0 <= wall_ref,
+        "fast path under 2x on the SSD-scale smoke: {:.2}x",
+        wall_ref / wall_fast
+    );
+    println!("gate passed: fast path is >= 2x the reference loop on the SSD-scale smoke");
 
     if cores < 2 {
         println!("single-core host: skipping the speedup gate");

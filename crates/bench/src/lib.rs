@@ -26,4 +26,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod lint;
+pub mod perf;
 pub mod table;

@@ -1,0 +1,29 @@
+//! Shared shapes and helpers for the fast-forward performance suite
+//! (`perf_baseline`, the `runtime_smoke` perf gate and the equivalence
+//! tests).
+
+use bonsai_amt::{AmtConfig, SimEngineConfig, SortReport};
+use bonsai_memsim::MemoryConfig;
+
+/// The SSD-scale shape of the perf baseline: one slow flash access
+/// stream ([`MemoryConfig::ssd_direct`]) with batches large enough to
+/// amortize its access latency. The machine spends most cycles waiting
+/// on memory, which is exactly what the event-driven fast-forward
+/// scheduler collapses.
+pub fn ssd_scale_config() -> SimEngineConfig {
+    let mut cfg =
+        SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::ssd_direct());
+    cfg.loader.batch_bytes = 131_072;
+    cfg
+}
+
+/// Strips the `fast_forwarded_cycles` observability counters (the only
+/// fields that legitimately differ between the reference loop and the
+/// fast path) so reports can be compared bit for bit.
+pub fn normalized(mut r: SortReport) -> SortReport {
+    r.fast_forwarded_cycles = 0;
+    for p in &mut r.passes {
+        p.fast_forwarded_cycles = 0;
+    }
+    r
+}

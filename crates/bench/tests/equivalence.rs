@@ -1,0 +1,64 @@
+//! Cross-path equivalence over every in-repo experiment configuration.
+//!
+//! Companion to the determinism suite: on all the configs the
+//! experiment suite actually runs (`lint::engine_targets`), the
+//! event-driven fast path and the reference per-cycle loop must produce
+//! bit-identical sorted output and `SortReport`s — fused and sharded,
+//! at every worker count — modulo only the `fast_forwarded_cycles`
+//! observability counters.
+
+use bonsai_amt::SimEngine;
+use bonsai_bench::lint::engine_targets;
+use bonsai_bench::perf::normalized;
+use bonsai_gensort::dist::uniform_u32;
+
+/// Worker count compared alongside 1 and max; `BONSAI_TEST_WORKERS`
+/// overrides (CI runs the matrix at 1, 2 and max).
+fn test_workers() -> usize {
+    std::env::var("BONSAI_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+#[test]
+fn every_experiment_config_agrees_across_paths() {
+    let workers = test_workers();
+    let n_records = 20_000;
+    for (target, cfg) in engine_targets() {
+        let data = uniform_u32(n_records, 47);
+
+        let (out_ref, rep_ref) = SimEngine::new(cfg)
+            .with_reference_loop(true)
+            .sort(data.clone());
+        let (out_fast, rep_fast) = SimEngine::new(cfg)
+            .with_reference_loop(false)
+            .sort(data.clone());
+        assert_eq!(out_ref, out_fast, "{target}: fused outputs diverge");
+        assert_eq!(
+            rep_ref.fast_forwarded_cycles, 0,
+            "{target}: reference path must never fast-forward"
+        );
+        assert_eq!(
+            normalized(rep_ref),
+            normalized(rep_fast),
+            "{target}: fused reports diverge"
+        );
+
+        let (out_s, rep_s) = SimEngine::new(cfg)
+            .with_reference_loop(true)
+            .sort_sharded(data.clone(), 1);
+        // 0 = one worker per core, the "max" point of the matrix.
+        for w in [1usize, workers, 0] {
+            let (o, r) = SimEngine::new(cfg)
+                .with_reference_loop(false)
+                .sort_sharded(data.clone(), w);
+            assert_eq!(out_s, o, "{target} workers={w}: sharded outputs diverge");
+            assert_eq!(
+                normalized(rep_s.clone()),
+                normalized(r),
+                "{target} workers={w}: sharded reports diverge"
+            );
+        }
+    }
+}

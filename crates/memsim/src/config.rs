@@ -121,6 +121,23 @@ impl MemoryConfig {
         }
     }
 
+    /// A direct SSD-array stream (§IV-C scale): one access stream at
+    /// 1 GB/s (4 B/cycle) whose per-burst setup models flash access
+    /// latency (25 000 cycles ≈ 100 µs at 250 MHz). Transfers are long
+    /// and the gaps between them longer, so the simulated machine spends
+    /// most cycles waiting on memory — the regime the event-driven
+    /// fast-forward scheduler collapses. Pair with ≥ 128 KiB loader
+    /// batches to keep the setup latency amortized.
+    pub fn ssd_direct() -> Self {
+        Self {
+            banks: 1,
+            read_bytes_per_cycle: 4,
+            write_bytes_per_cycle: 4,
+            capacity_bytes: 1 << 40,
+            burst_setup_cycles: 25_000,
+        }
+    }
+
     /// Scales per-bank bandwidth by `factor` (model-exploration helper
     /// for Figure 5's bandwidth sweep).
     #[must_use]

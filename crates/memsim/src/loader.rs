@@ -79,10 +79,16 @@ impl DataLoader {
         let initial_records = per_leaf_records
             .iter()
             .fold(0u64, |acc, &n| acc.saturating_add(n));
+        // Pre-size the in-flight queues so the steady-state tick loop
+        // never reallocates: a leaf can commit at most
+        // `buffer_records / batch_records` simultaneous bursts (plus one
+        // short tail burst).
+        let max_bursts = (cfg.buffer_records() / cfg.batch_records().max(1)) as usize + 2;
         let leaves: Vec<LeafState> = per_leaf_records
             .into_iter()
             .map(|remaining| LeafState {
                 remaining,
+                in_flight: VecDeque::with_capacity(max_bursts),
                 ..LeafState::default()
             })
             .collect();
@@ -188,7 +194,14 @@ impl DataLoader {
 
     /// Advances one cycle: completes arrivals, then issues new batched
     /// reads round-robin on every free read port.
-    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) {
+    ///
+    /// Returns `true` when any state changed (a burst was delivered or
+    /// issued). A `false` tick is a guaranteed no-op for every future
+    /// cycle before [`DataLoader::next_event_cycle`]: nothing arrives
+    /// and nothing new can be issued until a port frees or a burst
+    /// completes, so the caller may fast-forward the clock.
+    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) -> bool {
+        let mut changed = false;
         // Deliver completed bursts.
         for leaf in &mut self.leaves {
             while let Some(&(done, records)) = leaf.in_flight.front() {
@@ -198,13 +211,14 @@ impl DataLoader {
                 leaf.in_flight.pop_front();
                 leaf.in_flight_records -= records;
                 leaf.buffered += records;
+                changed = true;
             }
         }
 
         // Issue new bursts while ports and hungry leaves remain.
         let n_leaves = self.leaves.len();
         if n_leaves == 0 {
-            return;
+            return changed;
         }
         let batch = self.cfg.batch_records();
         let capacity = self.cfg.buffer_records();
@@ -232,7 +246,43 @@ impl DataLoader {
             l.remaining -= records;
             l.in_flight.push_back((done, records));
             l.in_flight_records += records;
+            changed = true;
         }
+        changed
+    }
+
+    /// Earliest future cycle at which [`DataLoader::tick`] could change
+    /// state again, or `None` when the loader is fully quiescent (no
+    /// bursts in flight and nothing issuable, e.g. all leaves exhausted
+    /// or every buffer full until the consumer drains it).
+    ///
+    /// Valid immediately after `tick(cycle, memory)`: the loader's own
+    /// invariant (a hungry leaf after tick implies every read port is
+    /// busy) makes the port-free bound exact rather than `cycle + 1`.
+    pub fn next_event_cycle(&self, cycle: u64, memory: &Memory) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |event: u64| next = Some(next.map_or(event, |n| n.min(event)));
+        // Deliveries are strictly front-blocked per leaf (tick only ever
+        // pops the oldest burst), so each front's completion cycle is
+        // the exact next delivery event for that leaf.
+        for leaf in &self.leaves {
+            if let Some(&(done, _)) = leaf.in_flight.front() {
+                fold(done.max(cycle + 1));
+            }
+        }
+        // Issues: only relevant while some leaf still wants a burst.
+        let batch = self.cfg.batch_records();
+        let capacity = self.cfg.buffer_records();
+        let hungry = self.leaves.iter().any(|l| {
+            let committed = l.buffered + l.in_flight_records;
+            l.remaining > 0 && capacity.saturating_sub(committed) >= batch.min(l.remaining)
+        });
+        if hungry {
+            if let Some(free) = memory.next_read_port_free() {
+                fold(free.max(cycle + 1));
+            }
+        }
+        next
     }
 }
 
@@ -255,7 +305,13 @@ impl WriteDrain {
         Self {
             cfg,
             pending: 0,
-            in_flight: VecDeque::new(),
+            // Sized so the steady-state tick loop never reallocates: the
+            // number of simultaneous write bursts is bounded by the
+            // write-port count (each port holds one outstanding burst),
+            // which never exceeds 64 banks for any in-repo memory.
+            in_flight: VecDeque::with_capacity(
+                64.max((cfg.buffer_records() / cfg.batch_records().max(1)) as usize + 2),
+            ),
             completed: 0,
             draining: false,
             #[cfg(feature = "sanitize")]
@@ -319,13 +375,19 @@ impl WriteDrain {
     }
 
     /// Advances one cycle: retires finished bursts and issues new ones.
-    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) {
+    ///
+    /// Returns `true` when any state changed (a burst retired or was
+    /// issued); see [`WriteDrain::next_event_cycle`] for the matching
+    /// fast-forward bound.
+    pub fn tick(&mut self, cycle: u64, memory: &mut Memory) -> bool {
+        let mut changed = false;
         while let Some(&(done, records)) = self.in_flight.front() {
             if done > cycle {
                 break;
             }
             self.in_flight.pop_front();
             self.completed += records;
+            changed = true;
         }
 
         let batch = self.cfg.batch_records();
@@ -341,7 +403,35 @@ impl WriteDrain {
                 .expect("port reported free");
             self.pending -= records;
             self.in_flight.push_back((done, records));
+            changed = true;
         }
+        changed
+    }
+
+    /// Earliest future cycle at which [`WriteDrain::tick`] could change
+    /// state again, or `None` when the drain is quiescent (nothing in
+    /// flight and nothing issuable until more records are pushed or
+    /// draining is signalled).
+    ///
+    /// Valid immediately after `tick(cycle, memory)`: an issuable batch
+    /// left pending after tick implies every write port is busy, so the
+    /// port-free bound is exact.
+    pub fn next_event_cycle(&self, cycle: u64, memory: &Memory) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |event: u64| next = Some(next.map_or(event, |n| n.min(event)));
+        // Retirement is strictly front-blocked (tick only ever pops the
+        // oldest burst), so the front's completion cycle is the exact
+        // next retirement event even if later bursts finish sooner.
+        if let Some(&(done, _)) = self.in_flight.front() {
+            fold(done.max(cycle + 1));
+        }
+        let batch = self.cfg.batch_records();
+        if self.pending >= batch || (self.draining && self.pending > 0) {
+            if let Some(free) = memory.next_write_port_free() {
+                fold(free.max(cycle + 1));
+            }
+        }
+        next
     }
 }
 
@@ -475,6 +565,78 @@ mod tests {
             drain.tick(c, &mut mem);
         }
         assert_eq!(drain.completed_records(), 10);
+    }
+
+    #[test]
+    fn loader_next_event_skips_exactly_the_dead_cycles() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut mem = Memory::new(MemoryConfig::ddr4_single_bank());
+        let mut loader = DataLoader::new(cfg, vec![cfg.batch_records() * 8; 2]);
+        let mut cycle = 0u64;
+        let mut events = 0;
+        while !loader.all_exhausted() {
+            let changed = loader.tick(cycle, &mut mem);
+            let a0 = loader.available(0);
+            let a1 = loader.available(1);
+            loader.consume(0, a0);
+            loader.consume(1, a1);
+            if changed || a0 > 0 || a1 > 0 {
+                cycle += 1;
+                events += 1;
+                continue;
+            }
+            // Quiescent: every cycle before the event must be a no-op...
+            let next = loader
+                .next_event_cycle(cycle, &mem)
+                .expect("unfinished loader must have an event");
+            assert!(next > cycle, "event must be in the future");
+            let mut probe = loader.clone();
+            let mut probe_mem = mem.clone();
+            for c in cycle + 1..next.min(cycle + 50) {
+                assert!(
+                    !probe.tick(c, &mut probe_mem),
+                    "dead window tick changed state at {c} (next = {next})"
+                );
+            }
+            // ...and jumping straight there must make progress again.
+            cycle = next;
+            assert!(
+                loader.tick(cycle, &mut mem),
+                "tick at the event cycle {next} must change state"
+            );
+            loader.consume(0, loader.available(0));
+            loader.consume(1, loader.available(1));
+            cycle += 1;
+            events += 1;
+            assert!(events < 100_000, "runaway");
+        }
+        assert_eq!(loader.next_event_cycle(cycle, &mem), None);
+    }
+
+    #[test]
+    fn drain_next_event_covers_retire_and_issue() {
+        let cfg = LoaderConfig::paper_default(4);
+        let mut mem = Memory::new(MemoryConfig::ddr4_single_bank());
+        let mut drain = WriteDrain::new(cfg);
+        // Idle drain: no events.
+        assert_eq!(drain.next_event_cycle(0, &mem), None);
+        // A full batch is issuable immediately (port free): event at 1.
+        drain.push_records(cfg.batch_records());
+        assert_eq!(drain.next_event_cycle(0, &mem), Some(1));
+        assert!(drain.tick(1, &mut mem));
+        // Burst in flight, nothing pending: next event is its retirement.
+        let next = drain.next_event_cycle(1, &mem).expect("burst in flight");
+        for c in 2..next {
+            assert!(!drain.tick(c, &mut mem), "dead cycle {c} changed state");
+        }
+        assert!(drain.tick(next, &mut mem), "retirement at {next}");
+        assert_eq!(drain.completed_records(), cfg.batch_records());
+        assert_eq!(drain.next_event_cycle(next, &mem), None);
+        // A sub-batch residue is only an event once draining is signalled.
+        drain.push_records(7);
+        assert_eq!(drain.next_event_cycle(next, &mem), None);
+        drain.set_draining();
+        assert_eq!(drain.next_event_cycle(next, &mem), Some(next + 1));
     }
 
     #[test]

@@ -150,6 +150,34 @@ impl Memory {
         self.write_ports.iter().position(|p| p.is_free(cycle))
     }
 
+    /// Earliest `free_at` across the read ports — the first cycle at
+    /// which *some* read port can accept a new burst. A port that is
+    /// already free reports its (past) `free_at`, so callers wanting a
+    /// strictly future event must clamp with `max(cycle + 1)`.
+    pub fn next_read_port_free(&self) -> Option<u64> {
+        self.read_ports.iter().map(Port::free_at).min()
+    }
+
+    /// Earliest `free_at` across the write ports (see
+    /// [`Memory::next_read_port_free`]).
+    pub fn next_write_port_free(&self) -> Option<u64> {
+        self.write_ports.iter().map(Port::free_at).min()
+    }
+
+    /// Earliest cycle strictly after `cycle` at which any port changes
+    /// availability — the memory's contribution to the event-driven
+    /// fast-forward bound. With every port busy this is the first burst
+    /// completion; with idle ports it degrades to `cycle + 1` (the
+    /// memory itself cannot say when a client will use them).
+    pub fn next_event_cycle(&self, cycle: u64) -> u64 {
+        self.next_read_port_free()
+            .into_iter()
+            .chain(self.next_write_port_free())
+            .min()
+            .unwrap_or(0)
+            .max(cycle + 1)
+    }
+
     /// Total bytes read across all banks.
     pub fn bytes_read(&self) -> u64 {
         self.read_ports.iter().map(|p| p.stats().bytes).sum()
@@ -271,6 +299,23 @@ mod tests {
         let eff = m.read_efficiency(done);
         // 128 transfer cycles out of 136 total.
         assert!((eff - 128.0 / 136.0).abs() < 1e-9, "eff = {eff}");
+    }
+
+    #[test]
+    fn next_port_free_tracks_burst_completions() {
+        let mut m = Memory::new(MemoryConfig::ddr4_single_bank());
+        // Idle memory: ports are free "at 0", event clamps to cycle + 1.
+        assert_eq!(m.next_read_port_free(), Some(0));
+        assert_eq!(m.next_event_cycle(41), 42);
+        // One busy read port: its completion is the next event.
+        let done = m.read_port_mut(0).try_start(0, 4096).expect("free");
+        assert_eq!(m.next_read_port_free(), Some(done));
+        // The idle write port keeps the overall event bound at cycle + 1.
+        assert_eq!(m.next_event_cycle(0), 1);
+        let wdone = m.write_port_mut(0).try_start(5, 4096).expect("free");
+        assert_eq!(m.next_write_port_free(), Some(wdone));
+        // Both directions busy: the earliest completion wins.
+        assert_eq!(m.next_event_cycle(10), done.min(wdone));
     }
 
     #[test]

@@ -1,6 +1,4 @@
-//! A bounded FIFO with occupancy statistics.
-
-use std::collections::VecDeque;
+//! A bounded ring-buffer FIFO with occupancy statistics.
 
 /// Error returned by [`Fifo::push`] when the queue is at capacity.
 ///
@@ -24,6 +22,14 @@ impl<T: core::fmt::Debug> std::error::Error for FifoFullError<T> {}
 /// of `k`-record tuples. The capacity is configured per instance and the
 /// FIFO records high-water occupancy for buffer-sizing experiments.
 ///
+/// The queue is a fixed ring buffer: the backing storage is allocated
+/// once at construction and never grows, so `push`/`pop` are O(1) and
+/// allocation-free, and the capacity is a hard invariant — a push into a
+/// full FIFO is rejected with [`FifoFullError`], exactly like the
+/// hardware FIFO asserting back-pressure. Bulk [`Fifo::push_slice`] /
+/// [`Fifo::pop_slice`] move batches of records without per-item call
+/// overhead.
+///
 /// # Example
 ///
 /// ```
@@ -37,8 +43,12 @@ impl<T: core::fmt::Debug> std::error::Error for FifoFullError<T> {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
-    buf: VecDeque<T>,
-    capacity: usize,
+    /// Fixed backing storage; `None` slots are empty. Allocated once.
+    buf: Box<[Option<T>]>,
+    /// Index of the oldest item.
+    head: usize,
+    /// Number of queued items.
+    len: usize,
     total_pushed: u64,
     max_occupancy: usize,
 }
@@ -52,8 +62,9 @@ impl<T> Fifo<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be positive");
         Self {
-            buf: VecDeque::with_capacity(capacity),
-            capacity,
+            buf: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             total_pushed: 0,
             max_occupancy: 0,
         }
@@ -61,27 +72,39 @@ impl<T> Fifo<T> {
 
     /// Maximum number of items the FIFO can hold.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.buf.len()
     }
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     /// Returns `true` when no items are queued.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
     }
 
     /// Number of additional items that fit right now.
     pub fn free(&self) -> usize {
-        self.capacity - self.buf.len()
+        self.buf.len() - self.len
     }
 
     /// Returns `true` when the FIFO is at capacity.
     pub fn is_full(&self) -> bool {
-        self.buf.len() == self.capacity
+        self.len == self.buf.len()
+    }
+
+    /// Slot index `offset` positions past `head`, wrapped.
+    #[inline]
+    fn slot(&self, offset: usize) -> usize {
+        let cap = self.buf.len();
+        let i = self.head + offset;
+        if i >= cap {
+            i - cap
+        } else {
+            i
+        }
     }
 
     /// Enqueues an item.
@@ -93,20 +116,34 @@ impl<T> Fifo<T> {
         if self.is_full() {
             return Err(FifoFullError(item));
         }
-        self.buf.push_back(item);
+        let tail = self.slot(self.len);
+        debug_assert!(self.buf[tail].is_none(), "ring slot already occupied");
+        self.buf[tail] = Some(item);
+        self.len += 1;
         self.total_pushed += 1;
-        self.max_occupancy = self.max_occupancy.max(self.buf.len());
+        self.max_occupancy = self.max_occupancy.max(self.len);
         Ok(())
     }
 
     /// Dequeues the oldest item, if any.
     pub fn pop(&mut self) -> Option<T> {
-        self.buf.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.buf[self.head].take();
+        debug_assert!(item.is_some(), "ring head slot was empty");
+        self.head = self.slot(1);
+        self.len -= 1;
+        item
     }
 
     /// Peeks at the oldest item without removing it.
     pub fn peek(&self) -> Option<&T> {
-        self.buf.front()
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
     }
 
     /// Total number of items ever pushed.
@@ -117,6 +154,40 @@ impl<T> Fifo<T> {
     /// High-water mark of occupancy since construction.
     pub fn max_occupancy(&self) -> usize {
         self.max_occupancy
+    }
+}
+
+impl<T: Copy> Fifo<T> {
+    /// Enqueues as many items from `items` as fit, in order, and returns
+    /// how many were accepted. Never fails: an over-long slice is simply
+    /// truncated at capacity (the remainder stays with the caller).
+    pub fn push_slice(&mut self, items: &[T]) -> usize {
+        let n = items.len().min(self.free());
+        for &item in &items[..n] {
+            let tail = self.slot(self.len);
+            debug_assert!(self.buf[tail].is_none(), "ring slot already occupied");
+            self.buf[tail] = Some(item);
+            self.len += 1;
+        }
+        self.total_pushed += n as u64;
+        self.max_occupancy = self.max_occupancy.max(self.len);
+        n
+    }
+
+    /// Dequeues up to `out.len()` items into `out`, oldest first, and
+    /// returns how many were written.
+    pub fn pop_slice(&mut self, out: &mut [T]) -> usize {
+        let n = out.len().min(self.len);
+        for slot in out.iter_mut().take(n) {
+            let item = self.buf[self.head].take();
+            debug_assert!(item.is_some(), "ring head slot was empty");
+            if let Some(item) = item {
+                *slot = item;
+            }
+            self.head = self.slot(1);
+            self.len -= 1;
+        }
+        n
     }
 }
 
@@ -145,6 +216,46 @@ mod tests {
     }
 
     #[test]
+    fn capacity_is_a_hard_invariant() {
+        // Regression test: the old VecDeque-backed queue could be grown
+        // past its configured capacity by the container; the ring buffer
+        // physically cannot hold more than `capacity` items.
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        for attempt in 10..20 {
+            assert_eq!(f.push(attempt), Err(FifoFullError(attempt)));
+            assert_eq!(f.len(), 3);
+            assert_eq!(f.free(), 0);
+        }
+        assert_eq!(f.pop(), Some(0));
+        f.push(99).unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(f.push(100).is_err());
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut f = Fifo::new(3);
+        let mut expect = std::collections::VecDeque::new();
+        let mut next = 0;
+        // Interleave pushes and pops so head walks around the ring many
+        // times; contents must always match a reference deque.
+        for step in 0..100 {
+            if step % 3 != 2 && !f.is_full() {
+                f.push(next).unwrap();
+                expect.push_back(next);
+                next += 1;
+            } else {
+                assert_eq!(f.pop(), expect.pop_front());
+            }
+            assert_eq!(f.len(), expect.len());
+            assert_eq!(f.peek(), expect.front());
+        }
+    }
+
+    #[test]
     fn occupancy_stats_track_high_water() {
         let mut f = Fifo::new(8);
         for i in 0..5 {
@@ -166,6 +277,47 @@ mod tests {
         assert_eq!(f.peek(), Some(&7));
         assert_eq!(f.len(), 1);
         assert_eq!(f.pop(), Some(7));
+    }
+
+    #[test]
+    fn push_slice_truncates_at_capacity() {
+        let mut f = Fifo::new(4);
+        f.push(0).unwrap();
+        assert_eq!(f.push_slice(&[1, 2, 3, 4, 5]), 3);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.total_pushed(), 4);
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn pop_slice_drains_oldest_first() {
+        let mut f = Fifo::new(8);
+        // Wrap the head first so the bulk pop crosses the ring boundary.
+        f.push_slice(&[90, 91, 92, 93, 94, 95]);
+        let mut scratch = [0; 4];
+        assert_eq!(f.pop_slice(&mut scratch), 4);
+        f.push_slice(&[96, 97, 98, 99, 100, 101]);
+        let mut out = [0; 8];
+        assert_eq!(f.pop_slice(&mut out), 8);
+        assert_eq!(out, [94, 95, 96, 97, 98, 99, 100, 101]);
+        assert!(f.is_empty());
+        assert_eq!(f.pop_slice(&mut out), 0);
+    }
+
+    #[test]
+    fn bulk_and_scalar_apis_interleave() {
+        let mut f = Fifo::new(5);
+        f.push(1).unwrap();
+        assert_eq!(f.push_slice(&[2, 3]), 2);
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.push_slice(&[4, 5, 6]), 3);
+        assert!(f.is_full());
+        let mut out = [0; 5];
+        assert_eq!(f.pop_slice(&mut out), 5);
+        assert_eq!(out, [2, 3, 4, 5, 6]);
+        assert_eq!(f.max_occupancy(), 5);
     }
 
     #[test]

@@ -184,6 +184,21 @@ impl<R: Record> KMerger<R> {
         res
     }
 
+    /// Pushes as many records from `recs` as fit into the given input
+    /// port, in order, and returns how many were accepted. The bulk
+    /// counterpart of [`KMerger::push_input`] for batched leaf feeding.
+    pub fn push_input_slice(&mut self, side: Side, recs: &[R]) -> usize {
+        let n = match side {
+            Side::Left => self.left.push_slice(recs),
+            Side::Right => self.right.push_slice(recs),
+        };
+        #[cfg(feature = "sanitize")]
+        for rec in &recs[..n] {
+            self.san.on_input(rec);
+        }
+        n
+    }
+
     /// Pushes a record into the left input port.
     ///
     /// # Errors
@@ -212,6 +227,60 @@ impl<R: Record> KMerger<R> {
         self.out.len()
     }
 
+    /// Returns `true` when the output FIFO is at capacity, i.e. the
+    /// merger is asserting back-pressure upstream. Also the stall class a
+    /// quiescent cycle falls into (see [`KMerger::add_stalled_cycles`]).
+    pub fn output_full(&self) -> bool {
+        self.out.is_full()
+    }
+
+    /// Returns `true` when the *next* [`KMerger::tick`] would change any
+    /// state: move a record, absorb a terminal, or flush a finished run
+    /// pair. A `false` result is stable — since ticking a quiescent
+    /// merger is a no-op, the merger stays quiescent until someone pushes
+    /// input or pops output, so callers may skip ticking it entirely and
+    /// settle the elapsed stall cycles later with
+    /// [`KMerger::add_stalled_cycles`].
+    pub fn can_make_progress(&self) -> bool {
+        if self.out.is_full() {
+            // Back-pressured: tick returns before touching the inputs.
+            return false;
+        }
+        if self.left_run_done && self.right_run_done {
+            return true; // flush cycle
+        }
+        let side_ready = |done: bool, fifo: &Fifo<R>| done || !fifo.is_empty();
+        // A leading terminal on a not-yet-done side is absorbed (state
+        // change) even if the opposite side then starves the merge.
+        if !self.left_run_done && self.left.peek().is_some_and(Record::is_terminal) {
+            return true;
+        }
+        if !self.right_run_done && self.right.peek().is_some_and(Record::is_terminal) {
+            return true;
+        }
+        side_ready(self.left_run_done, &self.left) && side_ready(self.right_run_done, &self.right)
+    }
+
+    /// Accounts `n` elapsed cycles during which the merger was known to
+    /// be quiescent (`can_make_progress() == false`) without ticking it
+    /// `n` times: `stats.cycles` advances by `n` and the whole span is
+    /// classified as output stalls (if the output FIFO is full) or input
+    /// stalls (starved) — exactly what `n` per-cycle ticks would have
+    /// recorded, since a quiescent merger's state (and therefore its
+    /// stall class) cannot change until an external push or pop.
+    pub fn add_stalled_cycles(&mut self, n: u64) {
+        debug_assert!(
+            !self.can_make_progress(),
+            "batch stall accounting on a merger that could progress"
+        );
+        self.stats.cycles += n;
+        if self.out.is_full() {
+            self.stats.output_stalls += n;
+        } else {
+            self.stats.input_stalls += n;
+        }
+    }
+
     /// Returns `true` when no records are buffered anywhere inside.
     pub fn is_drained(&self) -> bool {
         self.left.is_empty()
@@ -222,8 +291,8 @@ impl<R: Record> KMerger<R> {
     }
 
     /// Consume a leading terminal (if any) on `side`, marking the run done.
-    /// Returns `true` if progress is still possible on that side.
-    fn absorb_terminal(&mut self, side: Side) {
+    /// Returns `true` if a terminal was absorbed.
+    fn absorb_terminal(&mut self, side: Side) -> bool {
         let (fifo, done) = match side {
             Side::Left => (&mut self.left, &mut self.left_run_done),
             Side::Right => (&mut self.right, &mut self.right_run_done),
@@ -233,24 +302,31 @@ impl<R: Record> KMerger<R> {
                 if head.is_terminal() {
                     fifo.pop();
                     *done = true;
+                    return true;
                 }
             }
         }
+        false
     }
 
-    /// Advances the merger by one cycle.
-    pub fn tick(&mut self) {
+    /// Advances the merger by one cycle. Returns `true` when any state
+    /// changed (a record or terminal moved, a terminal was absorbed, or a
+    /// run pair flushed); `false` means the cycle was a pure stall and
+    /// every future tick will be too until input is pushed or output
+    /// popped.
+    pub fn tick(&mut self) -> bool {
         self.stats.cycles += 1;
         if self.out.is_full() {
             self.stats.output_stalls += 1;
-            return;
+            return false;
         }
 
         let mut moved = 0usize;
+        let mut absorbed = false;
         let mut input_starved = false;
         while moved < self.k && !self.out.is_full() {
-            self.absorb_terminal(Side::Left);
-            self.absorb_terminal(Side::Right);
+            absorbed |= self.absorb_terminal(Side::Left);
+            absorbed |= self.absorb_terminal(Side::Right);
 
             if self.left_run_done && self.right_run_done {
                 // Both runs exhausted: emit the terminal and flush state.
@@ -334,6 +410,7 @@ impl<R: Record> KMerger<R> {
         } else if input_starved {
             self.stats.input_stalls += 1;
         }
+        moved > 0 || absorbed
     }
 }
 
@@ -499,6 +576,81 @@ mod tests {
         let mut expected = vec![5u32];
         expected.extend(10..40);
         assert_eq!(vals, expected);
+    }
+
+    #[test]
+    fn quiescence_predicate_matches_tick_behavior() {
+        let mut m: KMerger<U32Rec> = KMerger::new(2, 8);
+        // Empty merger: nothing to do.
+        assert!(!m.can_make_progress());
+        assert!(!m.tick());
+        // Only one side fed: still starved, but a leading terminal on the
+        // fed side is absorbable, which counts as progress.
+        m.push_left(U32Rec::new(1)).unwrap();
+        assert!(!m.can_make_progress());
+        assert!(!m.tick());
+        let mut t = KMerger::<U32Rec>::new(2, 8);
+        t.push_left(U32Rec::TERMINAL).unwrap();
+        assert!(t.can_make_progress());
+        assert!(t.tick());
+        // Both sides fed: progress.
+        m.push_right(U32Rec::new(2)).unwrap();
+        assert!(m.can_make_progress());
+        assert!(m.tick());
+        // Output full: back-pressured regardless of input.
+        let mut b = KMerger::<U32Rec>::new(2, 16);
+        feed_run(&mut b, Side::Left, &[1, 2, 3, 4, 5, 6]);
+        feed_run(&mut b, Side::Right, &[7, 8, 9, 10, 11, 12]);
+        while !b.output_full() {
+            b.tick();
+        }
+        assert!(!b.can_make_progress());
+        assert!(!b.tick());
+        assert!(b.stats().output_stalls > 0);
+        // Draining the output re-enables progress.
+        b.pop_output();
+        assert!(b.can_make_progress());
+    }
+
+    #[test]
+    fn add_stalled_cycles_matches_per_cycle_ticks() {
+        // Starved merger: N ticks vs one batched settle must agree.
+        let mut a: KMerger<U32Rec> = KMerger::new(4, 16);
+        let mut b: KMerger<U32Rec> = KMerger::new(4, 16);
+        a.push_left(U32Rec::new(1)).unwrap();
+        b.push_left(U32Rec::new(1)).unwrap();
+        for _ in 0..13 {
+            a.tick();
+        }
+        b.add_stalled_cycles(13);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(b.stats().input_stalls, 13);
+        // Back-pressured merger: the span lands on output_stalls.
+        let mut c = KMerger::<U32Rec>::new(2, 16);
+        let mut d = KMerger::<U32Rec>::new(2, 16);
+        for m in [&mut c, &mut d] {
+            feed_run(m, Side::Left, &[1, 2, 3, 4, 5, 6]);
+            feed_run(m, Side::Right, &[7, 8, 9, 10, 11, 12]);
+            while m.can_make_progress() {
+                m.tick();
+            }
+        }
+        for _ in 0..7 {
+            c.tick();
+        }
+        d.add_stalled_cycles(7);
+        assert_eq!(c.stats(), d.stats());
+        assert_eq!(d.stats().output_stalls, 7);
+    }
+
+    #[test]
+    fn push_input_slice_respects_fifo_capacity() {
+        let mut m: KMerger<U32Rec> = KMerger::new(2, 4);
+        let recs: Vec<U32Rec> = (1..=6).map(U32Rec::new).collect();
+        assert_eq!(m.push_input_slice(Side::Left, &recs), 4);
+        assert_eq!(m.input_free(Side::Left), 0);
+        assert_eq!(m.push_input_slice(Side::Left, &recs[4..]), 0);
+        assert_eq!(m.push_input_slice(Side::Right, &recs[4..]), 2);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct RuntimeConfig {
     /// Per-pass livelock cycle bound handed to the engine; `None` keeps
     /// the engine default.
     pub max_pass_cycles: Option<u64>,
+    /// Simulation loop selection for every job: `Some(true)` forces the
+    /// reference per-cycle loop, `Some(false)` the event-driven fast
+    /// path, `None` keeps the engine default (fast path unless
+    /// [`bonsai_amt::REFERENCE_LOOP_ENV`] is set to `1`). Both loops
+    /// produce bit-identical reports.
+    pub reference_loop: Option<bool>,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +77,7 @@ impl Default for RuntimeConfig {
             queue_depth: 16,
             pass_workers: 1,
             max_pass_cycles: None,
+            reference_loop: None,
         }
     }
 }
@@ -171,6 +178,9 @@ fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
                 Some(bound) => engine.with_max_pass_cycles(bound),
                 None => engine,
             };
+            if let Some(reference) = config.reference_loop {
+                engine = engine.with_reference_loop(reference);
+            }
             engine
                 .try_sort_sharded(job.data, config.pass_workers)
                 .map(|(sorted, report)| JobOutput { sorted, report })
@@ -341,6 +351,32 @@ mod tests {
             }
             other => panic!("expected a BON040 Sim error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reference_and_fast_loops_agree_end_to_end() {
+        fn normalized(mut r: SortReport) -> SortReport {
+            r.fast_forwarded_cycles = 0;
+            for p in &mut r.passes {
+                p.fast_forwarded_cycles = 0;
+            }
+            r
+        }
+        let data = uniform_u32(15_000, 12);
+        let run = |reference: bool| {
+            let runtime = Runtime::start(RuntimeConfig {
+                workers: 2,
+                reference_loop: Some(reference),
+                ..RuntimeConfig::default()
+            });
+            runtime.submit(SortJob::new(0, dram_cfg(), data.clone()));
+            runtime.finish().remove(0).result.expect("sorts")
+        };
+        let fast = run(false);
+        let reference = run(true);
+        assert_eq!(fast.sorted, reference.sorted);
+        assert_eq!(reference.report.fast_forwarded_cycles, 0);
+        assert_eq!(normalized(fast.report), normalized(reference.report));
     }
 
     #[test]
