@@ -48,6 +48,25 @@ pub(crate) fn resolve_workers(workers: usize) -> usize {
     }
 }
 
+/// The work-stealing loop of the sharded pass: claims ascending group
+/// indices from the shared counter and hands each to `claim`, until the
+/// counter passes `groups`.
+///
+/// Every group index in `[0, groups)` is claimed by exactly one of the
+/// threads running this loop against the same counter — including when
+/// there are more threads than groups (the surplus threads observe an
+/// exhausted counter and claim nothing). Pulled out of
+/// [`run_pass_sharded`] so the claim discipline is testable on its own.
+pub fn steal_groups(next: &AtomicUsize, groups: usize, mut claim: impl FnMut(usize)) {
+    loop {
+        let g = next.fetch_add(1, Ordering::Relaxed);
+        if g >= groups {
+            break;
+        }
+        claim(g);
+    }
+}
+
 /// Everything one simulated merge group contributes to the pass.
 struct GroupOutcome<R> {
     /// The group's single output run, terminal-free and sorted.
@@ -130,14 +149,13 @@ pub(crate) fn run_pass_sharded<R: Record>(
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let g = next.fetch_add(1, Ordering::Relaxed);
-                if g >= groups {
-                    break;
-                }
-                let input = group_input(runs, g, fan_in);
-                let result = simulate_group(config, input, fan_in, stage, max_cycles, reference);
-                let _ = slots[g].set(result);
+            scope.spawn(|| {
+                steal_groups(&next, groups, |g| {
+                    let input = group_input(runs, g, fan_in);
+                    let result =
+                        simulate_group(config, input, fan_in, stage, max_cycles, reference);
+                    let _ = slots[g].set(result);
+                });
             });
         }
     });
@@ -179,4 +197,58 @@ pub(crate) fn run_pass_sharded<R: Record>(
         let _ = g;
     }
     Ok((RunSet::from_parts(out_records, starts), pass))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_rng::Rng;
+
+    /// Runs `workers` real threads stealing from one counter and
+    /// returns how many times each group index was claimed.
+    fn claim_counts(workers: usize, groups: usize) -> Vec<usize> {
+        let counts: Vec<AtomicUsize> = (0..groups).map(|_| AtomicUsize::new(0)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    steal_groups(&next, groups, |g| {
+                        counts[g].fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        counts.into_iter().map(AtomicUsize::into_inner).collect()
+    }
+
+    #[test]
+    fn every_group_claimed_exactly_once_randomized() {
+        let mut rng = Rng::seed_from_u64(0x5EED_600D);
+        for _ in 0..40 {
+            let groups = rng.range_usize(1, 33);
+            // Deliberately spans workers > groups: the surplus threads
+            // must drain without claiming (or double-claiming) anything.
+            let workers = rng.range_usize(1, 2 * groups + 4);
+            let counts = claim_counts(workers, groups);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "workers={workers} groups={groups}: claim counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_groups_claims_nothing_and_terminates() {
+        for workers in [1, 2, 7] {
+            assert!(claim_counts(workers, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_thread_claims_in_ascending_order() {
+        let next = AtomicUsize::new(0);
+        let mut seen = Vec::new();
+        steal_groups(&next, 5, |g| seen.push(g));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
 }

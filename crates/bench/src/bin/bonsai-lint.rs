@@ -17,9 +17,21 @@
 //! bonsai-lint --json                 # machine-readable report
 //! bonsai-lint --dump-graph dot       # emit the pipeline-graph IR
 //! ```
+//!
+//! `--runtime` switches to the BON05x runtime-topology pass over the
+//! parallel sort runtime's thread/queue shape instead of the engine
+//! configuration:
+//!
+//! ```sh
+//! bonsai-lint --runtime                         # lint in-repo topologies
+//! bonsai-lint --runtime --queue-depth 0 --producers 2   # BON050
+//! bonsai-lint --runtime --no-close-on-drop      # BON052: drop wedges
+//! bonsai-lint --runtime --detach                # BON053: leaked threads
+//! bonsai-lint --runtime --workers 4 --pass-workers 4 --cores 4  # BON054
+//! ```
 
 use bonsai_amt::graph::{lower_to_graph, LowerOptions};
-use bonsai_bench::lint::{self, RawEngineLint};
+use bonsai_bench::lint::{self, RawEngineLint, RawRuntimeLint};
 use bonsai_memsim::MemoryConfig;
 use std::process::ExitCode;
 
@@ -36,6 +48,15 @@ struct Overrides {
     payload_bytes: Option<u64>,
     json: bool,
     dump_graph: Option<DumpFormat>,
+    runtime: bool,
+    workers: Option<usize>,
+    pass_workers: Option<usize>,
+    queue_depth: Option<usize>,
+    producers: Option<usize>,
+    cores: Option<usize>,
+    records: Option<usize>,
+    detach: bool,
+    no_close_on_drop: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,21 +92,63 @@ impl Overrides {
             payload_bytes: self.payload_bytes,
         }
     }
+
+    fn any_runtime_config(&self) -> bool {
+        self.workers.is_some()
+            || self.pass_workers.is_some()
+            || self.queue_depth.is_some()
+            || self.producers.is_some()
+            || self.records.is_some()
+            || self.detach
+            || self.no_close_on_drop
+    }
+
+    fn raw_runtime(&self) -> RawRuntimeLint {
+        let defaults = RawRuntimeLint::default();
+        RawRuntimeLint {
+            workers: self.workers.unwrap_or(defaults.workers),
+            pass_workers: self.pass_workers.unwrap_or(defaults.pass_workers),
+            queue_depth: self.queue_depth.unwrap_or(defaults.queue_depth),
+            producers: self.producers.unwrap_or(defaults.producers),
+            close_on_drop: !self.no_close_on_drop,
+            join_on_drop: !self.detach,
+            cores: self.cores,
+            records: self.records,
+        }
+    }
 }
 
 const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
 [--record-bytes N] [--buffer-batches N] [--presort N] \
 [--memory ddr4|single|hbm|ssd] [--banks N] [--payload-bytes N] \
 [--json] [--dump-graph dot|json]
+       bonsai-lint --runtime [--workers N] [--pass-workers N] \
+[--queue-depth N] [--producers N] [--cores N] [--records N] \
+[--detach] [--no-close-on-drop] [--json]
 
 Without overrides, lints every in-repo experiment configuration (shape
 checks, pipeline-graph analyses, latency-bound certification, drift
-probe). With overrides, lints a single raw engine configuration.
+probe) plus every in-repo runtime topology. With overrides, lints a
+single raw engine configuration.
 
   --json             emit the report as a JSON object for CI annotation
   --dump-graph FMT   print the lowered pipeline-graph IR (Graphviz `dot`
                      or the documented `json` schema, docs/GRAPH_IR.md)
                      instead of a lint report
+
+`--runtime` runs the BON05x thread/queue topology pass instead. Without
+further overrides it lints the in-repo runtime shapes; with overrides it
+judges one raw topology (docs/diagnostics.md, Runtime topology):
+
+  --workers N        job workers (0 = one per core)
+  --pass-workers N   per-job pass-sharding threads (0 = one per core)
+  --queue-depth N    bounded job-queue depth
+  --producers N      concurrent submitting threads
+  --cores N          judge against an N-core host (default: this host)
+  --records N        also bound pass-workers by the merge groups of an
+                     N-record job on the reference DRAM engine (BON051)
+  --detach           model join_on_drop = false (BON053)
+  --no-close-on-drop model close_on_drop = false (BON052)
 
 exit codes:
   0  no error-severity diagnostics (warnings allowed)
@@ -129,6 +192,15 @@ fn parse_args() -> Overrides {
                 });
             }
             "--json" => over.json = true,
+            "--runtime" => over.runtime = true,
+            "--workers" => over.workers = Some(value("--workers") as usize),
+            "--pass-workers" => over.pass_workers = Some(value("--pass-workers") as usize),
+            "--queue-depth" => over.queue_depth = Some(value("--queue-depth") as usize),
+            "--producers" => over.producers = Some(value("--producers") as usize),
+            "--cores" => over.cores = Some(value("--cores") as usize),
+            "--records" => over.records = Some(value("--records") as usize),
+            "--detach" => over.detach = true,
+            "--no-close-on-drop" => over.no_close_on_drop = true,
             "--dump-graph" => {
                 over.dump_graph = Some(match args.next().as_deref() {
                     Some("dot") => DumpFormat::Dot,
@@ -154,6 +226,38 @@ fn parse_args() -> Overrides {
 
 fn main() -> ExitCode {
     let over = parse_args();
+
+    // Runtime flags only make sense in --runtime mode, and the engine /
+    // graph flags only outside it; a mixed line is a usage error, not a
+    // silently ignored knob.
+    if over.runtime && (over.any_config() || over.dump_graph.is_some()) {
+        eprintln!("bonsai-lint: --runtime cannot be combined with engine flags");
+        usage_error();
+    }
+    if !over.runtime && over.any_runtime_config() {
+        eprintln!("bonsai-lint: runtime topology flags need --runtime");
+        usage_error();
+    }
+
+    if over.runtime {
+        let findings = if over.any_runtime_config() || over.cores.is_some() {
+            vec![over.raw_runtime().lint()]
+        } else {
+            lint::lint_runtime_all()
+        };
+        let (report, errors, _warnings) = if over.json {
+            let (json, errors, warnings) = lint::render_json(&findings);
+            (format!("{json}\n"), errors, warnings)
+        } else {
+            lint::render(&findings)
+        };
+        print!("{report}");
+        return if errors > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     if let Some(format) = over.dump_graph {
         let raw = over.raw();

@@ -14,6 +14,7 @@ use bonsai_check::Diagnostic;
 use bonsai_memsim::MemoryConfig;
 use bonsai_model::check::{certify_latency_bound, check_full_config, model_drift_probe};
 use bonsai_model::{ArrayParams, BonsaiOptimizer, ComponentLibrary, FullConfig, HardwareParams};
+use bonsai_runtime::RuntimeConfig;
 
 use crate::experiments::fig8_9;
 
@@ -136,6 +137,46 @@ pub fn model_targets() -> Vec<(String, FullConfig, Option<usize>)> {
     targets
 }
 
+/// Reference core count the in-repo runtime shapes are linted against.
+/// Fixed (rather than the actual host's) so `lint_all` reports the same
+/// findings on every machine; the CLI's `--runtime` mode uses the real
+/// host count unless `--cores` overrides it.
+pub const REF_CORES: usize = 8;
+
+/// Every runtime topology the repo itself runs: the default shape plus
+/// both ends of `runtime_smoke`'s serial-vs-parallel gate.
+pub fn runtime_targets() -> Vec<(String, RuntimeConfig)> {
+    vec![
+        ("runtime/default".into(), RuntimeConfig::default()),
+        (
+            "runtime_smoke/serial".into(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ),
+        (
+            "runtime_smoke/per_core".into(),
+            RuntimeConfig {
+                workers: 0,
+                ..RuntimeConfig::default()
+            },
+        ),
+    ]
+}
+
+/// The BON05x topology pass over every in-repo runtime shape, judged
+/// on the [`REF_CORES`] reference host.
+pub fn lint_runtime_all() -> Vec<LintFinding> {
+    runtime_targets()
+        .into_iter()
+        .map(|(target, cfg)| LintFinding {
+            target,
+            diagnostics: cfg.validate_for_cores(REF_CORES),
+        })
+        .collect()
+}
+
 /// The shape + graph + certification pass for one engine configuration:
 /// the shape checks, then the four pipeline-graph analyses against the
 /// config's own required throughput, then the Eq. 1 latency-bound
@@ -192,7 +233,82 @@ pub fn lint_all() -> Vec<LintFinding> {
         target: format!("drift_probe/amt4_16_n{DRIFT_PROBE_RECORDS}"),
         diagnostics: model_drift_probe(&probe_cfg, &hw, DRIFT_PROBE_RECORDS, 7),
     });
+    // The runtime topologies the repo itself spins up (BON05x).
+    findings.extend(lint_runtime_all());
     findings
+}
+
+/// A raw runtime topology assembled from CLI numbers, for the
+/// `bonsai-lint --runtime` probe mode (BON05x codes).
+#[derive(Debug, Clone, Copy)]
+pub struct RawRuntimeLint {
+    /// Job workers (`0` = one per core).
+    pub workers: usize,
+    /// Per-job pass-sharding threads (`0` = one per core).
+    pub pass_workers: usize,
+    /// Bounded job-queue depth.
+    pub queue_depth: usize,
+    /// Concurrent submitting threads.
+    pub producers: usize,
+    /// Whether drop closes the queue before joining.
+    pub close_on_drop: bool,
+    /// Whether drop joins the workers at all.
+    pub join_on_drop: bool,
+    /// Host core count to judge against; `None` = this machine.
+    pub cores: Option<usize>,
+    /// When set, also bound `pass_workers` by the merge groups of a
+    /// `records`-record job on the paper's reference DRAM engine
+    /// (`BON051`).
+    pub records: Option<usize>,
+}
+
+impl Default for RawRuntimeLint {
+    fn default() -> Self {
+        let defaults = RuntimeConfig::default();
+        Self {
+            workers: defaults.workers,
+            pass_workers: defaults.pass_workers,
+            queue_depth: defaults.queue_depth,
+            producers: defaults.producers,
+            close_on_drop: defaults.close_on_drop,
+            join_on_drop: defaults.join_on_drop,
+            cores: None,
+            records: None,
+        }
+    }
+}
+
+impl RawRuntimeLint {
+    /// The runtime configuration these raw numbers describe.
+    pub fn config(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            workers: self.workers,
+            pass_workers: self.pass_workers,
+            queue_depth: self.queue_depth,
+            producers: self.producers,
+            close_on_drop: self.close_on_drop,
+            join_on_drop: self.join_on_drop,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Runs the BON05x topology pass over this raw configuration.
+    pub fn lint(&self) -> LintFinding {
+        let cores = self.cores.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let engine = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let diagnostics =
+            self.config()
+                .validate_for_engine(self.records.map(|_| &engine), self.records, cores);
+        LintFinding {
+            target: format!(
+                "cli/runtime_w{}_pw{}_q{}_prod{}",
+                self.workers, self.pass_workers, self.queue_depth, self.producers
+            ),
+            diagnostics,
+        }
+    }
 }
 
 /// A raw engine configuration assembled from CLI numbers — deliberately
@@ -440,6 +556,74 @@ mod tests {
             "{:?}",
             f.diagnostics
         );
+    }
+
+    #[test]
+    fn in_repo_runtime_shapes_are_fully_clean() {
+        for f in lint_runtime_all() {
+            assert!(
+                f.diagnostics.is_empty(),
+                "{}: {:?}",
+                f.target,
+                f.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn raw_runtime_lint_catches_bad_topologies() {
+        // Zero-depth queue under concurrent producers: BON050 (error).
+        let f = RawRuntimeLint {
+            queue_depth: 0,
+            producers: 2,
+            cores: Some(8),
+            ..RawRuntimeLint::default()
+        }
+        .lint();
+        assert!(f.has_errors());
+        assert!(f
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::RUNTIME_QUEUE_ZERO));
+
+        // Joining without closing wedges drop: BON052 (error).
+        let f = RawRuntimeLint {
+            close_on_drop: false,
+            cores: Some(8),
+            ..RawRuntimeLint::default()
+        }
+        .lint();
+        assert!(f
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::RUNTIME_JOIN_WITHOUT_CLOSE));
+
+        // Oversubscription is judged on the *stated* core count, not
+        // the machine the lint happens to run on.
+        let f = RawRuntimeLint {
+            workers: 4,
+            pass_workers: 4,
+            cores: Some(4),
+            ..RawRuntimeLint::default()
+        }
+        .lint();
+        assert!(f
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::RUNTIME_OVERSUBSCRIBED));
+
+        // --records bounds pass-workers by the engine's merge groups.
+        let f = RawRuntimeLint {
+            pass_workers: 64,
+            records: Some(1_000),
+            cores: Some(128),
+            ..RawRuntimeLint::default()
+        }
+        .lint();
+        assert!(f
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bonsai_check::codes::RUNTIME_WORKERS_EXCEED_GROUPS));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `BON02x`   | Resource model       | [`codes::LUT_BUDGET_EXCEEDED`] |
 //! | `BON03x`   | Pipeline graph       | [`codes::GRAPH_DEADLOCK`] |
 //! | `BON04x`   | Simulation runtime   | [`codes::SIM_PASS_LIVELOCK`] |
+//! | `BON05x`   | Runtime topology     | [`codes::RUNTIME_QUEUE_ZERO`] |
 //! | `BON1xx`   | Simulation sanitizer | [`codes::SAN_FIFO_OVERFLOW`] |
 //!
 //! Every code is catalogued with cause and fix in
@@ -211,6 +212,21 @@ pub mod codes {
     /// A simulated merge pass exceeded its livelock cycle bound.
     pub const SIM_PASS_LIVELOCK: &str = "BON040";
 
+    // --- BON05x: runtime topology ---------------------------------------
+
+    /// Job queue depth is zero while more than one producer submits.
+    pub const RUNTIME_QUEUE_ZERO: &str = "BON050";
+    /// Pass workers exceed the merge groups any pass can offer.
+    pub const RUNTIME_WORKERS_EXCEED_GROUPS: &str = "BON051";
+    /// Drop joins workers without closing the queue first (wedge).
+    pub const RUNTIME_JOIN_WITHOUT_CLOSE: &str = "BON052";
+    /// Drop leaks detached worker threads (join disabled).
+    pub const RUNTIME_UNJOINED_WORKERS: &str = "BON053";
+    /// Worker × pass-worker product oversubscribes the host cores.
+    pub const RUNTIME_OVERSUBSCRIBED: &str = "BON054";
+    /// Queue depth below the worker count starves the pool.
+    pub const RUNTIME_QUEUE_BELOW_WORKERS: &str = "BON055";
+
     // --- BON03x: pipeline-graph analyses --------------------------------
 
     /// The pipeline graph can deadlock (zero-credit edge or dataflow
@@ -354,6 +370,36 @@ pub mod codes {
             code: SIM_PASS_LIVELOCK,
             severity: Severity::Error,
             summary: "simulated pass exceeded its livelock cycle bound",
+        },
+        CodeInfo {
+            code: RUNTIME_QUEUE_ZERO,
+            severity: Severity::Error,
+            summary: "zero-depth job queue with concurrent producers",
+        },
+        CodeInfo {
+            code: RUNTIME_WORKERS_EXCEED_GROUPS,
+            severity: Severity::Warning,
+            summary: "pass workers exceed available merge groups",
+        },
+        CodeInfo {
+            code: RUNTIME_JOIN_WITHOUT_CLOSE,
+            severity: Severity::Error,
+            summary: "drop joins workers without closing the queue",
+        },
+        CodeInfo {
+            code: RUNTIME_UNJOINED_WORKERS,
+            severity: Severity::Warning,
+            summary: "drop leaks detached worker threads",
+        },
+        CodeInfo {
+            code: RUNTIME_OVERSUBSCRIBED,
+            severity: Severity::Warning,
+            summary: "worker x pass-worker product oversubscribes cores",
+        },
+        CodeInfo {
+            code: RUNTIME_QUEUE_BELOW_WORKERS,
+            severity: Severity::Warning,
+            summary: "queue depth below worker count starves the pool",
         },
         CodeInfo {
             code: GRAPH_DEADLOCK,
@@ -691,6 +737,114 @@ pub fn check_presort(chunk: usize, batch_records: usize) -> Vec<Diagnostic> {
     out
 }
 
+/// Check the parallel runtime's thread/queue topology. Emits `BON050`,
+/// `BON052`, `BON053`, `BON054`, `BON055`.
+///
+/// `workers` and `pass_workers` follow the runtime convention that `0`
+/// means "one per core"; `cores` is the host core count used to resolve
+/// them (and the oversubscription bound). `producers` is the number of
+/// threads submitting jobs concurrently. `close_on_drop` /
+/// `join_on_drop` describe the runtime's shutdown-on-drop behavior.
+#[must_use]
+pub fn check_runtime_shape(
+    workers: usize,
+    pass_workers: usize,
+    queue_depth: usize,
+    producers: usize,
+    close_on_drop: bool,
+    join_on_drop: bool,
+    cores: usize,
+) -> Vec<Diagnostic> {
+    let cores = cores.max(1);
+    let resolved_workers = if workers == 0 { cores } else { workers };
+    let resolved_pass_workers = if pass_workers == 0 {
+        cores
+    } else {
+        pass_workers
+    };
+    let mut out = Vec::new();
+    if queue_depth == 0 && producers > 1 {
+        out.push(
+            Diagnostic::error(
+                codes::RUNTIME_QUEUE_ZERO,
+                "a zero-depth job queue serializes concurrent producers through a single \
+                 clamped slot; give the queue real capacity",
+            )
+            .with("queue_depth", queue_depth)
+            .with("producers", producers),
+        );
+    }
+    if join_on_drop && !close_on_drop {
+        out.push(
+            Diagnostic::error(
+                codes::RUNTIME_JOIN_WITHOUT_CLOSE,
+                "dropping the runtime would join workers that are still parked in pop \
+                 because the queue is never closed; drop wedges forever",
+            )
+            .with("close_on_drop", close_on_drop)
+            .with("join_on_drop", join_on_drop),
+        );
+    }
+    if !join_on_drop {
+        out.push(
+            Diagnostic::warning(
+                codes::RUNTIME_UNJOINED_WORKERS,
+                "dropping the runtime without joining leaks detached worker threads; \
+                 they may outlive the results they write to",
+            )
+            .with("join_on_drop", join_on_drop),
+        );
+    }
+    if resolved_workers * resolved_pass_workers > cores {
+        out.push(
+            Diagnostic::warning(
+                codes::RUNTIME_OVERSUBSCRIBED,
+                "job workers times pass workers exceeds the host cores; threads will \
+                 time-slice instead of running in parallel",
+            )
+            .with("workers", resolved_workers)
+            .with("pass_workers", resolved_pass_workers)
+            .with("cores", cores),
+        );
+    }
+    // Only an *explicit* worker count can contradict the queue depth;
+    // the auto (`0`) sentinel sizes the pool to whatever host it lands
+    // on, so there is no stated intent for the depth to mismatch.
+    if queue_depth > 0 && workers > 0 && queue_depth < workers {
+        out.push(
+            Diagnostic::warning(
+                codes::RUNTIME_QUEUE_BELOW_WORKERS,
+                "queue depth below the worker count cannot keep every worker fed; \
+                 idle workers will starve behind the submitters",
+            )
+            .with("queue_depth", queue_depth)
+            .with("workers", workers),
+        );
+    }
+    out
+}
+
+/// Check one job's pass-sharding width against the merge groups the
+/// engine can actually offer. Emits `BON051`.
+///
+/// `pass_workers` must already be resolved (no `0` sentinel);
+/// `max_groups` is the group count of the widest merge pass — for the
+/// first pass, `ceil(initial_runs / fan_in)`; later passes only shrink.
+#[must_use]
+pub fn check_pass_sharding(pass_workers: usize, max_groups: usize) -> Vec<Diagnostic> {
+    if max_groups > 0 && pass_workers > max_groups {
+        vec![Diagnostic::warning(
+            codes::RUNTIME_WORKERS_EXCEED_GROUPS,
+            "pass workers exceed the merge groups of the widest pass; the surplus \
+             threads never claim a group",
+        )
+        .with("pass_workers", pass_workers)
+        .with("max_groups", max_groups)]
+    } else {
+        Vec::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,5 +897,7 @@ mod tests {
         assert!(check_bram_budget(1 << 20, 1 << 21).is_empty());
         assert!(check_copies(1, 2).is_empty());
         assert!(check_presort(16, 1024).is_empty());
+        assert!(check_runtime_shape(2, 1, 16, 1, true, true, 8).is_empty());
+        assert!(check_pass_sharding(2, 8).is_empty());
     }
 }

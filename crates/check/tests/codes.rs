@@ -380,6 +380,102 @@ fn engine_try_new_reports_bon004_instead_of_panicking() {
     assert_emits(&diags, codes::RECORD_WIDTH_ZERO);
 }
 
+// --- Runtime-topology codes (BON05x) ---------------------------------
+
+/// Shorthand: shape-check a runtime config on a fixed 8-core host.
+fn runtime_shape(
+    workers: usize,
+    pass_workers: usize,
+    queue_depth: usize,
+    producers: usize,
+    close_on_drop: bool,
+    join_on_drop: bool,
+) -> Vec<Diagnostic> {
+    bonsai_check::check_runtime_shape(
+        workers,
+        pass_workers,
+        queue_depth,
+        producers,
+        close_on_drop,
+        join_on_drop,
+        8,
+    )
+}
+
+#[test]
+fn bon050_zero_depth_queue_with_concurrent_producers() {
+    let diags = runtime_shape(2, 1, 0, 4, true, true);
+    assert_emits(&diags, codes::RUNTIME_QUEUE_ZERO);
+    assert!(has_errors(&diags));
+    // A single producer may choose an unbuffered hand-off.
+    assert!(runtime_shape(2, 1, 0, 1, true, true).is_empty());
+}
+
+#[test]
+fn bon051_pass_workers_beyond_merge_groups() {
+    let diags = bonsai_check::check_pass_sharding(16, 4);
+    assert_emits(&diags, codes::RUNTIME_WORKERS_EXCEED_GROUPS);
+    assert!(!has_errors(&diags), "surplus threads waste, not break");
+    assert!(bonsai_check::check_pass_sharding(4, 4).is_empty());
+
+    // Through the runtime config: 64 pass workers against a job whose
+    // first pass only has ceil(1000/16)/8 = 8 groups.
+    let cfg = bonsai_runtime::RuntimeConfig {
+        workers: 1,
+        pass_workers: 64,
+        ..bonsai_runtime::RuntimeConfig::default()
+    };
+    let engine = bonsai_amt::SimEngineConfig::dram_sorter(bonsai_amt::AmtConfig::new(4, 16), 4);
+    let diags = cfg.validate_for_engine(Some(&engine), Some(1_000), 128);
+    assert_emits(&diags, codes::RUNTIME_WORKERS_EXCEED_GROUPS);
+}
+
+#[test]
+fn bon052_join_without_close_wedges_drop() {
+    let diags = runtime_shape(2, 1, 16, 1, false, true);
+    assert_emits(&diags, codes::RUNTIME_JOIN_WITHOUT_CLOSE);
+    assert!(has_errors(&diags));
+}
+
+#[test]
+fn bon053_unjoined_workers_leak() {
+    // close_on_drop stays on, so only the leak warning fires.
+    let diags = runtime_shape(2, 1, 16, 1, true, false);
+    assert_emits(&diags, codes::RUNTIME_UNJOINED_WORKERS);
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn bon054_oversubscribed_host() {
+    let diags = runtime_shape(4, 4, 16, 1, true, true);
+    assert_emits(&diags, codes::RUNTIME_OVERSUBSCRIBED);
+    assert!(!has_errors(&diags));
+    // `0` sentinels resolve to the core count: all-cores workers with
+    // more-than-one pass worker each oversubscribes too.
+    let diags = runtime_shape(0, 2, 16, 1, true, true);
+    assert_emits(&diags, codes::RUNTIME_OVERSUBSCRIBED);
+}
+
+#[test]
+fn bon055_queue_shallower_than_pool() {
+    let diags = runtime_shape(8, 1, 2, 1, true, true);
+    assert_emits(&diags, codes::RUNTIME_QUEUE_BELOW_WORKERS);
+    assert!(!has_errors(&diags));
+    assert!(runtime_shape(8, 1, 8, 1, true, true).is_empty());
+}
+
+#[test]
+fn default_runtime_config_is_shape_clean_on_any_host() {
+    for cores in [1, 2, 8, 64] {
+        assert!(
+            bonsai_runtime::RuntimeConfig::default()
+                .validate_for_cores(cores)
+                .is_empty(),
+            "default config must stay clean on a {cores}-core host"
+        );
+    }
+}
+
 // --- Sanitizer codes (BON1xx) ---------------------------------------
 //
 // BON102 has a reachable trigger from outside (violating the sorted-run

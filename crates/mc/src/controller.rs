@@ -1,0 +1,720 @@
+//! The execution controller: serializes one model execution onto real
+//! threads and records every scheduling decision.
+//!
+//! Exactly one model thread runs at any time. Every visible operation
+//! (lock, wait, notify, atomic access, spawn, join) passes through a
+//! *gate* where the controller may hand the processor to another
+//! runnable thread. The sequence of gate decisions is the *schedule*;
+//! replaying a schedule prefix reproduces an execution bit for bit,
+//! which is what the DFS explorer in [`crate::Checker`] relies on.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Thread identifier inside one model execution (0 = the model main).
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down (failure found, or exploration aborted). Never surfaced to the
+/// user: the thread wrappers swallow it.
+pub(crate) struct McAbort;
+
+/// Why a model thread cannot currently run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting to acquire a shim mutex.
+    Mutex(usize),
+    /// Waiting on a shim condvar (the mutex it released on entry).
+    Condvar { cv: usize, mutex: usize },
+    /// Waiting for another model thread to finish.
+    Join(Tid),
+}
+
+/// Scheduling state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// One entry of the execution trace.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    Spawn(Tid),
+    Lock(usize),
+    LockBlocked(usize),
+    Unlock(usize),
+    Wait { cv: usize, mutex: usize },
+    WakeFromWait(usize),
+    Notify { cv: usize, all: bool, woken: usize },
+    Atomic { name: &'static str, id: usize },
+    Join(Tid),
+    JoinBlocked(Tid),
+    Finish,
+    ProbeWake(usize),
+    ProbeRepark(usize),
+}
+
+/// Why one explored execution failed. See [`crate::Failure`] for the
+/// public projection.
+#[derive(Debug, Clone)]
+pub(crate) enum RawFailure {
+    Deadlock { blocked: Vec<(Tid, Block)> },
+    LostWakeup { thread: Tid, cv: usize },
+    Livelock { steps: usize },
+    Panic { thread: Tid, message: String },
+}
+
+/// The kind of a recorded scheduling choice, which determines whether
+/// its unexplored alternatives cost preemption budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChoiceKind {
+    /// Taken at an operation gate while the current thread was still
+    /// runnable: option 0 is "continue the current thread", every other
+    /// option is a preemption.
+    OpStart,
+    /// Taken because the current thread blocked or finished; all
+    /// options are free.
+    Forced,
+    /// Which of several condvar waiters a `notify_one` wakes; free.
+    NotifyPick,
+}
+
+/// One recorded branch point of the schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct ChoicePoint {
+    pub kind: ChoiceKind,
+    /// Number of options that were available.
+    pub options: usize,
+    /// Index of the option taken this execution.
+    pub taken: usize,
+    /// Preemptions already spent when this choice was made.
+    pub preemptions_before: usize,
+}
+
+struct MutexSt {
+    held_by: Option<Tid>,
+    name: Option<&'static str>,
+}
+
+struct CvSt {
+    name: Option<&'static str>,
+}
+
+/// A stuck execution is probed one condvar waiter at a time: each
+/// candidate is woken spuriously and re-evaluates its wait predicate.
+struct Probe {
+    /// The thread currently granted a probe wakeup.
+    current: Option<Tid>,
+    /// Remaining candidate waiters to probe.
+    pending: Vec<Tid>,
+}
+
+pub(crate) struct Exec {
+    /// Choice indices to replay before defaulting.
+    schedule: Vec<usize>,
+    pub(crate) choices: Vec<ChoicePoint>,
+    pub(crate) trace: Vec<(Tid, Op)>,
+    threads: Vec<TState>,
+    /// Real handles of spawned model threads (main is held by the
+    /// checker).
+    real: Vec<std::thread::JoinHandle<()>>,
+    active: Tid,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CvSt>,
+    atomics: Vec<Option<&'static str>>,
+    pub(crate) failure: Option<RawFailure>,
+    aborting: bool,
+    done: bool,
+    probe: Option<Probe>,
+}
+
+impl Exec {
+    fn runnable_others(&self, me: Tid) -> Vec<Tid> {
+        (0..self.threads.len())
+            .filter(|&t| t != me && self.threads[t] == TState::Runnable)
+            .collect()
+    }
+
+    fn live_blocked(&self) -> Vec<(Tid, Block)> {
+        (0..self.threads.len())
+            .filter_map(|t| match self.threads[t] {
+                TState::Blocked(b) => Some((t, b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    pub(crate) fn mutex_name(&self, id: usize) -> Option<&'static str> {
+        self.mutexes.get(id).and_then(|m| m.name)
+    }
+
+    pub(crate) fn condvar_name(&self, id: usize) -> Option<&'static str> {
+        self.condvars.get(id).and_then(|c| c.name)
+    }
+
+    pub(crate) fn atomic_name(&self, id: usize) -> Option<&'static str> {
+        self.atomics.get(id).copied().flatten()
+    }
+}
+
+/// Serializes one execution of the model closure.
+pub(crate) struct Controller {
+    state: Mutex<Exec>,
+    cv: Condvar,
+}
+
+impl Controller {
+    pub(crate) fn new(
+        schedule: Vec<usize>,
+        max_preemptions: Option<usize>,
+        max_steps: usize,
+    ) -> Self {
+        Self {
+            state: Mutex::new(Exec {
+                schedule,
+                choices: Vec::new(),
+                trace: Vec::new(),
+                threads: vec![TState::Runnable], // tid 0: model main
+                real: Vec::new(),
+                active: 0,
+                preemptions: 0,
+                max_preemptions,
+                steps: 0,
+                max_steps,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                atomics: Vec::new(),
+                failure: None,
+                aborting: false,
+                done: false,
+                probe: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Exec> {
+        // The controller's own mutex is never poisoned on purpose:
+        // model panics unwind through shim guards whose drops take this
+        // lock, so recover instead of propagating.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    // --- registration ---------------------------------------------------
+
+    pub(crate) fn register_mutex(&self, name: Option<&'static str>) -> usize {
+        let mut ex = self.lock();
+        ex.mutexes.push(MutexSt {
+            held_by: None,
+            name,
+        });
+        ex.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self, name: Option<&'static str>) -> usize {
+        let mut ex = self.lock();
+        ex.condvars.push(CvSt { name });
+        ex.condvars.len() - 1
+    }
+
+    pub(crate) fn register_atomic(&self, name: Option<&'static str>) -> usize {
+        let mut ex = self.lock();
+        ex.atomics.push(name);
+        ex.atomics.len() - 1
+    }
+
+    // --- scheduling core ------------------------------------------------
+
+    /// Aborts the execution: wakes every parked thread so it can unwind
+    /// with [`McAbort`].
+    fn abort_all(&self, ex: &mut Exec) {
+        ex.aborting = true;
+        ex.done = true;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, ex: &mut Exec, failure: RawFailure) -> ! {
+        if ex.failure.is_none() {
+            ex.failure = Some(failure);
+        }
+        self.abort_all(ex);
+        std::panic::panic_any(McAbort);
+    }
+
+    /// Picks `options[idx]` where `idx` comes from the replay prefix or
+    /// defaults to 0, recording the branch point when it is a real
+    /// choice (more than one option).
+    fn choose(&self, ex: &mut Exec, kind: ChoiceKind, options: &[Tid]) -> Tid {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return options[0];
+        }
+        let idx = if ex.choices.len() < ex.schedule.len() {
+            let idx = ex.schedule[ex.choices.len()];
+            assert!(
+                idx < options.len(),
+                "bonsai-mc internal error: schedule replay diverged \
+                 (choice {} wants option {idx} of {})",
+                ex.choices.len(),
+                options.len()
+            );
+            idx
+        } else {
+            0
+        };
+        ex.choices.push(ChoicePoint {
+            kind,
+            options: options.len(),
+            taken: idx,
+            preemptions_before: ex.preemptions,
+        });
+        options[idx]
+    }
+
+    /// Parks the calling thread until it is scheduled again (or the
+    /// execution aborts, in which case this never returns).
+    fn park<'a>(
+        &'a self,
+        mut ex: std::sync::MutexGuard<'a, Exec>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, Exec> {
+        loop {
+            if ex.aborting {
+                drop(ex);
+                std::panic::panic_any(McAbort);
+            }
+            if ex.active == me && ex.threads[me] == TState::Runnable {
+                return ex;
+            }
+            ex = self
+                .cv
+                .wait(ex)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The operation gate: called by the active thread right before a
+    /// visible operation. May hand the processor to another runnable
+    /// thread (a preemption); returns once `me` is active again.
+    fn gate<'a>(
+        &'a self,
+        mut ex: std::sync::MutexGuard<'a, Exec>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, Exec> {
+        if ex.aborting {
+            drop(ex);
+            std::panic::panic_any(McAbort);
+        }
+        ex.steps += 1;
+        if ex.steps > ex.max_steps {
+            let steps = ex.steps;
+            self.fail(&mut ex, RawFailure::Livelock { steps });
+        }
+        let others = ex.runnable_others(me);
+        if others.is_empty() {
+            return ex;
+        }
+        // Alternatives beyond "continue me" are preemptions; once the
+        // budget is spent the gate offers no choice at all. This must
+        // not depend on whether we are replaying a prefix: preemption
+        // counts evolve identically along a replayed prefix, so
+        // recording and replay skip exactly the same gates.
+        let budget_left = ex
+            .max_preemptions
+            .is_none_or(|budget| ex.preemptions < budget);
+        if !budget_left {
+            return ex;
+        }
+        let mut options = Vec::with_capacity(1 + others.len());
+        options.push(me);
+        options.extend(others);
+        let chosen = self.choose(&mut ex, ChoiceKind::OpStart, &options);
+        if chosen != me {
+            ex.preemptions += 1;
+            ex.active = chosen;
+            self.cv.notify_all();
+            ex = self.park(ex, me);
+        }
+        ex
+    }
+
+    /// Hands the processor onward after `me` blocked or finished.
+    /// Handles the stuck case (nothing runnable): probing, deadlock
+    /// classification, or normal completion.
+    fn pass_on(&self, ex: &mut Exec, me: Tid) {
+        let options = ex.runnable_others(me);
+        match options.len() {
+            0 => self.stuck(ex),
+            1 => {
+                ex.active = options[0];
+                self.cv.notify_all();
+            }
+            _ => {
+                let chosen = self.choose(ex, ChoiceKind::Forced, &options);
+                ex.active = chosen;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// No thread is runnable. Either everything finished (execution
+    /// complete), or the survivors are blocked: probe condvar waiters
+    /// for lost wakeups, then report deadlock.
+    fn stuck(&self, ex: &mut Exec) {
+        let blocked = ex.live_blocked();
+        if blocked.is_empty() {
+            ex.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        // Wake each condvar waiter whose mutex is free: if its wait
+        // predicate no longer holds, it was parked while able to
+        // proceed — a lost wakeup.
+        let candidates: Vec<Tid> = blocked
+            .iter()
+            .filter_map(|&(t, b)| match b {
+                Block::Condvar { mutex, .. } if ex.mutexes[mutex].held_by.is_none() => Some(t),
+                _ => None,
+            })
+            .collect();
+        if let Some((&first, rest)) = candidates.split_first() {
+            ex.probe = Some(Probe {
+                current: Some(first),
+                pending: rest.to_vec(),
+            });
+            let cv = match ex.threads[first] {
+                TState::Blocked(Block::Condvar { cv, .. }) => cv,
+                _ => unreachable!("probe candidates are condvar waiters"),
+            };
+            ex.trace.push((first, Op::ProbeWake(cv)));
+            ex.threads[first] = TState::Runnable;
+            ex.active = first;
+            self.cv.notify_all();
+        } else {
+            let failure = RawFailure::Deadlock { blocked };
+            if ex.failure.is_none() {
+                ex.failure = Some(failure);
+            }
+            self.abort_all(ex);
+        }
+    }
+
+    /// Whether `me` is currently executing a probe wakeup (so the shim
+    /// `wait_while` must report its predicate verdict).
+    pub(crate) fn probing(&self, me: Tid) -> bool {
+        let ex = self.lock();
+        ex.probe.as_ref().is_some_and(|p| p.current == Some(me))
+    }
+
+    /// Reports the probed thread's verdict. `can_proceed == true` means
+    /// the wait predicate no longer holds — the thread was blocked on a
+    /// wakeup nobody was ever going to send. Never returns in that
+    /// case; otherwise the caller loops back into its wait.
+    pub(crate) fn probe_verdict(&self, me: Tid, cv: usize, can_proceed: bool) {
+        let mut ex = self.lock();
+        if can_proceed {
+            self.fail(&mut ex, RawFailure::LostWakeup { thread: me, cv });
+        }
+        if let Some(probe) = ex.probe.as_mut() {
+            probe.current = None;
+        }
+    }
+
+    // --- shim operations ------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: Tid, mid: usize) {
+        let mut ex = self.gate(self.lock(), me);
+        loop {
+            if ex.mutexes[mid].held_by.is_none() {
+                ex.mutexes[mid].held_by = Some(me);
+                ex.trace.push((me, Op::Lock(mid)));
+                return;
+            }
+            ex.trace.push((me, Op::LockBlocked(mid)));
+            ex.threads[me] = TState::Blocked(Block::Mutex(mid));
+            self.pass_on(&mut ex, me);
+            ex = self.park(ex, me);
+        }
+    }
+
+    fn release_mutex(&self, ex: &mut Exec, me: Tid, mid: usize) {
+        debug_assert_eq!(ex.mutexes[mid].held_by, Some(me), "unlock by non-owner");
+        ex.mutexes[mid].held_by = None;
+        ex.trace.push((me, Op::Unlock(mid)));
+        for t in 0..ex.threads.len() {
+            if ex.threads[t] == TState::Blocked(Block::Mutex(mid)) {
+                ex.threads[t] = TState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: Tid, mid: usize) {
+        let mut ex = self.lock();
+        if ex.aborting {
+            // Guard drops during unwind: just update state, never park.
+            ex.mutexes[mid].held_by = None;
+            return;
+        }
+        self.release_mutex(&mut ex, me, mid);
+    }
+
+    /// Atomically releases `mid` and blocks on `cvid`; returns once the
+    /// thread has been notified (or probed) *and* has reacquired `mid`.
+    pub(crate) fn condvar_wait(&self, me: Tid, cvid: usize, mid: usize) {
+        let mut ex = self.lock();
+        let reparking = ex.probe.is_some();
+        if reparking {
+            // This thread was probed, re-evaluated its predicate and
+            // decided to keep waiting. Repark it and move the probe to
+            // the next candidate (or conclude deadlock).
+            if let Some(probe) = ex.probe.as_mut() {
+                probe.current = None;
+            }
+            ex.trace.push((me, Op::ProbeRepark(cvid)));
+            debug_assert_eq!(ex.mutexes[mid].held_by, Some(me));
+            ex.mutexes[mid].held_by = None;
+            ex.threads[me] = TState::Blocked(Block::Condvar {
+                cv: cvid,
+                mutex: mid,
+            });
+            let mut pending = ex
+                .probe
+                .as_mut()
+                .map(|p| std::mem::take(&mut p.pending))
+                .unwrap_or_default();
+            let mut next = None;
+            while let Some(t) = pending.pop() {
+                if matches!(ex.threads[t], TState::Blocked(Block::Condvar { .. })) {
+                    next = Some(t);
+                    break;
+                }
+            }
+            if let Some(probe) = ex.probe.as_mut() {
+                probe.pending = pending;
+            }
+            match next {
+                Some(t) => {
+                    let cv = match ex.threads[t] {
+                        TState::Blocked(Block::Condvar { cv, .. }) => cv,
+                        _ => unreachable!("probe candidates are condvar waiters"),
+                    };
+                    if let Some(probe) = ex.probe.as_mut() {
+                        probe.current = Some(t);
+                    }
+                    ex.trace.push((t, Op::ProbeWake(cv)));
+                    ex.threads[t] = TState::Runnable;
+                    ex.active = t;
+                    self.cv.notify_all();
+                }
+                None => {
+                    ex.probe = None;
+                    let blocked = ex.live_blocked();
+                    let failure = RawFailure::Deadlock { blocked };
+                    if ex.failure.is_none() {
+                        ex.failure = Some(failure);
+                    }
+                    self.abort_all(&mut ex);
+                }
+            }
+        } else {
+            ex = self.gate(ex, me);
+            self.release_mutex(&mut ex, me, mid);
+            ex.trace.push((
+                me,
+                Op::Wait {
+                    cv: cvid,
+                    mutex: mid,
+                },
+            ));
+            ex.threads[me] = TState::Blocked(Block::Condvar {
+                cv: cvid,
+                mutex: mid,
+            });
+            self.pass_on(&mut ex, me);
+        }
+        ex = self.park(ex, me);
+        if ex.probe.as_ref().and_then(|p| p.current) != Some(me) {
+            ex.trace.push((me, Op::WakeFromWait(cvid)));
+        }
+        // Reacquire the mutex before returning to the wait loop.
+        loop {
+            if ex.mutexes[mid].held_by.is_none() {
+                ex.mutexes[mid].held_by = Some(me);
+                return;
+            }
+            ex.threads[me] = TState::Blocked(Block::Mutex(mid));
+            self.pass_on(&mut ex, me);
+            ex = self.park(ex, me);
+        }
+    }
+
+    pub(crate) fn notify(&self, me: Tid, cvid: usize, all: bool) {
+        let mut ex = self.gate(self.lock(), me);
+        let waiters: Vec<Tid> = (0..ex.threads.len())
+            .filter(|&t| {
+                matches!(ex.threads[t], TState::Blocked(Block::Condvar { cv, .. }) if cv == cvid)
+            })
+            .collect();
+        if waiters.is_empty() {
+            ex.trace.push((
+                me,
+                Op::Notify {
+                    cv: cvid,
+                    all,
+                    woken: 0,
+                },
+            ));
+            return;
+        }
+        if all {
+            let woken = waiters.len();
+            for t in waiters {
+                ex.threads[t] = TState::Runnable;
+            }
+            ex.trace.push((
+                me,
+                Op::Notify {
+                    cv: cvid,
+                    all,
+                    woken,
+                },
+            ));
+        } else {
+            // Which waiter a notify_one wakes is genuinely
+            // nondeterministic: make it an explored (free) choice.
+            let chosen = self.choose(&mut ex, ChoiceKind::NotifyPick, &waiters);
+            ex.threads[chosen] = TState::Runnable;
+            ex.trace.push((
+                me,
+                Op::Notify {
+                    cv: cvid,
+                    all,
+                    woken: 1,
+                },
+            ));
+        }
+    }
+
+    pub(crate) fn atomic_op<R>(
+        &self,
+        me: Tid,
+        id: usize,
+        name: &'static str,
+        op: impl FnOnce() -> R,
+    ) -> R {
+        let mut ex = self.gate(self.lock(), me);
+        let result = op();
+        ex.trace.push((me, Op::Atomic { name, id }));
+        result
+    }
+
+    /// Registers a new model thread and returns its tid. The real
+    /// thread is spawned by the caller; it must park via
+    /// [`Controller::initial_park`] before touching any model state.
+    pub(crate) fn thread_spawn(&self, me: Tid) -> Tid {
+        let mut ex = self.gate(self.lock(), me);
+        let tid = ex.threads.len();
+        assert!(
+            tid < crate::MAX_THREADS,
+            "bonsai-mc: model spawned more than {} threads",
+            crate::MAX_THREADS
+        );
+        ex.threads.push(TState::Runnable);
+        ex.trace.push((me, Op::Spawn(tid)));
+        tid
+    }
+
+    pub(crate) fn adopt_real_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().real.push(handle);
+    }
+
+    /// First park of a freshly spawned thread: waits until scheduled.
+    pub(crate) fn initial_park(&self, me: Tid) {
+        let ex = self.lock();
+        drop(self.park(ex, me));
+    }
+
+    pub(crate) fn thread_join(&self, me: Tid, target: Tid) {
+        let mut ex = self.gate(self.lock(), me);
+        loop {
+            if ex.threads[target] == TState::Finished {
+                ex.trace.push((me, Op::Join(target)));
+                return;
+            }
+            ex.trace.push((me, Op::JoinBlocked(target)));
+            ex.threads[me] = TState::Blocked(Block::Join(target));
+            self.pass_on(&mut ex, me);
+            ex = self.park(ex, me);
+        }
+    }
+
+    /// Marks `me` finished and schedules a successor. `panic_message`
+    /// carries a real model panic (assertion failure etc.), which is a
+    /// reportable failure.
+    pub(crate) fn thread_finished(&self, me: Tid, panic_message: Option<String>) {
+        let mut ex = self.lock();
+        ex.threads[me] = TState::Finished;
+        ex.trace.push((me, Op::Finish));
+        if let Some(message) = panic_message {
+            if ex.failure.is_none() {
+                ex.failure = Some(RawFailure::Panic {
+                    thread: me,
+                    message,
+                });
+            }
+            self.abort_all(&mut ex);
+            return;
+        }
+        if ex.aborting {
+            return;
+        }
+        for t in 0..ex.threads.len() {
+            if ex.threads[t] == TState::Blocked(Block::Join(me)) {
+                ex.threads[t] = TState::Runnable;
+            }
+        }
+        self.pass_on(&mut ex, me);
+    }
+
+    /// Marks `me` torn down by an abort (no failure of its own).
+    pub(crate) fn thread_aborted(&self, me: Tid) {
+        let mut ex = self.lock();
+        ex.threads[me] = TState::Finished;
+    }
+
+    // --- checker-side API -----------------------------------------------
+
+    /// Blocks the checker until the execution completed or aborted.
+    pub(crate) fn wait_done(&self) {
+        let mut ex = self.lock();
+        while !ex.done {
+            ex = self
+                .cv
+                .wait(ex)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Takes the real handles of spawned model threads for joining.
+    pub(crate) fn take_real_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock().real)
+    }
+
+    /// Consumes the execution record once every real thread has been
+    /// joined.
+    pub(crate) fn into_exec(self: Arc<Self>) -> Exec {
+        let controller = Arc::try_unwrap(self)
+            .unwrap_or_else(|_| panic!("bonsai-mc internal error: execution state still shared"));
+        controller
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

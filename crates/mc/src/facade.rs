@@ -1,0 +1,142 @@
+//! The sync facade: a trait over the handful of synchronization
+//! primitives the Bonsai runtime uses, with a production implementation
+//! backed by `std::sync` and a model-checked implementation backed by
+//! the [`crate::sync`] shims.
+//!
+//! Code written against [`SyncOps`] runs unchanged in both worlds; the
+//! `std` path compiles down to direct `std::sync` calls with zero
+//! added indirection (every method is a monomorphized inline-able
+//! static call, no vtables).
+
+use std::ops::DerefMut;
+
+/// The synchronization operations the runtime is generic over.
+///
+/// The contract mirrors `std::sync` semantics:
+///
+/// - [`SyncOps::wait_while`] blocks **while** the predicate returns
+///   `true` (exactly like [`std::sync::Condvar::wait_while`]). The
+///   predicate travels through the facade so the model checker can
+///   re-evaluate it when probing a stuck state for lost wakeups.
+/// - [`SyncOps::lock`] recovers from poisoning: the runtime's critical
+///   sections never leave shared state mid-invariant on panic, and a
+///   poisoned-lock abort would turn one failed job into a wedged pool.
+/// - [`SyncOps::join`] surfaces a panicking thread as `Err` with a
+///   best-effort message rather than propagating the payload.
+pub trait SyncOps: Sized + Send + Sync + 'static {
+    /// Mutual-exclusion cell.
+    type Mutex<T: Send>: Send + Sync;
+    /// RAII lock guard dereferencing to the protected value.
+    type Guard<'a, T: Send + 'a>: DerefMut<Target = T>;
+    /// Condition variable paired with `Self::Mutex`.
+    type Condvar: Send + Sync;
+    /// Handle to a spawned thread.
+    type JoinHandle;
+
+    /// Creates a mutex protecting `value`.
+    fn mutex<T: Send>(value: T) -> Self::Mutex<T>;
+
+    /// Creates a mutex with a debug name (shown in model-checker
+    /// traces; the `std` implementation ignores it).
+    fn mutex_named<T: Send>(name: &'static str, value: T) -> Self::Mutex<T> {
+        let _ = name;
+        Self::mutex(value)
+    }
+
+    /// Acquires `mutex`, blocking until it is free.
+    fn lock<'a, T: Send>(mutex: &'a Self::Mutex<T>) -> Self::Guard<'a, T>;
+
+    /// Creates a condition variable.
+    fn condvar() -> Self::Condvar;
+
+    /// Creates a condition variable with a debug name (shown in
+    /// model-checker traces; the `std` implementation ignores it).
+    fn condvar_named(name: &'static str) -> Self::Condvar {
+        let _ = name;
+        Self::condvar()
+    }
+
+    /// Releases `guard` and blocks on `condvar` while `condition`
+    /// returns `true`; returns with the lock re-acquired and the
+    /// condition `false`.
+    fn wait_while<'a, T: Send, F: FnMut(&mut T) -> bool>(
+        condvar: &Self::Condvar,
+        mutex: &'a Self::Mutex<T>,
+        guard: Self::Guard<'a, T>,
+        condition: F,
+    ) -> Self::Guard<'a, T>;
+
+    /// Wakes one thread blocked on `condvar`.
+    fn notify_one(condvar: &Self::Condvar);
+
+    /// Wakes every thread blocked on `condvar`.
+    fn notify_all(condvar: &Self::Condvar);
+
+    /// Spawns a thread running `f`.
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> Self::JoinHandle;
+
+    /// Joins a spawned thread.
+    ///
+    /// # Errors
+    ///
+    /// A best-effort panic message when the thread panicked.
+    fn join(handle: Self::JoinHandle) -> Result<(), String>;
+}
+
+/// Production implementation: plain `std::sync` primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct StdSync;
+
+impl SyncOps for StdSync {
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+    type Guard<'a, T: Send + 'a> = std::sync::MutexGuard<'a, T>;
+    type Condvar = std::sync::Condvar;
+    type JoinHandle = std::thread::JoinHandle<()>;
+
+    fn mutex<T: Send>(value: T) -> Self::Mutex<T> {
+        std::sync::Mutex::new(value)
+    }
+
+    fn lock<'a, T: Send>(mutex: &'a Self::Mutex<T>) -> Self::Guard<'a, T> {
+        mutex
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn condvar() -> Self::Condvar {
+        std::sync::Condvar::new()
+    }
+
+    fn wait_while<'a, T: Send, F: FnMut(&mut T) -> bool>(
+        condvar: &Self::Condvar,
+        _mutex: &'a Self::Mutex<T>,
+        guard: Self::Guard<'a, T>,
+        condition: F,
+    ) -> Self::Guard<'a, T> {
+        condvar
+            .wait_while(guard, condition)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn notify_one(condvar: &Self::Condvar) {
+        condvar.notify_one();
+    }
+
+    fn notify_all(condvar: &Self::Condvar) {
+        condvar.notify_all();
+    }
+
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> Self::JoinHandle {
+        std::thread::spawn(f)
+    }
+
+    fn join(handle: Self::JoinHandle) -> Result<(), String> {
+        handle.join().map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker thread panicked".to_string())
+        })
+    }
+}

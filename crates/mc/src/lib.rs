@@ -1,0 +1,471 @@
+//! `bonsai-mc` — a systematic concurrency model checker for the Bonsai
+//! runtime, in the spirit of `loom` but dependency-free (this workspace
+//! builds offline).
+//!
+//! A *model* is a closure that exercises a concurrent protocol using
+//! the shims in [`sync`] (or any code generic over
+//! [`facade::SyncOps`], instantiated with [`sync::McSync`]). The
+//! [`Checker`] runs the model repeatedly, fully serializing its threads
+//! and branching on every scheduling decision — which thread runs at
+//! each operation, and which waiter a `notify_one` wakes — via a
+//! depth-first search over schedule prefixes.
+//!
+//! Detected failures:
+//!
+//! - **Deadlock** — every live thread is blocked and no blocked waiter
+//!   could proceed if woken.
+//! - **Lost wakeup** — a condvar waiter is parked forever even though
+//!   its wait predicate no longer holds (someone forgot a notify, or
+//!   used `notify_one` where `notify_all` was required).
+//! - **Livelock** — an execution exceeds the step bound.
+//! - **Panic** — model code panicked (assertion failure, etc.).
+//!
+//! Any failure comes with a [`Report`]: a human-readable event trace
+//! plus the [`Schedule`] that reproduces it deterministically via
+//! [`Checker::replay`].
+//!
+//! # Exploration bounds
+//!
+//! Exhaustive search over all interleavings is exponential, so the
+//! checker uses *iterative context bounding*: schedules are explored
+//! exhaustively up to a budget of preemptions (scheduling switches at
+//! points where the running thread could have continued). Switches at
+//! blocking points are free. Empirically almost all concurrency bugs
+//! manifest within two or three preemptions; a [`Stats::complete`]
+//! result means the space within the budget was fully explored.
+//!
+//! ```
+//! use bonsai_mc::{sync, Checker};
+//! use std::sync::Arc;
+//!
+//! let stats = Checker::new()
+//!     .check(|| {
+//!         let lock = Arc::new(sync::Mutex::new(0_u32));
+//!         let t = {
+//!             let lock = Arc::clone(&lock);
+//!             sync::thread::spawn(move || *lock.lock() += 1)
+//!         };
+//!         *lock.lock() += 1;
+//!         t.join().unwrap();
+//!         assert_eq!(*lock.lock(), 2);
+//!     })
+//!     .expect("no concurrency bugs");
+//! assert!(stats.complete);
+//! ```
+
+mod controller;
+pub mod facade;
+pub mod sync;
+
+pub use facade::{StdSync, SyncOps};
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use controller::{Block, ChoiceKind, Controller, Exec, Op, RawFailure};
+
+/// Upper bound on model threads per execution; a model spawning more
+/// is almost certainly a runaway loop, not a protocol worth checking.
+pub(crate) const MAX_THREADS: usize = 16;
+
+/// What one failed execution looked like. See [`Report`] for the
+/// trace and reproduction schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// Every live thread is blocked and none could proceed if woken.
+    Deadlock {
+        /// Human-readable description of each blocked thread.
+        blocked: Vec<String>,
+    },
+    /// A condvar waiter was parked forever although its wait predicate
+    /// no longer holds.
+    LostWakeup {
+        /// The starved thread.
+        thread: usize,
+        /// The condvar it was parked on.
+        condvar: String,
+    },
+    /// The execution exceeded the step bound without finishing.
+    Livelock {
+        /// Steps executed when the bound tripped.
+        steps: usize,
+    },
+    /// Model code panicked.
+    Panic {
+        /// The panicking thread.
+        thread: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+            Self::LostWakeup { thread, condvar } => write!(
+                f,
+                "lost wakeup: t{thread} parked on {condvar} although its predicate allows it to proceed"
+            ),
+            Self::Livelock { steps } => {
+                write!(f, "livelock: no progress after {steps} steps")
+            }
+            Self::Panic { thread, message } => write!(f, "panic in t{thread}: {message}"),
+        }
+    }
+}
+
+/// A reproducible scheduling decision sequence. `Display` renders it
+/// as dot-separated choice indices (e.g. `1.0.2`) suitable for pasting
+/// into [`Checker::replay`] via [`Schedule::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule(Vec<usize>);
+
+impl Schedule {
+    /// The recorded choice indices.
+    #[must_use]
+    pub fn choices(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "(default)");
+        }
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "(default)" {
+            return Ok(Self(Vec::new()));
+        }
+        s.split('.')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad schedule component {part:?}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Self)
+    }
+}
+
+/// Everything needed to understand and reproduce a failing execution.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// What went wrong.
+    pub failure: Failure,
+    /// The schedule that reproduces the failure via
+    /// [`Checker::replay`].
+    pub schedule: Schedule,
+    /// Human-readable event trace of the failing execution, one line
+    /// per visible operation.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "bonsai-mc failure: {}", self.failure)?;
+        writeln!(f, "schedule (replayable): {}", self.schedule)?;
+        writeln!(f, "trace ({} events):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Report {}
+
+/// Exploration statistics for a model with no detected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Whether the search space (within the preemption budget) was
+    /// fully explored, as opposed to cut off by
+    /// [`Checker::max_schedules`].
+    pub complete: bool,
+}
+
+/// The systematic scheduler/explorer. Construct with [`Checker::new`],
+/// tune bounds with the builder methods, then call [`Checker::check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Checker {
+    preemption_budget: Option<usize>,
+    max_steps: usize,
+    max_schedules: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    /// Default bounds: 2 preemptions, 10 000 steps per execution,
+    /// 100 000 schedules.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            preemption_budget: Some(2),
+            max_steps: 10_000,
+            max_schedules: 100_000,
+        }
+    }
+
+    /// Sets the preemption budget (iterative context bound).
+    #[must_use]
+    pub fn preemption_budget(mut self, budget: usize) -> Self {
+        self.preemption_budget = Some(budget);
+        self
+    }
+
+    /// Removes the preemption budget: explore *every* interleaving.
+    /// Only tractable for very small models.
+    #[must_use]
+    pub fn unbounded_preemptions(mut self) -> Self {
+        self.preemption_budget = None;
+        self
+    }
+
+    /// Sets the per-execution step bound (livelock detector).
+    #[must_use]
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Sets the schedule-count cutoff. Hitting it yields
+    /// `Stats { complete: false, .. }`, never a false failure.
+    #[must_use]
+    pub fn max_schedules(mut self, schedules: usize) -> Self {
+        self.max_schedules = schedules;
+        self
+    }
+
+    /// Explores the model. Returns exploration [`Stats`] when every
+    /// explored schedule ran clean.
+    ///
+    /// # Errors
+    ///
+    /// The [`Report`] of the first failing schedule found.
+    pub fn check<F>(&self, model: F) -> Result<Stats, Box<Report>>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model = Arc::new(model);
+        let mut schedule: Vec<usize> = Vec::new();
+        let mut schedules = 0_usize;
+        loop {
+            let exec = self.run_one(schedule, &model);
+            schedules += 1;
+            if exec.failure.is_some() {
+                return Err(Box::new(make_report(&exec)));
+            }
+            match next_schedule(&exec, self.preemption_budget) {
+                Some(next) => {
+                    if schedules >= self.max_schedules {
+                        return Ok(Stats {
+                            schedules,
+                            complete: false,
+                        });
+                    }
+                    schedule = next;
+                }
+                None => {
+                    return Ok(Stats {
+                        schedules,
+                        complete: true,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Re-runs the model under one specific schedule (from a
+    /// [`Report`], or parsed from its printed form). Returns the
+    /// failure report it reproduces, or `None` if the execution ran
+    /// clean (e.g. the bug was since fixed).
+    pub fn replay<F>(&self, schedule: &Schedule, model: F) -> Option<Box<Report>>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model = Arc::new(model);
+        let exec = self.run_one(schedule.0.clone(), &model);
+        exec.failure.as_ref().map(|_| Box::new(make_report(&exec)))
+    }
+
+    /// Runs one fully-controlled execution of the model under the
+    /// given schedule prefix.
+    fn run_one<F>(&self, schedule: Vec<usize>, model: &Arc<F>) -> Exec
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let controller = Arc::new(Controller::new(
+            schedule,
+            self.preemption_budget,
+            self.max_steps,
+        ));
+        let main = {
+            let controller = Arc::clone(&controller);
+            let model = Arc::clone(model);
+            std::thread::Builder::new()
+                .name("bonsai-mc-0".to_string())
+                .spawn(move || sync::run_model_thread(&controller, 0, move || model()))
+                .expect("bonsai-mc: failed to spawn model main thread")
+        };
+        controller.wait_done();
+        main.join().expect("bonsai-mc: model main thread wedged");
+        for handle in controller.take_real_handles() {
+            handle
+                .join()
+                .expect("bonsai-mc: model worker thread wedged");
+        }
+        controller.into_exec()
+    }
+}
+
+/// Computes the next DFS schedule prefix from a completed execution,
+/// or `None` when the (budget-bounded) space is exhausted.
+fn next_schedule(exec: &Exec, budget: Option<usize>) -> Option<Vec<usize>> {
+    let mut choices = exec.choices.clone();
+    loop {
+        let point = choices.pop()?;
+        let mut candidate = point.taken + 1;
+        while candidate < point.options {
+            let allowed = match point.kind {
+                // Option 0 is "continue the current thread" (free);
+                // everything else costs one preemption.
+                ChoiceKind::OpStart => {
+                    candidate == 0 || budget.is_none_or(|b| point.preemptions_before < b)
+                }
+                ChoiceKind::Forced | ChoiceKind::NotifyPick => true,
+            };
+            if allowed {
+                let mut next: Vec<usize> = choices.iter().map(|c| c.taken).collect();
+                next.push(candidate);
+                return Some(next);
+            }
+            candidate += 1;
+        }
+    }
+}
+
+fn mutex_label(exec: &Exec, id: usize) -> String {
+    exec.mutex_name(id)
+        .map_or_else(|| format!("mutex#{id}"), |n| format!("mutex \"{n}\""))
+}
+
+fn condvar_label(exec: &Exec, id: usize) -> String {
+    exec.condvar_name(id)
+        .map_or_else(|| format!("condvar#{id}"), |n| format!("condvar \"{n}\""))
+}
+
+fn atomic_label(exec: &Exec, id: usize) -> String {
+    exec.atomic_name(id)
+        .map_or_else(|| format!("atomic#{id}"), |n| format!("atomic#{id} ({n})"))
+}
+
+fn block_label(exec: &Exec, tid: usize, block: Block) -> String {
+    match block {
+        Block::Mutex(m) => format!("t{tid} waiting to lock {}", mutex_label(exec, m)),
+        Block::Condvar { cv, mutex } => format!(
+            "t{tid} parked on {} (guards {})",
+            condvar_label(exec, cv),
+            mutex_label(exec, mutex)
+        ),
+        Block::Join(t) => format!("t{tid} joining t{t}"),
+    }
+}
+
+fn make_report(exec: &Exec) -> Report {
+    let failure = match exec
+        .failure
+        .as_ref()
+        .expect("make_report called without failure")
+    {
+        RawFailure::Deadlock { blocked } => Failure::Deadlock {
+            blocked: blocked
+                .iter()
+                .map(|&(tid, block)| block_label(exec, tid, block))
+                .collect(),
+        },
+        RawFailure::LostWakeup { thread, cv } => Failure::LostWakeup {
+            thread: *thread,
+            condvar: condvar_label(exec, *cv),
+        },
+        RawFailure::Livelock { steps } => Failure::Livelock { steps: *steps },
+        RawFailure::Panic { thread, message } => Failure::Panic {
+            thread: *thread,
+            message: message.clone(),
+        },
+    };
+    let trace = exec
+        .trace
+        .iter()
+        .map(|&(tid, ref op)| {
+            let event = match *op {
+                Op::Spawn(t) => format!("spawns t{t}"),
+                Op::Lock(m) => format!("locks {}", mutex_label(exec, m)),
+                Op::LockBlocked(m) => format!("blocks on {}", mutex_label(exec, m)),
+                Op::Unlock(m) => format!("unlocks {}", mutex_label(exec, m)),
+                Op::Wait { cv, mutex } => format!(
+                    "waits on {} (releases {})",
+                    condvar_label(exec, cv),
+                    mutex_label(exec, mutex)
+                ),
+                Op::WakeFromWait(cv) => format!("wakes from {}", condvar_label(exec, cv)),
+                Op::Notify { cv, all, woken } => format!(
+                    "{} {} (woke {woken})",
+                    if all { "notify_all" } else { "notify_one" },
+                    condvar_label(exec, cv)
+                ),
+                Op::Atomic { name, id } => {
+                    format!("atomic {name} on {}", atomic_label(exec, id))
+                }
+                Op::Join(t) => format!("joins t{t}"),
+                Op::JoinBlocked(t) => format!("blocks joining t{t}"),
+                Op::Finish => "finishes".to_string(),
+                Op::ProbeWake(cv) => format!(
+                    "probe: woken from {} to re-check its predicate",
+                    condvar_label(exec, cv)
+                ),
+                Op::ProbeRepark(cv) => format!(
+                    "probe: predicate still holds, re-parks on {}",
+                    condvar_label(exec, cv)
+                ),
+            };
+            format!("t{tid} {event}")
+        })
+        .collect();
+    Report {
+        failure,
+        schedule: Schedule(exec.choices.iter().map(|c| c.taken).collect()),
+        trace,
+    }
+}

@@ -1,0 +1,483 @@
+//! Model-checked synchronization shims.
+//!
+//! Drop-in lookalikes for the `std::sync` primitives the runtime uses,
+//! routed through the execution [`Controller`](crate::controller) so
+//! that every acquire, wait, notify, atomic access, spawn and join is a
+//! scheduling decision the explorer can branch on. Only meaningful
+//! inside a [`crate::Checker`] run; constructing a shim outside one
+//! panics with a descriptive message.
+//!
+//! The shims are deliberately narrower than `std`:
+//!
+//! - no `try_lock`, no wait timeouts (a model must not depend on time);
+//! - condvars never wake spuriously — every wakeup in a trace has a
+//!   cause, which is what makes lost-wakeup reports crisp;
+//! - atomics are sequentially consistent regardless of the `Ordering`
+//!   argument (the checker explores interleavings, not memory-model
+//!   reorderings).
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::ops::{Deref, DerefMut};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Once};
+
+use crate::controller::{Controller, McAbort, Tid};
+use crate::facade::SyncOps;
+
+thread_local! {
+    /// The controller + tid of the model thread running on this real
+    /// thread, if any.
+    static CURRENT: RefCell<Option<(Arc<Controller>, Tid)>> = const { RefCell::new(None) };
+    /// Set while model code runs so the global panic hook can suppress
+    /// the (expected) teardown unwinds instead of spamming stderr.
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn set_current(controller: Arc<Controller>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((controller, tid)));
+    IN_MODEL.with(|f| f.set(true));
+}
+
+pub(crate) fn clear_current() {
+    IN_MODEL.with(|f| f.set(false));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+fn current() -> (Arc<Controller>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("bonsai-mc sync shims may only be used inside Checker::check / Checker::replay")
+    })
+}
+
+/// Installs (once, process-wide) a panic hook that silences unwinds of
+/// model threads; their payloads are captured and reported through
+/// [`crate::Report`] instead.
+pub(crate) fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "model thread panicked".to_string())
+}
+
+/// Runs `f` as model thread `tid`, reporting its outcome to the
+/// controller. Used for both the model main (tid 0) and spawned
+/// threads.
+pub(crate) fn run_model_thread(controller: &Arc<Controller>, tid: Tid, f: impl FnOnce()) {
+    install_panic_hook();
+    set_current(Arc::clone(controller), tid);
+    controller.initial_park(tid);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+    match outcome {
+        Ok(()) => controller.thread_finished(tid, None),
+        Err(payload) if payload.is::<McAbort>() => controller.thread_aborted(tid),
+        Err(payload) => controller.thread_finished(tid, Some(panic_message(payload.as_ref()))),
+    }
+    clear_current();
+}
+
+// --- Mutex --------------------------------------------------------------
+
+/// Model-checked [`std::sync::Mutex`] lookalike.
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized by the controller — at most
+// one model thread holds the (virtual) lock, and only the lock holder
+// constructs references into the cell.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T: Send> Mutex<T> {
+    /// Creates a mutex registered with the active checker.
+    pub fn new(value: T) -> Self {
+        Self::named_opt(None, value)
+    }
+
+    /// Creates a mutex whose `name` appears in failure traces.
+    pub fn named(name: &'static str, value: T) -> Self {
+        Self::named_opt(Some(name), value)
+    }
+
+    fn named_opt(name: Option<&'static str>, value: T) -> Self {
+        let (controller, _) = current();
+        Self {
+            id: controller.register_mutex(name),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (in model time) until free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (controller, tid) = current();
+        controller.mutex_lock(tid, self.id);
+        MutexGuard {
+            mutex: self,
+            controller,
+            tid,
+            armed: true,
+        }
+    }
+}
+
+/// Guard for a [`Mutex`]; releases through the controller on drop.
+pub struct MutexGuard<'a, T: Send> {
+    mutex: &'a Mutex<T>,
+    controller: Arc<Controller>,
+    tid: Tid,
+    armed: bool,
+}
+
+impl<T: Send> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this thread holds the virtual lock (see `Mutex`).
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: Send> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; exclusive by virtual lock ownership.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: Send> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.controller.mutex_unlock(self.tid, self.mutex.id);
+        }
+    }
+}
+
+// --- Condvar ------------------------------------------------------------
+
+/// Model-checked [`std::sync::Condvar`] lookalike (no spurious
+/// wakeups, no timeouts).
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Creates a condvar registered with the active checker.
+    #[must_use]
+    pub fn new() -> Self {
+        let (controller, _) = current();
+        Self {
+            id: controller.register_condvar(None),
+        }
+    }
+
+    /// Creates a condvar whose `name` appears in failure traces.
+    #[must_use]
+    pub fn named(name: &'static str) -> Self {
+        let (controller, _) = current();
+        Self {
+            id: controller.register_condvar(Some(name)),
+        }
+    }
+
+    /// Blocks while `condition` returns `true`, releasing and
+    /// re-acquiring the mutex around each wait, exactly like
+    /// [`std::sync::Condvar::wait_while`].
+    pub fn wait_while<'a, T: Send, F: FnMut(&mut T) -> bool>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T> {
+        loop {
+            if !condition(&mut *guard) {
+                return guard;
+            }
+            let mutex = guard.mutex;
+            let controller = Arc::clone(&guard.controller);
+            let tid = guard.tid;
+            // Hand the unlock to the controller as part of the wait
+            // transition (release + park is atomic in model time), so
+            // the guard itself must not unlock on drop.
+            guard.armed = false;
+            drop(guard);
+            controller.condvar_wait(tid, self.id, mutex.id);
+            guard = MutexGuard {
+                mutex,
+                controller: Arc::clone(&controller),
+                tid,
+                armed: true,
+            };
+            if controller.probing(tid) {
+                // Stuck-state probe: report whether this waiter could
+                // in fact proceed. Never returns if it could (that is
+                // a lost wakeup); otherwise we loop and re-park.
+                let can_proceed = !condition(&mut *guard);
+                controller.probe_verdict(tid, self.id, can_proceed);
+            }
+        }
+    }
+
+    /// Wakes one waiter (the checker branches over which).
+    pub fn notify_one(&self) {
+        let (controller, tid) = current();
+        controller.notify(tid, self.id, false);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        let (controller, tid) = current();
+        controller.notify(tid, self.id, true);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// --- Atomics ------------------------------------------------------------
+
+/// Sequentially-consistent model-checked atomics. The `Ordering`
+/// argument is accepted for signature compatibility and ignored.
+pub mod atomic {
+    use super::{current, Ordering, UnsafeCell};
+
+    macro_rules! mc_atomic {
+        ($name:ident, $prim:ty, $label:expr) => {
+            /// Model-checked atomic; every access is a scheduling
+            /// point explored by the checker.
+            pub struct $name {
+                id: usize,
+                value: UnsafeCell<$prim>,
+            }
+
+            // SAFETY: all accesses go through `Controller::atomic_op`,
+            // which runs them serialized under the controller lock.
+            unsafe impl Send for $name {}
+            unsafe impl Sync for $name {}
+
+            impl $name {
+                /// Creates the atomic registered with the active
+                /// checker.
+                #[must_use]
+                pub fn new(value: $prim) -> Self {
+                    let (controller, _) = current();
+                    Self {
+                        id: controller.register_atomic(Some($label)),
+                        value: UnsafeCell::new(value),
+                    }
+                }
+
+                fn op<R>(&self, name: &'static str, f: impl FnOnce(*mut $prim) -> R) -> R {
+                    let (controller, tid) = current();
+                    let ptr = self.value.get();
+                    controller.atomic_op(tid, self.id, name, || f(ptr))
+                }
+
+                /// Loads the value (a scheduling point).
+                #[must_use]
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    // SAFETY: serialized by the controller.
+                    self.op("load", |p| unsafe { *p })
+                }
+
+                /// Stores `value` (a scheduling point).
+                pub fn store(&self, value: $prim, _order: Ordering) {
+                    // SAFETY: serialized by the controller.
+                    self.op("store", |p| unsafe { *p = value });
+                }
+
+                /// Adds `delta`, returning the previous value.
+                pub fn fetch_add(&self, delta: $prim, _order: Ordering) -> $prim {
+                    // SAFETY: serialized by the controller.
+                    self.op("fetch_add", |p| unsafe {
+                        let old = *p;
+                        *p = old.wrapping_add(delta);
+                        old
+                    })
+                }
+
+                /// Swaps in `value`, returning the previous value.
+                pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                    // SAFETY: serialized by the controller.
+                    self.op("swap", |p| unsafe {
+                        let old = *p;
+                        *p = value;
+                        old
+                    })
+                }
+            }
+        };
+    }
+
+    mc_atomic!(AtomicUsize, usize, "usize");
+
+    /// Model-checked `AtomicBool`; every access is a scheduling point.
+    pub struct AtomicBool {
+        id: usize,
+        value: UnsafeCell<bool>,
+    }
+
+    // SAFETY: accesses serialized via `Controller::atomic_op`.
+    unsafe impl Send for AtomicBool {}
+    unsafe impl Sync for AtomicBool {}
+
+    impl AtomicBool {
+        /// Creates the atomic registered with the active checker.
+        #[must_use]
+        pub fn new(value: bool) -> Self {
+            let (controller, _) = current();
+            Self {
+                id: controller.register_atomic(Some("bool")),
+                value: UnsafeCell::new(value),
+            }
+        }
+
+        fn op<R>(&self, name: &'static str, f: impl FnOnce(*mut bool) -> R) -> R {
+            let (controller, tid) = current();
+            let ptr = self.value.get();
+            controller.atomic_op(tid, self.id, name, || f(ptr))
+        }
+
+        /// Loads the value (a scheduling point).
+        #[must_use]
+        pub fn load(&self, _order: Ordering) -> bool {
+            // SAFETY: serialized by the controller.
+            self.op("load", |p| unsafe { *p })
+        }
+
+        /// Stores `value` (a scheduling point).
+        pub fn store(&self, value: bool, _order: Ordering) {
+            // SAFETY: serialized by the controller.
+            self.op("store", |p| unsafe { *p = value });
+        }
+
+        /// Swaps in `value`, returning the previous value.
+        pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+            // SAFETY: serialized by the controller.
+            self.op("swap", |p| unsafe {
+                let old = *p;
+                *p = value;
+                old
+            })
+        }
+    }
+}
+
+// --- Threads ------------------------------------------------------------
+
+/// Model-checked `std::thread` lookalike.
+pub mod thread {
+    use super::{current, run_model_thread, Arc, Tid};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle {
+        tid: Tid,
+    }
+
+    impl JoinHandle {
+        /// Waits (in model time) for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Never returns `Err` in practice: a panicking model thread
+        /// aborts the whole execution with
+        /// [`Failure::Panic`](crate::Failure::Panic) instead. The
+        /// `Result` mirrors the `std` signature so facade code is
+        /// identical in both worlds.
+        pub fn join(self) -> Result<(), String> {
+            let (controller, me) = current();
+            controller.thread_join(me, self.tid);
+            Ok(())
+        }
+    }
+
+    /// Spawns a model thread; it becomes schedulable immediately and
+    /// runs only when the explorer hands it the processor.
+    pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+        let (controller, me) = current();
+        let tid = controller.thread_spawn(me);
+        let for_child = Arc::clone(&controller);
+        let real = std::thread::Builder::new()
+            .name(format!("bonsai-mc-{tid}"))
+            .spawn(move || run_model_thread(&for_child, tid, f))
+            .expect("bonsai-mc: failed to spawn model thread");
+        controller.adopt_real_handle(real);
+        JoinHandle { tid }
+    }
+}
+
+// --- Facade implementation ----------------------------------------------
+
+/// [`SyncOps`] implementation backed by the model-checked shims.
+#[derive(Debug, Clone, Copy)]
+pub struct McSync;
+
+impl SyncOps for McSync {
+    type Mutex<T: Send> = Mutex<T>;
+    type Guard<'a, T: Send + 'a> = MutexGuard<'a, T>;
+    type Condvar = Condvar;
+    type JoinHandle = thread::JoinHandle;
+
+    fn mutex<T: Send>(value: T) -> Self::Mutex<T> {
+        Mutex::new(value)
+    }
+
+    fn mutex_named<T: Send>(name: &'static str, value: T) -> Self::Mutex<T> {
+        Mutex::named(name, value)
+    }
+
+    fn lock<'a, T: Send>(mutex: &'a Self::Mutex<T>) -> Self::Guard<'a, T> {
+        mutex.lock()
+    }
+
+    fn condvar() -> Self::Condvar {
+        Condvar::new()
+    }
+
+    fn condvar_named(name: &'static str) -> Self::Condvar {
+        Condvar::named(name)
+    }
+
+    fn wait_while<'a, T: Send, F: FnMut(&mut T) -> bool>(
+        condvar: &Self::Condvar,
+        _mutex: &'a Self::Mutex<T>,
+        guard: Self::Guard<'a, T>,
+        condition: F,
+    ) -> Self::Guard<'a, T> {
+        condvar.wait_while(guard, condition)
+    }
+
+    fn notify_one(condvar: &Self::Condvar) {
+        condvar.notify_one();
+    }
+
+    fn notify_all(condvar: &Self::Condvar) {
+        condvar.notify_all();
+    }
+
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> Self::JoinHandle {
+        thread::spawn(f)
+    }
+
+    fn join(handle: Self::JoinHandle) -> Result<(), String> {
+        handle.join()
+    }
+}

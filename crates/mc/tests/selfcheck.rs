@@ -1,0 +1,296 @@
+//! Self-checks for the model checker: each failure class it claims to
+//! detect is provoked by a minimal known-bad model, and known-good
+//! models come back clean with a complete exploration.
+
+use std::str::FromStr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bonsai_mc::{sync, Checker, Failure, Schedule};
+
+#[test]
+fn correct_mutex_counter_passes_and_explores_many_schedules() {
+    let stats = Checker::new()
+        .check(|| {
+            let counter = Arc::new(sync::Mutex::named("counter", 0_u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    sync::thread::spawn(move || *counter.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock(), 2);
+        })
+        .expect("correct counter must have no failures");
+    assert!(stats.complete, "exploration must finish within bounds");
+    assert!(
+        stats.schedules > 1,
+        "two contending threads must yield more than one interleaving, got {}",
+        stats.schedules
+    );
+}
+
+#[test]
+fn racy_read_modify_write_is_caught_as_assertion_panic() {
+    // Classic lost update: load and store are separate scheduling
+    // points, so a preemption in between drops one increment.
+    let report = Checker::new()
+        .check(|| {
+            let counter = Arc::new(sync::atomic::AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    sync::thread::spawn(move || {
+                        let seen = counter.load(Ordering::SeqCst);
+                        counter.store(seen + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("the racy counter must be caught");
+    match &report.failure {
+        Failure::Panic { message, .. } => {
+            assert!(
+                message.contains("lost update"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("expected a panic failure, got {other:?}"),
+    }
+    assert!(!report.trace.is_empty(), "failure must carry a trace");
+}
+
+#[test]
+fn ab_ba_lock_ordering_deadlocks() {
+    let report = Checker::new()
+        .check(|| {
+            let a = Arc::new(sync::Mutex::named("a", ()));
+            let b = Arc::new(sync::Mutex::named("b", ()));
+            let t = {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                sync::thread::spawn(move || {
+                    let _b = b.lock();
+                    let _a = a.lock();
+                })
+            };
+            {
+                let _a = a.lock();
+                let _b = b.lock();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("AB-BA ordering must deadlock under some schedule");
+    match &report.failure {
+        Failure::Deadlock { blocked } => {
+            assert_eq!(
+                blocked.len(),
+                2,
+                "both threads must be blocked: {blocked:?}"
+            );
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn forgotten_notify_is_reported_as_lost_wakeup() {
+    // The flag setter updates state but never notifies: the waiter's
+    // predicate turns false while it stays parked forever.
+    let report = Checker::new()
+        .check(|| {
+            let flag = Arc::new((
+                sync::Mutex::named("flag", false),
+                sync::Condvar::named("flag_set"),
+            ));
+            let waiter = {
+                let flag = Arc::clone(&flag);
+                sync::thread::spawn(move || {
+                    let guard = flag.0.lock();
+                    drop(flag.1.wait_while(guard, |set| !*set));
+                })
+            };
+            *flag.0.lock() = true; // bug: no notify_one/notify_all
+            waiter.join().unwrap();
+        })
+        .expect_err("missing notify must be caught");
+    match &report.failure {
+        Failure::LostWakeup { condvar, .. } => {
+            assert!(
+                condvar.contains("flag_set"),
+                "report should name the condvar: {condvar}"
+            );
+        }
+        other => panic!("expected a lost wakeup, got {other:?}"),
+    }
+}
+
+#[test]
+fn genuine_deadlock_is_not_misreported_as_lost_wakeup() {
+    // The waiter's predicate never turns false — nobody sets the flag.
+    // The probe must re-park it and classify this as a deadlock.
+    let report = Checker::new()
+        .check(|| {
+            let flag = Arc::new((sync::Mutex::new(false), sync::Condvar::new()));
+            let guard = flag.0.lock();
+            drop(flag.1.wait_while(guard, |set| !*set));
+        })
+        .expect_err("waiting forever must be caught");
+    assert!(
+        matches!(report.failure, Failure::Deadlock { .. }),
+        "expected deadlock, got {:?}",
+        report.failure
+    );
+}
+
+#[test]
+fn failing_schedule_replays_to_the_same_failure() {
+    let model = || {
+        let counter = Arc::new(sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                sync::thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let checker = Checker::new();
+    let report = checker.check(model).expect_err("model is buggy");
+
+    // Round-trip the schedule through its printed form, as a user
+    // pasting it from a CI log would.
+    let printed = report.schedule.to_string();
+    let parsed = Schedule::from_str(&printed).expect("printed schedule must parse");
+    assert_eq!(parsed, report.schedule);
+
+    let replayed = checker
+        .replay(&parsed, model)
+        .expect("replaying the failing schedule must reproduce the failure");
+    assert_eq!(
+        std::mem::discriminant(&replayed.failure),
+        std::mem::discriminant(&report.failure),
+        "replay must reproduce the same failure class"
+    );
+}
+
+#[test]
+fn preemption_budget_zero_hides_the_race_and_budget_two_finds_it() {
+    let model = || {
+        let counter = Arc::new(sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                sync::thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    // With zero preemptions each thread runs its two atomic ops
+    // back-to-back, so the lost update cannot manifest...
+    let stats = Checker::new()
+        .preemption_budget(0)
+        .check(model)
+        .expect("budget 0 cannot interleave load/store");
+    assert!(stats.complete);
+    // ...while a budget of two explores the racy interleaving.
+    Checker::new()
+        .preemption_budget(2)
+        .check(model)
+        .expect_err("budget 2 must expose the lost update");
+}
+
+#[test]
+fn unbounded_exploration_matches_bounded_on_a_correct_model() {
+    let model = || {
+        let value = Arc::new(sync::Mutex::new(0_u8));
+        let t = {
+            let value = Arc::clone(&value);
+            sync::thread::spawn(move || *value.lock() |= 1)
+        };
+        *value.lock() |= 2;
+        t.join().unwrap();
+        assert_eq!(*value.lock(), 3);
+    };
+    let bounded = Checker::new().check(model).expect("correct model");
+    let unbounded = Checker::new()
+        .unbounded_preemptions()
+        .check(model)
+        .expect("correct model");
+    assert!(bounded.complete && unbounded.complete);
+    assert!(
+        unbounded.schedules >= bounded.schedules,
+        "unbounded search covers at least the bounded space ({} vs {})",
+        unbounded.schedules,
+        bounded.schedules
+    );
+}
+
+#[test]
+fn livelock_bound_trips_on_a_spin_loop() {
+    let report = Checker::new()
+        .max_steps(200)
+        .check(|| {
+            let flag = Arc::new(sync::atomic::AtomicBool::new(false));
+            // Nobody ever sets the flag; the spin loop burns steps
+            // until the livelock bound trips.
+            while !flag.load(Ordering::SeqCst) {}
+        })
+        .expect_err("unbounded spin must trip the step bound");
+    assert!(
+        matches!(report.failure, Failure::Livelock { .. }),
+        "expected livelock, got {:?}",
+        report.failure
+    );
+}
+
+#[test]
+fn report_display_names_the_failure_and_schedule() {
+    let report = Checker::new()
+        .check(|| {
+            let a = Arc::new(sync::Mutex::named("left", ()));
+            let b = Arc::new(sync::Mutex::named("right", ()));
+            let t = {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                sync::thread::spawn(move || {
+                    let _b = b.lock();
+                    let _a = a.lock();
+                })
+            };
+            let _a = a.lock();
+            let _b = b.lock();
+            drop((_a, _b));
+            t.join().unwrap();
+        })
+        .expect_err("deadlock expected");
+    let rendered = report.to_string();
+    assert!(rendered.contains("deadlock"), "display: {rendered}");
+    assert!(
+        rendered.contains("schedule (replayable)"),
+        "display: {rendered}"
+    );
+    assert!(
+        rendered.contains("left") || rendered.contains("right"),
+        "display: {rendered}"
+    );
+}

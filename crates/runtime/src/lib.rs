@@ -11,10 +11,19 @@
 //!   merge pass across its independent merge groups.
 //!
 //! Failures stay per-job: an invalid configuration
-//! ([`JobError::Invalid`], `BONxxx` diagnostics) or a livelocked pass
-//! ([`JobError::Sim`], `BON040`) fails that [`JobResult`] while the rest
-//! of the batch keeps sorting. Reports are bit-identical for every
+//! ([`JobError::Invalid`], `BONxxx` diagnostics), a livelocked pass
+//! ([`JobError::Sim`], `BON040`) or even a panicking job
+//! ([`JobError::Panic`]) fails that [`JobResult`] while the rest of the
+//! batch keeps sorting. Reports are bit-identical for every
 //! worker-count setting (see [`bonsai_amt::shard`]).
+//!
+//! The queue and pool are generic over the `bonsai_mc` sync facade:
+//! production builds monomorphize to plain `std::sync` (zero overhead),
+//! while `tests/mc_queue.rs` instantiates the same code with the model
+//! checker's shims and exhaustively explores the shutdown protocols.
+//! Static shape checks for [`RuntimeConfig`] live in
+//! [`bonsai_check::check_runtime_shape`] (BON05x) and are surfaced by
+//! `bonsai-lint --runtime`.
 //!
 //! # Example
 //!
@@ -36,15 +45,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod pool;
 mod queue;
 
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bonsai_amt::{SimEngine, SimEngineConfig, SortError, SortReport};
 use bonsai_check::Diagnostic;
 use bonsai_records::Record;
 
+pub use bonsai_mc::facade::{StdSync, SyncOps};
+pub use pool::WorkerPool;
 pub use queue::{BoundedQueue, PushError};
 
 /// Knobs of the batch runtime.
@@ -68,6 +79,19 @@ pub struct RuntimeConfig {
     /// [`bonsai_amt::REFERENCE_LOOP_ENV`] is set to `1`). Both loops
     /// produce bit-identical reports.
     pub reference_loop: Option<bool>,
+    /// How many threads will call [`Runtime::submit`] concurrently.
+    /// Purely declarative — used by the BON05x shape lints to judge the
+    /// queue depth; the runtime itself accepts any number of
+    /// submitters.
+    pub producers: usize,
+    /// Whether dropping the runtime without [`Runtime::finish`] closes
+    /// the job queue first (default `true`). Disabling this while
+    /// `join_on_drop` stays on deadlocks the drop (BON052).
+    pub close_on_drop: bool,
+    /// Whether dropping the runtime without [`Runtime::finish`] joins
+    /// the workers (default `true`). Disabling this leaks detached
+    /// threads (BON053).
+    pub join_on_drop: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -78,8 +102,74 @@ impl Default for RuntimeConfig {
             pass_workers: 1,
             max_pass_cycles: None,
             reference_loop: None,
+            producers: 1,
+            close_on_drop: true,
+            join_on_drop: true,
         }
     }
+}
+
+impl RuntimeConfig {
+    /// Runs the BON05x runtime-topology shape checks against this
+    /// config on a host with `cores` cores sorting `records`-record
+    /// jobs under `engine` (the engine bounds the useful `pass_workers`
+    /// via its first-pass merge-group count).
+    ///
+    /// Returns an empty vector when the shape is clean; errors mean the
+    /// runtime will misbehave (wedge or panic), warnings mean it will
+    /// waste threads.
+    #[must_use]
+    pub fn validate_for_engine(
+        &self,
+        engine: Option<&SimEngineConfig>,
+        records: Option<usize>,
+        cores: usize,
+    ) -> Vec<Diagnostic> {
+        let mut diagnostics = bonsai_check::check_runtime_shape(
+            self.workers,
+            self.pass_workers,
+            self.queue_depth,
+            self.producers,
+            self.close_on_drop,
+            self.join_on_drop,
+            cores,
+        );
+        if let (Some(engine), Some(records)) = (engine, records) {
+            let resolved_pass_workers = if self.pass_workers == 0 {
+                cores.max(1)
+            } else {
+                self.pass_workers
+            };
+            if let Some(max_groups) = engine.max_first_pass_groups(records) {
+                diagnostics.extend(bonsai_check::check_pass_sharding(
+                    resolved_pass_workers,
+                    max_groups,
+                ));
+            }
+        }
+        diagnostics
+    }
+
+    /// [`RuntimeConfig::validate_for_engine`] without an engine bound:
+    /// only the host-shape checks run.
+    #[must_use]
+    pub fn validate_for_cores(&self, cores: usize) -> Vec<Diagnostic> {
+        self.validate_for_engine(None, None, cores)
+    }
+
+    /// [`RuntimeConfig::validate_for_cores`] against this host's actual
+    /// core count.
+    #[must_use]
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        self.validate_for_cores(available_cores())
+    }
+}
+
+/// One worker per core when a knob is `0`.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// One sort request: records plus the engine configuration to sort
@@ -109,6 +199,9 @@ pub enum JobError {
     Invalid(Vec<Diagnostic>),
     /// The simulation itself failed (e.g. `BON040` pass livelock).
     Sim(SortError),
+    /// The job panicked mid-sort; the worker caught it, so the rest of
+    /// the batch (and the pool itself) is unaffected.
+    Panic(String),
 }
 
 impl core::fmt::Display for JobError {
@@ -118,6 +211,7 @@ impl core::fmt::Display for JobError {
                 write!(f, "invalid job configuration: {diagnostics:?}")
             }
             JobError::Sim(err) => write!(f, "{err}"),
+            JobError::Panic(message) => write!(f, "job panicked: {message}"),
         }
     }
 }
@@ -144,31 +238,6 @@ pub struct JobResult<R> {
     pub wall: Duration,
 }
 
-struct Shared<R> {
-    queue: BoundedQueue<SortJob<R>>,
-    results: Mutex<Vec<JobResult<R>>>,
-}
-
-/// A worker pool sorting batches of [`SortJob`]s.
-///
-/// Submissions flow through a bounded queue; [`Runtime::finish`] closes
-/// the queue, joins the workers and returns every [`JobResult`] ordered
-/// by job id.
-#[derive(Debug)]
-pub struct Runtime<R: Record> {
-    config: RuntimeConfig,
-    shared: Arc<Shared<R>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl<R: Record> std::fmt::Debug for Shared<R> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("queue", &self.queue)
-            .finish()
-    }
-}
-
 fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
     let start = std::time::Instant::now();
     let result = SimEngine::try_new(job.config)
@@ -193,37 +262,53 @@ fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".to_string())
+}
+
+/// A worker pool sorting batches of [`SortJob`]s.
+///
+/// Submissions flow through a bounded queue; [`Runtime::finish`] closes
+/// the queue, joins the workers and returns every [`JobResult`] ordered
+/// by job id. Dropping the runtime without `finish` also closes the
+/// queue and joins the workers (per [`RuntimeConfig::close_on_drop`] /
+/// [`RuntimeConfig::join_on_drop`]), discarding any collected results.
+#[derive(Debug)]
+pub struct Runtime<R: Record> {
+    config: RuntimeConfig,
+    pool: WorkerPool<SortJob<R>, JobResult<R>, StdSync>,
+}
+
 impl<R: Record> Runtime<R> {
     /// Starts the worker pool.
     #[must_use]
     pub fn start(config: RuntimeConfig) -> Self {
         let workers = if config.workers == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            available_cores()
         } else {
             config.workers
         };
-        let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_depth),
-            results: Mutex::new(Vec::new()),
-        });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    while let Some(job) = shared.queue.pop() {
-                        let result = run_job(job, &config);
-                        shared.results.lock().unwrap().push(result);
-                    }
+        let runner = move |job: SortJob<R>| {
+            let id = job.id;
+            let start = std::time::Instant::now();
+            // A panicking job must fail alone: catch it here so the
+            // worker survives to drain the rest of the queue, and so
+            // shutdown never has to join a dead thread.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job, &config)))
+                .unwrap_or_else(|payload| JobResult {
+                    id,
+                    result: Err(JobError::Panic(panic_message(payload.as_ref()))),
+                    wall: start.elapsed(),
                 })
-            })
-            .collect();
-        Self {
-            config,
-            shared,
-            handles,
-        }
+        };
+        let mut pool = WorkerPool::start(workers, config.queue_depth, runner);
+        pool.close_on_drop(config.close_on_drop)
+            .join_on_drop(config.join_on_drop);
+        Self { config, pool }
     }
 
     /// The runtime configuration.
@@ -233,7 +318,7 @@ impl<R: Record> Runtime<R> {
 
     /// Jobs waiting in the queue (not yet claimed by a worker).
     pub fn pending(&self) -> usize {
-        self.shared.queue.len()
+        self.pool.pending()
     }
 
     /// Submits a job, blocking while the queue is full (backpressure).
@@ -243,7 +328,7 @@ impl<R: Record> Runtime<R> {
     /// Panics if called after [`Runtime::finish`] closed the queue —
     /// impossible through this API, which consumes the runtime.
     pub fn submit(&self, job: SortJob<R>) {
-        if self.shared.queue.push(job).is_err() {
+        if self.pool.submit(job).is_err() {
             unreachable!("queue closes only when finish() consumes the runtime");
         }
     }
@@ -258,18 +343,14 @@ impl<R: Record> Runtime<R> {
     // returns to the caller instead of being dropped.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, job: SortJob<R>) -> Result<(), PushError<SortJob<R>>> {
-        self.shared.queue.try_push(job)
+        self.pool.try_submit(job)
     }
 
     /// Drains the queue, stops the workers and returns every job's
     /// result, ordered by job id.
     #[must_use]
     pub fn finish(self) -> Vec<JobResult<R>> {
-        self.shared.queue.close();
-        for handle in self.handles {
-            handle.join().expect("runtime worker panicked");
-        }
-        let mut results = std::mem::take(&mut *self.shared.results.lock().unwrap());
+        let mut results = self.pool.finish();
         results.sort_by_key(|r| r.id);
         results
     }
@@ -411,6 +492,127 @@ mod tests {
         assert_eq!(
             outputs[0].report, outputs[1].report,
             "reports must not depend on worker shape"
+        );
+    }
+
+    /// A record whose *comparison* panics on a poison value — the
+    /// smallest way to make a job blow up mid-merge rather than at
+    /// submission time (the engine orders records through `Ord`).
+    #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+    struct PanicRec(u32);
+
+    const POISON: u32 = 0xDEAD_BEEF;
+
+    impl PartialOrd for PanicRec {
+        fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for PanicRec {
+        fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+            assert!(
+                self.0 != POISON && other.0 != POISON,
+                "poisoned record reached the datapath"
+            );
+            self.0.cmp(&other.0)
+        }
+    }
+
+    impl Record for PanicRec {
+        type Key = u32;
+        const WIDTH_BYTES: usize = 4;
+        const TERMINAL: Self = PanicRec(0);
+        const MAX: Self = PanicRec(u32::MAX);
+
+        fn key(&self) -> u32 {
+            self.0
+        }
+
+        fn sanitize(self) -> Self {
+            if self.0 == 0 {
+                PanicRec(1)
+            } else {
+                self
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_shutdown_still_joins() {
+        let runtime = Runtime::<PanicRec>::start(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        let clean = |seed: u32| {
+            (0..3_000u32)
+                .map(|i| PanicRec(i.wrapping_mul(2_654_435_761).wrapping_add(seed) | 1))
+                .collect::<Vec<_>>()
+        };
+        let mut poisoned = clean(7);
+        poisoned[1_234] = PanicRec(POISON);
+        runtime.submit(SortJob::new(0, dram_cfg(), clean(1)));
+        runtime.submit(SortJob::new(1, dram_cfg(), poisoned));
+        runtime.submit(SortJob::new(2, dram_cfg(), clean(2)));
+        // finish() joins every worker; if the panic had killed a worker
+        // instead of failing the job, the remaining jobs could sit in
+        // the queue forever and this would hang (tier-1 timeout).
+        let results = runtime.finish();
+        assert_eq!(results.len(), 3, "every job must produce a result");
+        assert!(results[0].result.is_ok());
+        assert!(results[2].result.is_ok(), "batch survives a panicking job");
+        match &results[1].result {
+            Err(JobError::Panic(message)) => {
+                assert!(
+                    message.contains("poisoned record"),
+                    "panic payload must be preserved, got: {message}"
+                );
+            }
+            other => panic!("expected JobError::Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_after_panicking_job_neither_wedges_nor_leaks() {
+        let before = count_own_threads();
+        {
+            let runtime = Runtime::<PanicRec>::start(RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            });
+            let data: Vec<PanicRec> = (0..2_000u32)
+                .map(|i| PanicRec(if i == 999 { POISON } else { i | 1 }))
+                .collect();
+            runtime.submit(SortJob::new(0, dram_cfg(), data));
+            // Dropped without finish: close_on_drop unparks any worker
+            // still waiting in pop, join_on_drop reclaims both threads.
+        }
+        // Other tests run concurrently in this process, so poll for the
+        // count to come back down instead of demanding instant equality.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if count_own_threads() <= before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drop must join every worker thread, panicking job or not"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Thread count of this process via /proc (Linux-only; returns 0 and
+    /// trivially passes the leak check elsewhere).
+    fn count_own_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(0, Iterator::count)
+    }
+
+    #[test]
+    fn default_config_shape_is_lint_clean() {
+        assert!(
+            RuntimeConfig::default().validate().is_empty(),
+            "the default runtime shape must not trip its own lints"
         );
     }
 }

@@ -1,0 +1,247 @@
+//! A generic worker pool over the [`BoundedQueue`].
+//!
+//! Workers drain jobs from the queue, run them through a shared runner
+//! function and append the outputs to a results vector. Like the queue,
+//! the pool is generic over a [`SyncOps`] facade: production code uses
+//! [`StdSync`], while model-checking tests drive the full
+//! spawn/drain/shutdown protocol through `bonsai_mc::sync::McSync`.
+//!
+//! Shutdown is owned by the pool, not the caller:
+//!
+//! - [`WorkerPool::finish`] closes the queue, joins every worker and
+//!   hands back the results (panicking — after all joins — only if a
+//!   worker thread itself died).
+//! - Dropping the pool without calling `finish` closes the queue and
+//!   joins the workers anyway (configurable via
+//!   [`WorkerPool::close_on_drop`] / [`WorkerPool::join_on_drop`]), so
+//!   an abandoned pool can neither wedge parked workers nor leak
+//!   detached threads.
+
+use std::sync::Arc;
+
+use bonsai_mc::facade::{StdSync, SyncOps};
+
+use crate::queue::{BoundedQueue, PushError};
+
+struct PoolShared<J: Send, R: Send, S: SyncOps> {
+    queue: BoundedQueue<J, S>,
+    results: S::Mutex<Vec<R>>,
+}
+
+/// A fixed-size worker pool draining a [`BoundedQueue`].
+pub struct WorkerPool<J: Send + 'static, R: Send + 'static, S: SyncOps = StdSync> {
+    shared: Arc<PoolShared<J, R, S>>,
+    handles: Vec<S::JoinHandle>,
+    workers: usize,
+    close_on_drop: bool,
+    join_on_drop: bool,
+}
+
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps> std::fmt::Debug for WorkerPool<J, R, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("queue", &self.shared.queue)
+            .field("close_on_drop", &self.close_on_drop)
+            .field("join_on_drop", &self.join_on_drop)
+            .finish()
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps> WorkerPool<J, R, S> {
+    /// Spawns `workers ≥ 1` threads draining a queue of depth
+    /// `queue_depth`, each running jobs through `runner`.
+    pub fn start(
+        workers: usize,
+        queue_depth: usize,
+        runner: impl Fn(J) -> R + Send + Sync + 'static,
+    ) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: BoundedQueue::new(queue_depth),
+            results: S::mutex_named("pool.results", Vec::new()),
+        });
+        let runner = Arc::new(runner);
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let runner = Arc::clone(&runner);
+                S::spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        let result = runner(job);
+                        S::lock::<Vec<R>>(&shared.results).push(result);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            workers,
+            close_on_drop: true,
+            join_on_drop: true,
+        }
+    }
+
+    /// Whether dropping the pool closes the queue first (default
+    /// `true`). Turning this off while keeping [`Self::join_on_drop`]
+    /// deadlocks the drop: workers park in `pop` forever
+    /// (`bonsai-lint` flags the equivalent runtime config as BON052).
+    pub fn close_on_drop(&mut self, close: bool) -> &mut Self {
+        self.close_on_drop = close;
+        self
+    }
+
+    /// Whether dropping the pool joins the workers (default `true`).
+    /// Turning this off leaks detached threads on drop (BON053).
+    pub fn join_on_drop(&mut self, join: bool) -> &mut Self {
+        self.join_on_drop = join;
+        self
+    }
+
+    /// Worker threads in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs waiting in the queue (not yet claimed by a worker).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Enqueues a job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] hands the job back after the pool shut
+    /// down.
+    pub fn submit(&self, job: J) -> Result<(), PushError<J>> {
+        self.shared.queue.push(job)
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// shutdown; both hand the job back.
+    pub fn try_submit(&self, job: J) -> Result<(), PushError<J>> {
+        self.shared.queue.try_push(job)
+    }
+
+    /// Closes the queue, joins every worker and returns the collected
+    /// results (in completion order).
+    ///
+    /// # Panics
+    ///
+    /// If a worker thread itself panicked — but only after every other
+    /// worker has been joined, so no thread is ever leaked on the way
+    /// out.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<R> {
+        self.shared.queue.close();
+        let mut worker_failures: Vec<String> = Vec::new();
+        for handle in self.handles.drain(..) {
+            if let Err(message) = S::join(handle) {
+                worker_failures.push(message);
+            }
+        }
+        // Drop runs after this; handles are drained and the queue is
+        // already closed, so it is a no-op either way.
+        let results = std::mem::take(&mut *S::lock(&self.shared.results));
+        assert!(
+            worker_failures.is_empty(),
+            "runtime worker panicked: {}",
+            worker_failures.join("; ")
+        );
+        results
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps> Drop for WorkerPool<J, R, S> {
+    fn drop(&mut self) {
+        if self.close_on_drop {
+            self.shared.queue.close();
+        }
+        if self.join_on_drop {
+            // Join even if a worker panicked: swallowing the Err here
+            // keeps drop from double-panicking while still reclaiming
+            // every thread.
+            for handle in self.handles.drain(..) {
+                let _ = S::join(handle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_all_results() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::start(2, 4, |j| j * 10);
+        for j in 0..8 {
+            pool.submit(j).unwrap();
+        }
+        let mut results = pool.finish();
+        results.sort_unstable();
+        assert_eq!(results, (0..8).map(|j| j * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let observer = Arc::clone(&completed);
+        let pool: WorkerPool<u32, u32> = WorkerPool::start(2, 4, move |j| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            observer.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            j + 1
+        });
+        for j in 0..4 {
+            pool.submit(j).unwrap();
+        }
+        // Dropping must close the queue and join both workers; a wedge
+        // here hangs the test suite, which is the regression signal.
+        drop(pool);
+        // Joining means drop blocked until the workers drained the
+        // queue — every submitted job ran before drop returned.
+        assert_eq!(completed.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn submit_after_finish_is_observable_via_try_submit() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::start(1, 2, |j| j);
+        let shared = Arc::clone(&pool.shared);
+        let _ = pool.finish();
+        assert!(matches!(
+            shared.queue.try_push(9),
+            Err(PushError::Closed(9))
+        ));
+    }
+
+    #[test]
+    fn panicking_runner_does_not_wedge_finish() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::start(2, 4, |j| {
+            assert!(j != 3, "runner rejects job 3");
+            j
+        });
+        for j in 0..6 {
+            pool.submit(j).unwrap();
+        }
+        // One worker dies on job 3; finish must still join both workers
+        // and then surface the panic.
+        let failure = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.finish()))
+            .expect_err("worker panic must surface");
+        let message = failure
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("runtime worker panicked"),
+            "unexpected message: {message}"
+        );
+    }
+}

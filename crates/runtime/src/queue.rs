@@ -4,9 +4,16 @@
 //! [`BoundedQueue::push`] on a full queue block until a worker drains a
 //! slot, so a submitter can never race ahead of the pool by more than
 //! the configured depth.
+//!
+//! The queue is generic over a [`SyncOps`] facade: production builds use
+//! [`StdSync`] (plain `std::sync`, the default type parameter, zero
+//! overhead), while the model-checking tests instantiate it with
+//! `bonsai_mc::sync::McSync` to exhaustively explore the
+//! push/pop/close/backpressure protocol under every schedule.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+use bonsai_mc::facade::{StdSync, SyncOps};
 
 /// Why a non-blocking [`BoundedQueue::try_push`] did not enqueue.
 #[derive(Debug, PartialEq, Eq)]
@@ -24,14 +31,14 @@ struct State<T> {
 
 /// A bounded FIFO whose `push` blocks when full (backpressure) and whose
 /// `pop` blocks when empty, until the queue is closed.
-pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
+pub struct BoundedQueue<T: Send, S: SyncOps = StdSync> {
+    state: S::Mutex<State<T>>,
     capacity: usize,
-    not_full: Condvar,
-    not_empty: Condvar,
+    not_full: S::Condvar,
+    not_empty: S::Condvar,
 }
 
-impl<T> std::fmt::Debug for BoundedQueue<T> {
+impl<T: Send, S: SyncOps> std::fmt::Debug for BoundedQueue<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BoundedQueue")
             .field("capacity", &self.capacity)
@@ -40,18 +47,21 @@ impl<T> std::fmt::Debug for BoundedQueue<T> {
     }
 }
 
-impl<T> BoundedQueue<T> {
+impl<T: Send, S: SyncOps> BoundedQueue<T, S> {
     /// Creates a queue holding at most `capacity ≥ 1` items.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(State {
-                items: VecDeque::new(),
-                closed: false,
-            }),
+            state: S::mutex_named(
+                "queue.state",
+                State {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
             capacity: capacity.max(1),
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
+            not_full: S::condvar_named("queue.not_full"),
+            not_empty: S::condvar_named("queue.not_empty"),
         }
     }
 
@@ -64,7 +74,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        S::lock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -81,18 +91,17 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Closed`] when the queue was closed before a slot
     /// freed up.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().unwrap();
-        loop {
-            if state.closed {
-                return Err(PushError::Closed(item));
-            }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
-                self.not_empty.notify_one();
-                return Ok(());
-            }
-            state = self.not_full.wait(state).unwrap();
+        let guard = S::lock(&self.state);
+        let mut guard = S::wait_while(&self.not_full, &self.state, guard, |s| {
+            !s.closed && s.items.len() >= self.capacity
+        });
+        if guard.closed {
+            return Err(PushError::Closed(item));
         }
+        guard.items.push_back(item);
+        drop(guard);
+        S::notify_one(&self.not_empty);
+        Ok(())
     }
 
     /// Enqueues `item` without blocking.
@@ -102,40 +111,43 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] when at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; both hand the item back.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().unwrap();
-        if state.closed {
+        let mut guard = S::lock(&self.state);
+        if guard.closed {
             return Err(PushError::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        if guard.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        state.items.push_back(item);
-        self.not_empty.notify_one();
+        guard.items.push_back(item);
+        drop(guard);
+        S::notify_one(&self.not_empty);
         Ok(())
     }
 
     /// Dequeues the oldest item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().unwrap();
-        loop {
-            if let Some(item) = state.items.pop_front() {
-                self.not_full.notify_one();
-                return Some(item);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.not_empty.wait(state).unwrap();
+        let guard = S::lock(&self.state);
+        let mut guard = S::wait_while(&self.not_empty, &self.state, guard, |s| {
+            s.items.is_empty() && !s.closed
+        });
+        let item = guard.items.pop_front();
+        drop(guard);
+        if item.is_some() {
+            S::notify_one(&self.not_full);
         }
+        item
     }
 
     /// Closes the queue: pending items still drain, further pushes fail,
     /// and blocked poppers wake up to observe the shutdown.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
+        S::lock(&self.state).closed = true;
+        // Shutdown is a broadcast: every parked producer and consumer
+        // must observe `closed`, so `notify_one` would be a lost-wakeup
+        // bug here (bonsai-mc's mutation test proves it).
+        S::notify_all(&self.not_empty);
+        S::notify_all(&self.not_full);
     }
 }
 
@@ -146,7 +158,7 @@ mod tests {
 
     #[test]
     fn fifo_order_and_drain_after_close() {
-        let q = BoundedQueue::new(8);
+        let q = BoundedQueue::<i32>::new(8);
         for i in 0..5 {
             q.push(i).unwrap();
         }
@@ -159,7 +171,7 @@ mod tests {
 
     #[test]
     fn try_push_reports_full_at_capacity() {
-        let q = BoundedQueue::new(2);
+        let q = BoundedQueue::<i32>::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
         assert_eq!(q.try_push(3), Err(PushError::Full(3)));
@@ -170,7 +182,7 @@ mod tests {
 
     #[test]
     fn full_queue_blocks_push_until_a_slot_frees() {
-        let q = Arc::new(BoundedQueue::new(1));
+        let q = Arc::new(BoundedQueue::<i32>::new(1));
         q.push(0).unwrap();
         let producer = {
             let q = Arc::clone(&q);
@@ -185,7 +197,7 @@ mod tests {
 
     #[test]
     fn pop_blocks_until_an_item_arrives() {
-        let q = Arc::new(BoundedQueue::new(4));
+        let q = Arc::new(BoundedQueue::<i32>::new(4));
         let consumer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop())

@@ -58,6 +58,9 @@ fn main() {
             Err(JobError::Sim(err)) => {
                 println!("job {}: failed — {err}", r.id);
             }
+            Err(JobError::Panic(msg)) => {
+                println!("job {}: panicked — {msg}", r.id);
+            }
         }
     }
     assert_eq!(results.len() as u64, jobs);
