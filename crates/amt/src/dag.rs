@@ -1,0 +1,1008 @@
+//! Cross-pass pipelined group-DAG scheduling.
+//!
+//! The pass-sharded engine ([`crate::shard`]) runs a *barrier* between
+//! merge passes: every group of pass *p* must drain before any group of
+//! pass *p+1* starts, so workers idle on each pass's stragglers. But the
+//! data dependencies are finer than that: pass-*p+1* group *g* merges
+//! exactly the output runs of pass-*p* groups `[g·m, (g+1)·m)` (its
+//! leaves), and can start the moment *those* groups have drained —
+//! regardless of the rest of pass *p*. This module lowers a sort into
+//! `(pass, group)` tasks over that dependency DAG ([`SortPlan`]) and
+//! executes it with work-stealing workers ([`execute_dag`]).
+//!
+//! **Determinism guarantee.** Exactly as in [`crate::shard`], each task
+//! is a pure function of `(config, its input runs, fan-in)`: the DAG
+//! only changes *when* a group is simulated, never *what* it computes.
+//! Results land in per-task slots and the accounting is folded in
+//! `(pass, group)` order after the DAG drains, so the sorted output and
+//! the [`SortReport`] are bit-identical to the barrier scheduler at
+//! every worker count — completion order is invisible. On failure the
+//! minimum `(pass, group)` task's error wins, which is the same error
+//! the barrier path reports (the first failing group of the first
+//! failing pass; groups of later passes that fail under the DAG are,
+//! by construction, in a strictly larger pass).
+//!
+//! **Model checking.** The readiness/claim protocol is written against
+//! the [`SyncOps`] facade, so `tests/mc_dag.rs` instantiates the same
+//! code with `bonsai_mc::sync::McSync` and exhaustively explores its
+//! schedules at small sizes (2 workers, 2-pass/4-group plan).
+//!
+//! **Capacity lint.** The ready set of this layered DAG can never hold
+//! more than the widest pass's group count ([`SortPlan::max_ready_width`]):
+//! pass-*p+1* groups only become ready as pass-*p* groups resolve, and
+//! with fan-in ≥ 2 each resolved child retires at least itself from the
+//! frontier. A dispatcher with bounded task buffering must be sized for
+//! that width; [`SortPlan::validate_capacity`] (code `BON056`) rejects
+//! plans that can overflow it.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use bonsai_check::Diagnostic;
+use bonsai_mc::facade::SyncOps;
+use bonsai_records::run::RunSet;
+use bonsai_records::Record;
+
+use crate::config::SimEngineConfig;
+use crate::error::SortError;
+use crate::report::{PassReport, SortReport};
+use crate::shard::{group_input, resolve_workers, simulate_group, GroupOutcome};
+
+/// Size of the fixed *virtual* worker pool the utilization counters and
+/// the `pipeline_overlap_cycles` metric are computed against (matching
+/// the 8-core reference host of the runtime lints). A deterministic
+/// list schedule of per-group simulated cycles over this pool — never
+/// wall clock — feeds those counters, so they are bit-identical at
+/// every real worker count and on both simulation loops.
+pub const VIRTUAL_WORKERS: usize = 8;
+
+/// One merge pass of a [`SortPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassPlan {
+    /// Runs merged per group this pass (`≤ ℓ`).
+    pub fan_in: usize,
+    /// Sorted runs entering the pass.
+    pub runs_in: usize,
+    /// Merge groups (= runs leaving the pass): `ceil(runs_in / fan_in)`.
+    pub groups: usize,
+}
+
+/// The `(pass, slot)` task DAG of one sort — or of a *batch* of
+/// identically-shaped sorts ([`SortPlan::batch`]): the balanced fan-in
+/// schedule ([`crate::schedule::fan_in_schedule`]) lowered to per-pass
+/// group counts plus the child-range dependency structure.
+///
+/// A batch plan is a forest: pass *p* holds `jobs × groups_p` task
+/// slots, job *j* owning the contiguous block `[j·groups_p,
+/// (j+1)·groups_p)`, and dependencies never cross jobs. Forests are
+/// where cross-pass pipelining pays: a single sort is single-rooted
+/// (its final task transitively depends on every other task, so no
+/// schedule can start it early), but one job's narrow tail passes
+/// overlap with the next job's wide first pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortPlan {
+    passes: Vec<PassPlan>,
+    /// Independent same-shape sorts in the plan (1 for a single sort).
+    jobs: usize,
+    /// First flat task id of each pass (cumulative slot counts), so
+    /// task ids order tasks lexicographically by `(pass, slot)`.
+    base: Vec<usize>,
+    tasks: usize,
+}
+
+impl SortPlan {
+    /// Lowers a sort of `initial_runs` presorted runs on an `l`-leaf
+    /// tree into its task DAG. Empty (zero passes) when `initial_runs
+    /// <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a power of two `>= 2` (as
+    /// [`crate::schedule::fan_in_schedule`]).
+    #[must_use]
+    pub fn new(initial_runs: usize, l: usize) -> Self {
+        Self::batch(1, initial_runs, l)
+    }
+
+    /// Lowers a batch of `jobs` independent sorts, each of
+    /// `initial_runs` presorted runs on an `l`-leaf tree, into one
+    /// forest DAG. Empty when `jobs == 0` or `initial_runs <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a power of two `>= 2` (as
+    /// [`crate::schedule::fan_in_schedule`]).
+    #[must_use]
+    pub fn batch(jobs: usize, initial_runs: usize, l: usize) -> Self {
+        let fan_ins = if jobs == 0 {
+            Vec::new()
+        } else {
+            crate::schedule::fan_in_schedule(initial_runs as u64, l as u64)
+        };
+        let mut passes = Vec::with_capacity(fan_ins.len());
+        let mut base = Vec::with_capacity(fan_ins.len());
+        let mut runs = initial_runs;
+        let mut tasks = 0usize;
+        for &m in &fan_ins {
+            let fan_in = m as usize;
+            let groups = runs.div_ceil(fan_in);
+            base.push(tasks);
+            tasks += jobs * groups;
+            passes.push(PassPlan {
+                fan_in,
+                runs_in: runs,
+                groups,
+            });
+            runs = groups;
+        }
+        Self {
+            passes,
+            jobs,
+            base,
+            tasks,
+        }
+    }
+
+    /// Independent sorts in the plan (1 unless built with
+    /// [`SortPlan::batch`]).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Task slots in pass `p`: `jobs × groups_p`.
+    #[must_use]
+    pub fn slots(&self, p: usize) -> usize {
+        self.jobs * self.passes[p].groups
+    }
+
+    /// Number of merge passes.
+    #[must_use]
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// The plan of pass `p` (0-based).
+    #[must_use]
+    pub fn pass(&self, p: usize) -> PassPlan {
+        self.passes[p]
+    }
+
+    /// Total `(pass, group)` tasks in the DAG.
+    #[must_use]
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Flat task id of `(pass, slot)`; ids are lexicographic in
+    /// `(pass, slot)` (and a job's slots are contiguous within a pass,
+    /// so for a single-job plan slot = group).
+    #[must_use]
+    pub fn task_id(&self, pass: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.slots(pass));
+        self.base[pass] + slot
+    }
+
+    /// Inverse of [`SortPlan::task_id`].
+    #[must_use]
+    pub fn task_of(&self, id: usize) -> (usize, usize) {
+        let pass = match self.base.binary_search(&id) {
+            Ok(p) => p,
+            Err(p) => p - 1,
+        };
+        (pass, id - self.base[pass])
+    }
+
+    /// The pass-`pass − 1` slot indices feeding `(pass, slot)`'s
+    /// leaves: for job `j = slot / groups_pass` and in-job group
+    /// `g = slot % groups_pass`, the range `j·prev_groups + [g·m,
+    /// min((g+1)·m, prev_groups))` for fan-in `m`. The ranges of one
+    /// pass partition the previous pass (within each job, and jobs
+    /// never cross), so every child has exactly one parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass == 0` (first-pass groups read the presorted
+    /// input, they have no task dependencies).
+    #[must_use]
+    pub fn deps(&self, pass: usize, slot: usize) -> core::ops::Range<usize> {
+        assert!(pass > 0, "pass-0 groups have no dependencies");
+        let m = self.passes[pass].fan_in;
+        let prev = self.passes[pass - 1].groups;
+        let (job, g) = (
+            slot / self.passes[pass].groups,
+            slot % self.passes[pass].groups,
+        );
+        (job * prev + g * m)..(job * prev + ((g + 1) * m).min(prev))
+    }
+
+    /// The pass-`pass + 1` slot that consumes `(pass, slot)`'s output
+    /// run, or `None` in the final pass.
+    #[must_use]
+    pub fn parent_slot(&self, pass: usize, slot: usize) -> Option<usize> {
+        if pass + 1 >= self.passes.len() {
+            return None;
+        }
+        let groups = self.passes[pass].groups;
+        let (job, g) = (slot / groups, slot % groups);
+        Some(job * self.passes[pass + 1].groups + g / self.passes[pass + 1].fan_in)
+    }
+
+    /// The most tasks that can ever be ready (claimable) at once.
+    ///
+    /// For this layered tree-reduction DAG that is the widest pass's
+    /// slot count: initially only pass 0 is ready (`jobs × groups_0`
+    /// tasks), and thereafter a pass-*p+1* group becomes ready only
+    /// once its `fan_in ≥ 2` pass-*p* children resolved — each arrival
+    /// at the frontier retires at least two departures, so the frontier
+    /// never grows past the widest single pass.
+    #[must_use]
+    pub fn max_ready_width(&self) -> usize {
+        (0..self.passes.len())
+            .map(|p| self.slots(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks this DAG's peak ready width against a dispatcher that can
+    /// buffer at most `queue_depth` pending tasks beyond its `workers`
+    /// in-flight ones. Emits `BON056` when the ready set can overflow
+    /// that capacity (see [`bonsai_check::check_dag_capacity`]).
+    #[must_use]
+    pub fn validate_capacity(&self, queue_depth: usize, workers: usize) -> Vec<Diagnostic> {
+        bonsai_check::check_dag_capacity(self.max_ready_width(), queue_depth, workers)
+    }
+}
+
+// --- Virtual utilization schedule ----------------------------------------
+
+/// Earliest-free worker in the virtual pool.
+fn argmin(free: &[u64; VIRTUAL_WORKERS]) -> usize {
+    let mut best = 0;
+    for (w, &f) in free.iter().enumerate() {
+        if f < free[best] {
+            best = w;
+        }
+    }
+    best
+}
+
+/// List-schedules one pass's groups (in group order) on the virtual
+/// pool with the pipeline drained between passes — the barrier
+/// schedule. Returns `(makespan, busy)` in simulated cycles.
+pub(crate) fn pass_virtual_schedule(group_cycles: &[u64]) -> (u64, u64) {
+    let mut free = [0u64; VIRTUAL_WORKERS];
+    let mut busy = 0u64;
+    for &c in group_cycles {
+        let w = argmin(&free);
+        free[w] += c;
+        busy += c;
+    }
+    (free.into_iter().max().unwrap_or(0), busy)
+}
+
+/// Deterministic makespan of the group DAG on the virtual pool: an
+/// event-driven list schedule mirroring the real executor. Whenever the
+/// earliest-free virtual worker comes up, it claims the ready task it
+/// can start soonest (lowest task id on ties, matching the executor's
+/// claim preference); a task is ready once every child has completed.
+/// The barrier equivalent is the sum of [`pass_virtual_schedule`]
+/// makespans; the difference is `pipeline_overlap_cycles`.
+pub(crate) fn dag_virtual_makespan(plan: &SortPlan, cycles: &[Vec<u64>]) -> u64 {
+    let tasks = plan.tasks();
+    if tasks == 0 {
+        return 0;
+    }
+    let mut free = [0u64; VIRTUAL_WORKERS];
+    let mut done = vec![0u64; tasks];
+    let mut deps_left = vec![0usize; tasks];
+    // Ready tasks with the time their last child completed.
+    let mut ready: Vec<(usize, u64)> = Vec::new();
+    for s in 0..plan.slots(0) {
+        ready.push((plan.task_id(0, s), 0));
+    }
+    for p in 1..plan.num_passes() {
+        for s in 0..plan.slots(p) {
+            deps_left[plan.task_id(p, s)] = plan.deps(p, s).len();
+        }
+    }
+    let mut makespan = 0u64;
+    for _ in 0..tasks {
+        let w = argmin(&free);
+        // The task this worker can start soonest; ties go to the lowest
+        // id, the executor's deterministic claim order.
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(id, at))| (free[w].max(at), id))
+            .expect("a live DAG always has a ready task");
+        let (id, at) = ready.swap_remove(pos);
+        let (p, s) = plan.task_of(id);
+        let end = free[w].max(at) + cycles[p][s];
+        free[w] = end;
+        done[id] = end;
+        makespan = makespan.max(end);
+        if let Some(ps) = plan.parent_slot(p, s) {
+            let parent = plan.task_id(p + 1, ps);
+            deps_left[parent] -= 1;
+            if deps_left[parent] == 0 {
+                let ready_at = plan
+                    .deps(p + 1, ps)
+                    .map(|d| done[plan.task_id(p, d)])
+                    .max()
+                    .unwrap_or(0);
+                ready.push((parent, ready_at));
+            }
+        }
+    }
+    makespan
+}
+
+// --- The ready/claim protocol ---------------------------------------------
+
+/// Lifecycle of one task's output slot.
+enum Slot<T> {
+    /// Not resolved yet.
+    Empty,
+    /// Succeeded; output waiting for its parent (or final collection).
+    Done(T),
+    /// Failed, or cancelled because a child failed.
+    Failed,
+    /// Output consumed by the parent.
+    Taken,
+}
+
+/// Everything the workers share, behind one mutex. The simulation work
+/// itself always runs *outside* the lock; the lock only covers claim,
+/// store and readiness bookkeeping.
+struct ExecState<T, M> {
+    /// Task ids whose dependencies have all resolved, not yet claimed.
+    ready: Vec<usize>,
+    /// Unresolved-child count per task.
+    deps_left: Vec<usize>,
+    slots: Vec<Slot<T>>,
+    meta: Vec<Option<M>>,
+    /// Minimum failed task id and its error (task ids are lexicographic
+    /// in `(pass, group)`, so min id = the barrier path's error).
+    failure: Option<(usize, SortError)>,
+    /// First panic payload out of a task; re-raised after the drain.
+    panic_msg: Option<String>,
+    /// Tasks not yet resolved; 0 = drained, workers exit.
+    remaining: usize,
+}
+
+struct Shared<S: SyncOps, T: Send, M: Send> {
+    plan: SortPlan,
+    state: S::Mutex<ExecState<T, M>>,
+    ready_cv: S::Condvar,
+}
+
+/// Resolves task `id` under the lock: stores its slot, records a
+/// failure, retires it from the drain count, unlocks any parent whose
+/// children are now all resolved, and wakes the pool. `notify_all`
+/// (not `notify_one`): a resolve can simultaneously publish new ready
+/// work *and* be the final drain — every parked worker's predicate may
+/// have flipped, and a single wakeup could strand the rest (the exact
+/// lost-wakeup shape `tests/mc_dag.rs` checks for).
+fn resolve<S: SyncOps, T: Send, M: Send>(
+    shared: &Shared<S, T, M>,
+    state: &mut ExecState<T, M>,
+    id: usize,
+    slot: Slot<T>,
+    err: Option<SortError>,
+) {
+    state.slots[id] = slot;
+    if let Some(err) = err {
+        match &state.failure {
+            Some((prev, _)) if *prev <= id => {}
+            _ => state.failure = Some((id, err)),
+        }
+    }
+    state.remaining -= 1;
+    let (pass, slot) = shared.plan.task_of(id);
+    if let Some(ps) = shared.plan.parent_slot(pass, slot) {
+        let parent = shared.plan.task_id(pass + 1, ps);
+        state.deps_left[parent] -= 1;
+        if state.deps_left[parent] == 0 {
+            state.ready.push(parent);
+        }
+    }
+    S::notify_all(&shared.ready_cv);
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "DAG task panicked".to_string())
+}
+
+/// The work-stealing loop: claim the lowest ready task, move its
+/// children's outputs out of their slots, run it outside the lock,
+/// resolve. A task whose children failed resolves as `Failed` without
+/// running (cancellation), so the DAG always drains and the pool always
+/// terminates — failure semantics stay identical to the barrier path,
+/// which also simulates every group of the failing pass before
+/// reporting the first failing group.
+fn worker_loop<S, T, M, F>(shared: &Shared<S, T, M>, run_task: &F)
+where
+    S: SyncOps,
+    T: Send,
+    M: Send,
+    F: Fn(usize, usize, Vec<T>) -> Result<(T, M), SortError>,
+{
+    loop {
+        let guard = S::lock(&shared.state);
+        let mut guard = S::wait_while(&shared.ready_cv, &shared.state, guard, |s| {
+            s.ready.is_empty() && s.remaining > 0
+        });
+        // Lowest id first: a deterministic preference for earlier
+        // (pass, group) work, which keeps the claim order close to the
+        // virtual-schedule model (correctness never depends on it).
+        let Some(pos) = guard
+            .ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &id)| id)
+            .map(|(i, _)| i)
+        else {
+            break; // remaining == 0: the DAG is drained
+        };
+        let id = guard.ready.swap_remove(pos);
+        let (pass, group) = shared.plan.task_of(id);
+        let mut inputs = Vec::new();
+        let mut dep_failed = false;
+        if pass > 0 {
+            let deps = shared.plan.deps(pass, group);
+            inputs.reserve(deps.len());
+            for d in deps {
+                let child = shared.plan.task_id(pass - 1, d);
+                match core::mem::replace(&mut guard.slots[child], Slot::Taken) {
+                    Slot::Done(t) => inputs.push(t),
+                    Slot::Failed => dep_failed = true,
+                    Slot::Empty | Slot::Taken => {
+                        unreachable!("ready task with an unresolved or reused child")
+                    }
+                }
+            }
+        }
+        if dep_failed {
+            resolve(shared, &mut guard, id, Slot::Failed, None);
+            continue;
+        }
+        drop(guard);
+        // A panicking task (e.g. a user Ord impl) must not strand the
+        // other workers in wait_while: catch it, resolve the task as
+        // failed so the drain completes, and re-raise from the caller.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_task(pass, group, inputs)));
+        let mut guard = S::lock(&shared.state);
+        match outcome {
+            Ok(Ok((out, m))) => {
+                guard.meta[id] = Some(m);
+                resolve(shared, &mut guard, id, Slot::Done(out), None);
+            }
+            Ok(Err(err)) => resolve(shared, &mut guard, id, Slot::Failed, Some(err)),
+            Err(payload) => {
+                let msg = panic_text(payload.as_ref());
+                guard.panic_msg.get_or_insert(msg);
+                resolve(shared, &mut guard, id, Slot::Failed, None);
+            }
+        }
+    }
+}
+
+/// Executes `plan`'s task DAG on `workers` threads (`0` = one per
+/// core), calling `run_task(pass, slot, child_outputs)` for each task
+/// as it becomes ready (for a single-job plan the slot is the group
+/// index; for a batch, `job = slot / groups` and `group = slot %
+/// groups`). Returns the final pass's outputs (in slot = job order)
+/// and every task's metadata in `(pass, slot)` order.
+///
+/// Generic over the [`SyncOps`] facade: production callers pass
+/// `StdSync`, the model-check suite passes `McSync` and explores every
+/// schedule of the claim protocol.
+///
+/// # Errors
+///
+/// The minimum-`(pass, group)` task failure, identical to the barrier
+/// scheduler's first-failing-group error.
+///
+/// # Panics
+///
+/// Re-raises the first panic thrown by a `run_task` invocation (after
+/// the DAG has fully drained, so no worker thread is leaked).
+pub fn execute_dag<S, T, M, F>(
+    plan: SortPlan,
+    workers: usize,
+    run_task: F,
+) -> Result<(Vec<T>, Vec<M>), SortError>
+where
+    S: SyncOps,
+    T: Send + 'static,
+    M: Send + 'static,
+    F: Fn(usize, usize, Vec<T>) -> Result<(T, M), SortError> + Send + Sync + 'static,
+{
+    let tasks = plan.tasks();
+    if tasks == 0 {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let threads = resolve_workers(workers).min(plan.max_ready_width()).max(1);
+
+    let mut deps_left = vec![0usize; tasks];
+    let mut ready = Vec::with_capacity(plan.slots(0));
+    for p in 0..plan.num_passes() {
+        for s in 0..plan.slots(p) {
+            let id = plan.task_id(p, s);
+            if p == 0 {
+                ready.push(id);
+            } else {
+                deps_left[id] = plan.deps(p, s).len();
+            }
+        }
+    }
+    let shared = Arc::new(Shared::<S, T, M> {
+        plan,
+        state: S::mutex_named(
+            "dag.state",
+            ExecState {
+                ready,
+                deps_left,
+                slots: (0..tasks).map(|_| Slot::Empty).collect(),
+                meta: (0..tasks).map(|_| None).collect(),
+                failure: None,
+                panic_msg: None,
+                remaining: tasks,
+            },
+        ),
+        ready_cv: S::condvar_named("dag.ready"),
+    });
+    let run_task = Arc::new(run_task);
+
+    let handles: Vec<S::JoinHandle> = (0..threads)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let run_task = Arc::clone(&run_task);
+            S::spawn(move || worker_loop(shared.as_ref(), run_task.as_ref()))
+        })
+        .collect();
+    let mut join_err = None;
+    for handle in handles {
+        if let Err(msg) = S::join(handle) {
+            join_err.get_or_insert(msg);
+        }
+    }
+    // catch_unwind inside worker_loop makes a join error unreachable,
+    // but a facade is free to report its own aborts — don't swallow it.
+    if let Some(msg) = join_err {
+        panic!("{msg}");
+    }
+
+    let mut guard = S::lock(&shared.state);
+    if let Some(msg) = guard.panic_msg.take() {
+        drop(guard);
+        panic!("{msg}");
+    }
+    if let Some((_, err)) = guard.failure.take() {
+        return Err(err);
+    }
+    debug_assert_eq!(guard.remaining, 0, "clean drain resolves every task");
+    let meta: Vec<M> = guard
+        .meta
+        .iter_mut()
+        .map(|m| m.take().expect("clean drain ran every task"))
+        .collect();
+    let last = shared.plan.num_passes() - 1;
+    let finals: Vec<T> = (0..shared.plan.slots(last))
+        .map(|s| {
+            let id = shared.plan.task_id(last, s);
+            match core::mem::replace(&mut guard.slots[id], Slot::Taken) {
+                Slot::Done(t) => t,
+                _ => unreachable!("final task resolved without output"),
+            }
+        })
+        .collect();
+    Ok((finals, meta))
+}
+
+// --- The pipelined sort skeleton ------------------------------------------
+
+/// Sorts `data` with every `(pass, group)` merge task scheduled over
+/// the dependency DAG instead of per-pass barriers. Mirrors the
+/// skeleton of `SimEngine::sort_with` (sanitize → presort chunks →
+/// balanced fan-in schedule → fold a [`SortReport`]), with accounting
+/// folded in `(pass, group)` order after the drain.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sort_pipelined<R: Record, S: SyncOps>(
+    config: &SimEngineConfig,
+    data: Vec<R>,
+    workers: usize,
+    max_cycles: u64,
+    reference: bool,
+    #[cfg(feature = "sanitize")] diagnostics: &mut Vec<Diagnostic>,
+) -> Result<(Vec<R>, SortReport), SortError> {
+    let n_records = data.len() as u64;
+    let record_bytes = config.loader.record_bytes;
+    let sanitized: Vec<R> = data.into_iter().map(Record::sanitize).collect();
+    let runs = RunSet::from_chunks(sanitized, config.initial_run_len());
+    let plan = SortPlan::new(runs.num_runs(), config.amt.l);
+    if plan.num_passes() == 0 {
+        let report = SortReport::from_passes(Vec::new(), n_records, record_bytes);
+        return Ok((runs.into_records(), report));
+    }
+
+    // `SyncOps::spawn` wants 'static tasks, so the task closure owns
+    // its captures: the config (Copy) and the presorted input (Arc —
+    // every pass-0 group reads its own disjoint slice).
+    let task_config = *config;
+    let task_plan = plan.clone();
+    let init = Arc::new(runs);
+    let run_task = move |pass: usize, group: usize, inputs: Vec<Vec<R>>| {
+        let fan_in = task_plan.pass(pass).fan_in;
+        let input = if pass == 0 {
+            group_input(&init, group, fan_in)
+        } else {
+            // Each child contributed exactly one sorted run, already in
+            // group order — the same input the barrier path slices out
+            // of the previous pass's folded RunSet.
+            let mut records = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+            let mut starts = Vec::with_capacity(inputs.len());
+            for child in inputs {
+                starts.push(records.len());
+                records.extend(child);
+            }
+            RunSet::from_parts(records, starts)
+        };
+        let stage = pass as u32 + 1;
+        simulate_group(&task_config, input, fan_in, stage, max_cycles, reference).map(|mut o| {
+            let out = core::mem::take(&mut o.out_records);
+            (out, o)
+        })
+    };
+
+    let (mut finals, meta) =
+        execute_dag::<S, Vec<R>, GroupOutcome<R>, _>(plan.clone(), workers, run_task)?;
+    debug_assert_eq!(finals.len(), 1, "the schedule fully sorts");
+    let sorted = finals.pop().unwrap_or_default();
+
+    // Fold the accounting in (pass, group) order — identical to the
+    // barrier path's fold, so the report cannot depend on completion
+    // order.
+    let mut meta = meta.into_iter();
+    let mut passes = Vec::with_capacity(plan.num_passes());
+    let mut per_pass_cycles: Vec<Vec<u64>> = Vec::with_capacity(plan.num_passes());
+    let mut barrier_makespan = 0u64;
+    for p in 0..plan.num_passes() {
+        let pp = plan.pass(p);
+        let stage = p as u32 + 1;
+        let mut pass = PassReport {
+            stage,
+            cycles: 0,
+            records: n_records,
+            runs_in: pp.runs_in as u64,
+            runs_out: pp.groups as u64,
+            bytes_read: 0,
+            bytes_written: 0,
+            input_stalls: 0,
+            output_stalls: 0,
+            fast_forwarded_cycles: 0,
+            busy_worker_cycles: 0,
+            idle_worker_cycles: 0,
+        };
+        let mut group_cycles = Vec::with_capacity(pp.groups);
+        for g in 0..pp.groups {
+            let outcome = meta.next().expect("one outcome per task");
+            pass.cycles += outcome.cycles;
+            pass.bytes_read += outcome.bytes_read;
+            pass.bytes_written += outcome.bytes_written;
+            pass.input_stalls += outcome.input_stalls;
+            pass.output_stalls += outcome.output_stalls;
+            pass.fast_forwarded_cycles += outcome.fast_forwarded_cycles;
+            group_cycles.push(outcome.cycles);
+            #[cfg(feature = "sanitize")]
+            diagnostics.extend(
+                outcome
+                    .diagnostics
+                    .into_iter()
+                    .map(|d| d.with("stage", stage).with("group", g)),
+            );
+            #[cfg(not(feature = "sanitize"))]
+            let _ = g;
+        }
+        let (makespan, busy) = pass_virtual_schedule(&group_cycles);
+        pass.busy_worker_cycles = busy;
+        pass.idle_worker_cycles = (VIRTUAL_WORKERS as u64) * makespan - busy;
+        barrier_makespan += makespan;
+        per_pass_cycles.push(group_cycles);
+        passes.push(pass);
+    }
+    let dag_makespan = dag_virtual_makespan(&plan, &per_pass_cycles);
+    let mut report = SortReport::from_passes(passes, n_records, record_bytes);
+    report.pipeline_overlap_cycles = barrier_makespan.saturating_sub(dag_makespan);
+    Ok((sorted, report))
+}
+
+/// A pipelined batch sort's value: each job's sorted output and
+/// [`SortReport`] (in submission order), plus the batch-level
+/// `pipeline_overlap_cycles` the forest saved over running the jobs
+/// back to back on the [`VIRTUAL_WORKERS`] reference pool.
+pub type BatchSorted<R> = (Vec<(Vec<R>, SortReport)>, u64);
+
+/// Sorts a batch of equally-sized inputs as **one** forest DAG: every
+/// `(pass, group)` merge task of every job is scheduled over the shared
+/// dependency DAG, so one job's narrow tail passes overlap with the
+/// next job's wide first pass. This is where cross-pass pipelining
+/// actually pays: a single sort is single-rooted (its final task
+/// transitively depends on every other task, bounding any scheduler
+/// near the barrier's makespan), but a batch keeps the pool
+/// work-conserving across jobs.
+///
+/// Each job's sorted output and [`SortReport`] are bit-identical to
+/// sorting it alone under the barrier scheduler (per-job
+/// `pipeline_overlap_cycles` stays 0); the batch-level overlap — the
+/// sum of the jobs' barrier virtual makespans minus the forest's DAG
+/// virtual makespan on the same [`VIRTUAL_WORKERS`] pool — is returned
+/// alongside.
+///
+/// # Panics
+///
+/// Panics unless every dataset presorts into the same number of runs
+/// (the forest plan is uniform across jobs).
+pub(crate) fn sort_batch_pipelined<R: Record, S: SyncOps>(
+    config: &SimEngineConfig,
+    datasets: Vec<Vec<R>>,
+    workers: usize,
+    max_cycles: u64,
+    reference: bool,
+    #[cfg(feature = "sanitize")] diagnostics: &mut Vec<Diagnostic>,
+) -> Result<BatchSorted<R>, SortError> {
+    let record_bytes = config.loader.record_bytes;
+    let jobs = datasets.len();
+    let mut inits = Vec::with_capacity(jobs);
+    let mut job_records = Vec::with_capacity(jobs);
+    for data in datasets {
+        job_records.push(data.len() as u64);
+        let sanitized: Vec<R> = data.into_iter().map(Record::sanitize).collect();
+        inits.push(RunSet::from_chunks(sanitized, config.initial_run_len()));
+    }
+    let r0 = inits.first().map_or(0, RunSet::num_runs);
+    assert!(
+        inits.iter().all(|r| r.num_runs() == r0),
+        "batch jobs must presort into the same number of runs"
+    );
+    let plan = SortPlan::batch(jobs, r0, config.amt.l);
+    if plan.num_passes() == 0 {
+        let out = inits
+            .into_iter()
+            .zip(job_records)
+            .map(|(runs, n)| {
+                let report = SortReport::from_passes(Vec::new(), n, record_bytes);
+                (runs.into_records(), report)
+            })
+            .collect();
+        return Ok((out, 0));
+    }
+    let groups0 = plan.pass(0).groups;
+
+    let task_config = *config;
+    let task_plan = plan.clone();
+    let init = Arc::new(inits);
+    let run_task = move |pass: usize, slot: usize, inputs: Vec<Vec<R>>| {
+        let fan_in = task_plan.pass(pass).fan_in;
+        let input = if pass == 0 {
+            group_input(&init[slot / groups0], slot % groups0, fan_in)
+        } else {
+            let mut records = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+            let mut starts = Vec::with_capacity(inputs.len());
+            for child in inputs {
+                starts.push(records.len());
+                records.extend(child);
+            }
+            RunSet::from_parts(records, starts)
+        };
+        let stage = pass as u32 + 1;
+        simulate_group(&task_config, input, fan_in, stage, max_cycles, reference).map(|mut o| {
+            let out = core::mem::take(&mut o.out_records);
+            (out, o)
+        })
+    };
+
+    let (finals, meta) =
+        execute_dag::<S, Vec<R>, GroupOutcome<R>, _>(plan.clone(), workers, run_task)?;
+    debug_assert_eq!(finals.len(), jobs, "one root per job");
+
+    // The forest's virtual makespan needs every task's cycles in
+    // (pass, slot) order before the per-job folds consume the outcomes.
+    let mut meta: Vec<Option<GroupOutcome<R>>> = meta.into_iter().map(Some).collect();
+    let per_pass_cycles: Vec<Vec<u64>> = (0..plan.num_passes())
+        .map(|p| {
+            (0..plan.slots(p))
+                .map(|s| {
+                    meta[plan.task_id(p, s)]
+                        .as_ref()
+                        .expect("clean drain ran every task")
+                        .cycles
+                })
+                .collect()
+        })
+        .collect();
+    let dag_makespan = dag_virtual_makespan(&plan, &per_pass_cycles);
+
+    // Fold each job's accounting in (pass, group) order — exactly the
+    // barrier path's fold, so per-job reports are bit-identical to
+    // sorting that job alone (batch overlap is reported separately).
+    let mut batch_barrier = 0u64;
+    let mut out = Vec::with_capacity(jobs);
+    for (j, sorted) in finals.into_iter().enumerate() {
+        let mut passes = Vec::with_capacity(plan.num_passes());
+        for p in 0..plan.num_passes() {
+            let pp = plan.pass(p);
+            let stage = p as u32 + 1;
+            let mut pass = PassReport {
+                stage,
+                cycles: 0,
+                records: job_records[j],
+                runs_in: pp.runs_in as u64,
+                runs_out: pp.groups as u64,
+                bytes_read: 0,
+                bytes_written: 0,
+                input_stalls: 0,
+                output_stalls: 0,
+                fast_forwarded_cycles: 0,
+                busy_worker_cycles: 0,
+                idle_worker_cycles: 0,
+            };
+            let mut group_cycles = Vec::with_capacity(pp.groups);
+            for g in 0..pp.groups {
+                let outcome = meta[plan.task_id(p, j * pp.groups + g)]
+                    .take()
+                    .expect("clean drain ran every task");
+                pass.cycles += outcome.cycles;
+                pass.bytes_read += outcome.bytes_read;
+                pass.bytes_written += outcome.bytes_written;
+                pass.input_stalls += outcome.input_stalls;
+                pass.output_stalls += outcome.output_stalls;
+                pass.fast_forwarded_cycles += outcome.fast_forwarded_cycles;
+                group_cycles.push(outcome.cycles);
+                #[cfg(feature = "sanitize")]
+                diagnostics.extend(
+                    outcome
+                        .diagnostics
+                        .into_iter()
+                        .map(|d| d.with("stage", stage).with("group", g).with("job", j)),
+                );
+                #[cfg(not(feature = "sanitize"))]
+                let _ = g;
+            }
+            let (makespan, busy) = pass_virtual_schedule(&group_cycles);
+            pass.busy_worker_cycles = busy;
+            pass.idle_worker_cycles = (VIRTUAL_WORKERS as u64) * makespan - busy;
+            batch_barrier += makespan;
+            passes.push(pass);
+        }
+        let report = SortReport::from_passes(passes, job_records[j], record_bytes);
+        out.push((sorted, report));
+    }
+    Ok((out, batch_barrier.saturating_sub(dag_makespan)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_chains_group_counts_and_partitions_deps() {
+        // 9375 runs on 16 leaves: 4 passes, fan-ins 8, 8, 16, 16.
+        let plan = SortPlan::new(9375, 16);
+        assert_eq!(plan.num_passes(), 4);
+        let mut runs = 9375;
+        for p in 0..plan.num_passes() {
+            let pp = plan.pass(p);
+            assert_eq!(pp.runs_in, runs);
+            assert_eq!(pp.groups, runs.div_ceil(pp.fan_in));
+            runs = pp.groups;
+            if p > 0 {
+                // The dep ranges partition the previous pass exactly.
+                let mut covered = 0;
+                for g in 0..pp.groups {
+                    let d = plan.deps(p, g);
+                    assert_eq!(d.start, covered);
+                    assert!(!d.is_empty());
+                    covered = d.end;
+                }
+                assert_eq!(covered, plan.pass(p - 1).groups);
+            }
+        }
+        assert_eq!(runs, 1, "the plan fully sorts");
+        assert_eq!(
+            plan.tasks(),
+            (0..plan.num_passes()).map(|p| plan.pass(p).groups).sum()
+        );
+    }
+
+    #[test]
+    fn task_ids_are_lexicographic_and_invertible() {
+        let plan = SortPlan::new(100, 4);
+        let mut expect = 0;
+        for p in 0..plan.num_passes() {
+            for g in 0..plan.pass(p).groups {
+                assert_eq!(plan.task_id(p, g), expect);
+                assert_eq!(plan.task_of(expect), (p, g));
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_plans_are_job_block_forests() {
+        // 2 jobs × (8 runs on 4 leaves): per job fan-ins [2, 4] with
+        // groups [4, 1] — 10 tasks, dependencies never crossing jobs.
+        let plan = SortPlan::batch(2, 8, 4);
+        assert_eq!(plan.jobs(), 2);
+        assert_eq!(plan.num_passes(), 2);
+        assert_eq!((plan.slots(0), plan.slots(1)), (8, 2));
+        assert_eq!(plan.tasks(), 10);
+        assert_eq!(plan.max_ready_width(), 8);
+        // Job 0's root consumes slots 0..4, job 1's slots 4..8.
+        assert_eq!(plan.deps(1, 0), 0..4);
+        assert_eq!(plan.deps(1, 1), 4..8);
+        for s in 0..plan.slots(0) {
+            assert_eq!(plan.parent_slot(0, s), Some(s / 4));
+        }
+        assert_eq!(plan.parent_slot(1, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass-0 groups have no dependencies")]
+    fn pass0_deps_panic() {
+        let _ = SortPlan::new(8, 4).deps(0, 0);
+    }
+
+    #[test]
+    fn trivial_plans_are_empty() {
+        for runs in [0usize, 1] {
+            let plan = SortPlan::new(runs, 16);
+            assert_eq!(plan.num_passes(), 0);
+            assert_eq!(plan.tasks(), 0);
+            assert_eq!(plan.max_ready_width(), 0);
+        }
+    }
+
+    #[test]
+    fn max_ready_width_is_the_widest_pass() {
+        let plan = SortPlan::new(9375, 16);
+        assert_eq!(plan.max_ready_width(), plan.pass(0).groups);
+        assert!(plan.validate_capacity(16, 0).is_empty(), "0 = uncapped");
+        let found = plan.validate_capacity(4, 8);
+        assert!(
+            found
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::RUNTIME_DAG_OVER_CAPACITY),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn virtual_schedules_are_consistent() {
+        // One pass of equal groups fills the pool perfectly.
+        let (makespan, busy) = pass_virtual_schedule(&[10; VIRTUAL_WORKERS]);
+        assert_eq!((makespan, busy), (10, 10 * VIRTUAL_WORKERS as u64));
+        // DAG makespan never exceeds the barrier sum and never beats
+        // the critical path.
+        let plan = SortPlan::new(64, 4);
+        let cycles: Vec<Vec<u64>> = (0..plan.num_passes())
+            .map(|p| {
+                (0..plan.pass(p).groups)
+                    .map(|g| 5 + (g as u64 % 3))
+                    .collect()
+            })
+            .collect();
+        let barrier: u64 = cycles.iter().map(|c| pass_virtual_schedule(c).0).sum();
+        let dag = dag_virtual_makespan(&plan, &cycles);
+        assert!(dag <= barrier, "{dag} vs {barrier}");
+        let critical: u64 = (0..plan.num_passes())
+            .map(|p| *cycles[p].iter().max().unwrap())
+            .sum();
+        assert!(dag >= critical.min(barrier) / 2, "sanity: {dag}");
+    }
+}

@@ -187,6 +187,100 @@ impl SimEngine {
         })
     }
 
+    /// Sorts `data` with the cross-pass pipelined group-DAG scheduler:
+    /// `(pass, group)` merge tasks run on `workers` threads (`0` = one
+    /// per core) as soon as their child groups have drained, instead of
+    /// waiting at a per-pass barrier (see [`crate::dag`]).
+    ///
+    /// The sorted output and the [`SortReport`] are bit-identical to
+    /// [`SimEngine::sort_sharded`] at every worker count; only the
+    /// observability-only `pipeline_overlap_cycles` counter differs
+    /// (it reports the virtual-makespan cycles the DAG saved, always
+    /// `0` under the barrier scheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass exceeds the livelock cycle bound; use
+    /// [`SimEngine::try_sort_pipelined`] for the structured error.
+    pub fn sort_pipelined<R: Record>(
+        &mut self,
+        data: Vec<R>,
+        workers: usize,
+    ) -> (Vec<R>, SortReport) {
+        match self.try_sort_pipelined(data, workers) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`SimEngine::sort_pipelined`]: livelocked groups surface
+    /// as `BON040` [`SortError`]s. The minimum failing `(pass, group)`
+    /// task wins error reporting — the same error the barrier scheduler
+    /// returns — independent of worker count and completion order.
+    pub fn try_sort_pipelined<R: Record>(
+        &mut self,
+        data: Vec<R>,
+        workers: usize,
+    ) -> Result<(Vec<R>, SortReport), SortError> {
+        #[cfg(feature = "sanitize")]
+        self.diagnostics.clear();
+        crate::dag::sort_pipelined::<R, bonsai_mc::facade::StdSync>(
+            &self.config,
+            data,
+            workers,
+            self.max_pass_cycles,
+            self.reference_loop,
+            #[cfg(feature = "sanitize")]
+            &mut self.diagnostics,
+        )
+    }
+
+    /// Sorts a batch of equally-sized inputs as one pipelined forest
+    /// DAG (see the `crate::dag` module docs): each job's
+    /// output and [`SortReport`] are bit-identical to sorting it alone
+    /// under the barrier scheduler, and the second return value is the
+    /// batch-level `pipeline_overlap_cycles` — the virtual-makespan
+    /// cycles the forest saved over running the jobs back to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass exceeds the livelock cycle bound or the jobs
+    /// presort into differing run counts; use
+    /// [`SimEngine::try_sort_batch_pipelined`] for the structured
+    /// livelock error.
+    pub fn sort_batch_pipelined<R: Record>(
+        &mut self,
+        datasets: Vec<Vec<R>>,
+        workers: usize,
+    ) -> crate::dag::BatchSorted<R> {
+        match self.try_sort_batch_pipelined(datasets, workers) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`SimEngine::sort_batch_pipelined`]: livelocked groups
+    /// surface as `BON040` [`SortError`]s, the minimum failing
+    /// `(pass, slot)` task winning — so the reported error is the first
+    /// failing job's barrier-scheduler error.
+    pub fn try_sort_batch_pipelined<R: Record>(
+        &mut self,
+        datasets: Vec<Vec<R>>,
+        workers: usize,
+    ) -> Result<crate::dag::BatchSorted<R>, SortError> {
+        #[cfg(feature = "sanitize")]
+        self.diagnostics.clear();
+        crate::dag::sort_batch_pipelined::<R, bonsai_mc::facade::StdSync>(
+            &self.config,
+            datasets,
+            workers,
+            self.max_pass_cycles,
+            self.reference_loop,
+            #[cfg(feature = "sanitize")]
+            &mut self.diagnostics,
+        )
+    }
+
     /// The shared sort skeleton: presort, then run the balanced fan-in
     /// schedule with `run_pass` executing each stage.
     fn sort_with<R: Record>(

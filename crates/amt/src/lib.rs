@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod dag;
 mod engine;
 mod error;
 pub mod functional;
@@ -53,6 +54,7 @@ mod tree;
 mod unrolled;
 
 pub use config::{AmtConfig, SimEngineConfig};
+pub use dag::{BatchSorted, PassPlan, SortPlan, VIRTUAL_WORKERS};
 pub use engine::{SimEngine, REFERENCE_LOOP_ENV};
 pub use error::SortError;
 pub use loser_tree::{loser_tree_merge, LoserTree};

@@ -354,6 +354,11 @@ impl<R: Record> PassSim<R> {
             input_stalls: tree_stats.total_input_stalls,
             output_stalls: tree_stats.total_output_stalls,
             fast_forwarded_cycles: self.fast_forwarded,
+            // The fused single-engine path never idles a worker; the
+            // sharded/pipelined callers overwrite these from the
+            // deterministic virtual-pool schedule.
+            busy_worker_cycles: self.cycles,
+            idle_worker_cycles: 0,
         };
         (out_runs, pass)
     }

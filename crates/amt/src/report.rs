@@ -29,6 +29,23 @@ pub struct PassReport {
     /// Observability only: always `0` on the reference per-cycle path,
     /// and excluded from cross-path equivalence comparisons.
     pub fast_forwarded_cycles: u64,
+    /// Simulated cycles a virtual worker spent executing this pass's
+    /// merge groups, summed across the [`VIRTUAL_WORKERS`] reference
+    /// pool (equals `cycles` — every group is simulated exactly once).
+    /// Observability only: computed from a deterministic list schedule
+    /// of the per-group cycle costs, never from wall-clock threads, so
+    /// it is bit-identical at every real worker count.
+    ///
+    /// [`VIRTUAL_WORKERS`]: crate::dag::VIRTUAL_WORKERS
+    pub busy_worker_cycles: u64,
+    /// Simulated cycles virtual workers sat idle while this pass ran
+    /// under the per-pass-barrier schedule (pass makespan ×
+    /// [`VIRTUAL_WORKERS`] − busy). `0` on the fused single-engine
+    /// path. Observability only, like [`busy_worker_cycles`].
+    ///
+    /// [`busy_worker_cycles`]: PassReport::busy_worker_cycles
+    /// [`VIRTUAL_WORKERS`]: crate::dag::VIRTUAL_WORKERS
+    pub idle_worker_cycles: u64,
 }
 
 impl PassReport {
@@ -61,6 +78,14 @@ pub struct SortReport {
     /// Total simulated cycles the fast-forward scheduler skipped instead
     /// of ticking (see [`PassReport::fast_forwarded_cycles`]).
     pub fast_forwarded_cycles: u64,
+    /// Virtual-makespan cycles the cross-pass pipelined group-DAG
+    /// scheduler saved versus the per-pass-barrier schedule on the
+    /// [`VIRTUAL_WORKERS`](crate::dag::VIRTUAL_WORKERS) reference pool:
+    /// barrier makespan − DAG makespan. Always `0` under the barrier
+    /// scheduler and on the fused path. Observability only (excluded
+    /// from cross-scheduler equivalence comparisons), and deterministic:
+    /// derived from per-group simulated cycles, not wall clock.
+    pub pipeline_overlap_cycles: u64,
 }
 
 impl SortReport {
@@ -75,6 +100,7 @@ impl SortReport {
             record_bytes,
             freq_hz: DEFAULT_FREQ_HZ,
             fast_forwarded_cycles,
+            pipeline_overlap_cycles: 0,
         }
     }
 
@@ -144,6 +170,8 @@ mod tests {
             input_stalls: 0,
             output_stalls: 0,
             fast_forwarded_cycles: 0,
+            busy_worker_cycles: cycles,
+            idle_worker_cycles: 0,
         }
     }
 

@@ -56,7 +56,8 @@ pub(crate) fn resolve_workers(workers: usize) -> usize {
 /// threads running this loop against the same counter — including when
 /// there are more threads than groups (the surplus threads observe an
 /// exhausted counter and claim nothing). Pulled out of
-/// [`run_pass_sharded`] so the claim discipline is testable on its own.
+/// the pass-sharding loop so the claim discipline is testable on its
+/// own.
 pub fn steal_groups(next: &AtomicUsize, groups: usize, mut claim: impl FnMut(usize)) {
     loop {
         let g = next.fetch_add(1, Ordering::Relaxed);
@@ -68,22 +69,24 @@ pub fn steal_groups(next: &AtomicUsize, groups: usize, mut claim: impl FnMut(usi
 }
 
 /// Everything one simulated merge group contributes to the pass.
-struct GroupOutcome<R> {
+/// Shared with the pipelined DAG scheduler ([`crate::dag`]), which folds
+/// the same outcomes in the same `(pass, group)` order.
+pub(crate) struct GroupOutcome<R> {
     /// The group's single output run, terminal-free and sorted.
-    out_records: Vec<R>,
-    cycles: u64,
-    bytes_read: u64,
-    bytes_written: u64,
-    input_stalls: u64,
-    output_stalls: u64,
-    fast_forwarded_cycles: u64,
+    pub(crate) out_records: Vec<R>,
+    pub(crate) cycles: u64,
+    pub(crate) bytes_read: u64,
+    pub(crate) bytes_written: u64,
+    pub(crate) input_stalls: u64,
+    pub(crate) output_stalls: u64,
+    pub(crate) fast_forwarded_cycles: u64,
     #[cfg(feature = "sanitize")]
-    diagnostics: Vec<bonsai_check::Diagnostic>,
+    pub(crate) diagnostics: Vec<bonsai_check::Diagnostic>,
 }
 
 /// Copies group `g`'s runs (`[g·fan_in, (g+1)·fan_in)`, clamped) out of
 /// the pass input as a standalone [`RunSet`].
-fn group_input<R: Record>(runs: &RunSet<R>, g: usize, fan_in: usize) -> RunSet<R> {
+pub(crate) fn group_input<R: Record>(runs: &RunSet<R>, g: usize, fan_in: usize) -> RunSet<R> {
     let lo = g * fan_in;
     let hi = ((g + 1) * fan_in).min(runs.num_runs());
     let mut records = Vec::new();
@@ -96,7 +99,7 @@ fn group_input<R: Record>(runs: &RunSet<R>, g: usize, fan_in: usize) -> RunSet<R
 }
 
 /// Simulates one merge group to completion against its own bank view.
-fn simulate_group<R: Record>(
+pub(crate) fn simulate_group<R: Record>(
     config: &SimEngineConfig,
     runs: RunSet<R>,
     fan_in: usize,
@@ -173,13 +176,17 @@ pub(crate) fn run_pass_sharded<R: Record>(
         input_stalls: 0,
         output_stalls: 0,
         fast_forwarded_cycles: 0,
+        busy_worker_cycles: 0,
+        idle_worker_cycles: 0,
     };
+    let mut group_cycles = Vec::with_capacity(groups);
     for (g, slot) in slots.into_iter().enumerate() {
         let outcome = slot
             .into_inner()
             .expect("worker pool simulated every group")?;
         starts.push(out_records.len());
         out_records.extend(outcome.out_records);
+        group_cycles.push(outcome.cycles);
         pass.cycles += outcome.cycles;
         pass.bytes_read += outcome.bytes_read;
         pass.bytes_written += outcome.bytes_written;
@@ -196,6 +203,12 @@ pub(crate) fn run_pass_sharded<R: Record>(
         #[cfg(not(feature = "sanitize"))]
         let _ = g;
     }
+    // Utilization counters come from the deterministic virtual-pool
+    // schedule of the per-group cycle costs, not from wall clock, so
+    // the report stays bit-identical at every real worker count.
+    let (makespan, busy) = crate::dag::pass_virtual_schedule(&group_cycles);
+    pass.busy_worker_cycles = busy;
+    pass.idle_worker_cycles = (crate::dag::VIRTUAL_WORKERS as u64) * makespan - busy;
     Ok((RunSet::from_parts(out_records, starts), pass))
 }
 

@@ -1,0 +1,325 @@
+//! Cross-scheduler equivalence: pipelined group DAG vs per-pass barrier
+//! vs the fused engine.
+//!
+//! The pipelined scheduler's contract is that it is a wall-clock
+//! optimization and nothing else: for any configuration and any worker
+//! count it must produce the same sorted output as the fused reference
+//! engine and the same `SortReport` as the barrier scheduler, bit for
+//! bit, with the sole exception of the observability-only
+//! `pipeline_overlap_cycles` counter (always zero under the barrier).
+//! Shapes are randomized so the suite crosses both regimes — passes
+//! with more groups than workers and workers than groups.
+
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig, SortReport, VIRTUAL_WORKERS};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_memsim::MemoryConfig;
+use bonsai_records::U32Rec;
+use bonsai_rng::Rng;
+
+/// The "max" worker point of the matrix: `BONSAI_TEST_WORKERS` when
+/// set (CI pins it per matrix row), otherwise 4.
+fn test_workers() -> usize {
+    std::env::var("BONSAI_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Strips the one counter the schedulers legitimately disagree on.
+fn no_overlap(mut r: SortReport) -> SortReport {
+    r.pipeline_overlap_cycles = 0;
+    r
+}
+
+/// Strips the counters that differ between simulation loops.
+fn no_fast_forward(mut r: SortReport) -> SortReport {
+    r.fast_forwarded_cycles = 0;
+    for p in &mut r.passes {
+        p.fast_forwarded_cycles = 0;
+    }
+    r
+}
+
+fn engine(cfg: SimEngineConfig) -> SimEngine {
+    SimEngine::new(cfg)
+}
+
+fn random_config(rng: &mut Rng) -> SimEngineConfig {
+    let p = 1 << rng.below_usize(4);
+    let l = 1 << rng.range_usize(1, 6);
+    let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+    if rng.chance_percent(25) {
+        cfg = cfg.without_presort();
+    }
+    if rng.chance_percent(30) {
+        cfg.memory = MemoryConfig::ddr4_single_bank();
+    }
+    cfg
+}
+
+fn random_data(rng: &mut Rng, max_len: usize) -> Vec<U32Rec> {
+    let len = rng.range_usize(1, max_len);
+    (0..len)
+        .map(|_| U32Rec::new(rng.next_u32().max(1)))
+        .collect()
+}
+
+#[test]
+fn pipelined_matches_barrier_and_fused_on_random_shapes() {
+    let mut rng = Rng::seed_from_u64(0xDA6_5EED);
+    for round in 0..10 {
+        let cfg = random_config(&mut rng);
+        // Small lengths make passes with fewer groups than workers;
+        // large ones the reverse (a 2-leaf tree on 20k records opens
+        // with thousands of groups).
+        let data = random_data(&mut rng, if round % 2 == 0 { 20_000 } else { 200 });
+        let (out_fused, rep_fused) = engine(cfg).sort(data.clone());
+        let (out_barrier, rep_barrier) = engine(cfg).sort_sharded(data.clone(), 1);
+        assert_eq!(out_fused, out_barrier, "round {round}: schedulers re-sort");
+        assert_eq!(rep_barrier.pipeline_overlap_cycles, 0);
+        // 0 = one worker per core; test_workers() the CI matrix point.
+        for workers in [1usize, 2, test_workers(), 0] {
+            let (out, rep) = engine(cfg).sort_pipelined(data.clone(), workers);
+            assert_eq!(
+                out, out_fused,
+                "round {round} workers={workers}: pipelined output diverges"
+            );
+            assert_eq!(
+                no_overlap(rep.clone()),
+                rep_barrier,
+                "round {round} workers={workers}: pipelined report diverges"
+            );
+            // Fused timing differs by design (pipeline overlap inside
+            // one tree), but the data movement cannot.
+            assert_eq!(rep.n_records, rep_fused.n_records);
+            assert_eq!(rep.stages(), rep_fused.stages());
+            assert_eq!(rep.total_traffic_bytes(), rep_fused.total_traffic_bytes());
+        }
+    }
+}
+
+#[test]
+fn pipelined_report_is_bit_identical_across_worker_counts() {
+    let mut rng = Rng::seed_from_u64(0x1D11_DA66);
+    for round in 0..6 {
+        let cfg = random_config(&mut rng);
+        let data = random_data(&mut rng, 15_000);
+        let (out_1, rep_1) = engine(cfg).sort_pipelined(data.clone(), 1);
+        for workers in [2usize, 3, test_workers(), 0] {
+            let (out_n, rep_n) = engine(cfg).sort_pipelined(data.clone(), workers);
+            assert_eq!(out_1, out_n, "round {round} workers={workers}");
+            // Raw equality: even pipeline_overlap_cycles and the
+            // busy/idle counters must not see the real thread count.
+            assert_eq!(rep_1, rep_n, "round {round} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn fast_and_reference_loops_agree_under_pipelined() {
+    let mut rng = Rng::seed_from_u64(0xFA57_0DA6);
+    for round in 0..5 {
+        let cfg = random_config(&mut rng);
+        let data = random_data(&mut rng, 12_000);
+        let (out_ref, rep_ref) = engine(cfg)
+            .with_reference_loop(true)
+            .sort_pipelined(data.clone(), 2);
+        let (out_fast, rep_fast) = engine(cfg)
+            .with_reference_loop(false)
+            .sort_pipelined(data, 2);
+        assert_eq!(out_ref, out_fast, "round {round}");
+        assert_eq!(rep_ref.fast_forwarded_cycles, 0);
+        assert_eq!(
+            no_fast_forward(rep_ref),
+            no_fast_forward(rep_fast),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn utilization_counters_are_consistent() {
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 4), 4);
+    let data = uniform_u32(30_000, 17);
+    let (_, rep) = engine(cfg).sort_pipelined(data.clone(), 2);
+    assert!(rep.stages() >= 3, "shape must be multi-pass");
+    for pass in &rep.passes {
+        // Every group is simulated exactly once, so virtual busy time
+        // is exactly the pass's summed cycles...
+        assert_eq!(pass.busy_worker_cycles, pass.cycles);
+        // ...and busy + idle is a whole number of virtual-pool
+        // makespans.
+        assert_eq!(
+            (pass.busy_worker_cycles + pass.idle_worker_cycles) % VIRTUAL_WORKERS as u64,
+            0,
+            "stage {}",
+            pass.stage
+        );
+    }
+    // A multi-pass sort with uneven tail groups overlaps something.
+    assert!(rep.pipeline_overlap_cycles > 0, "{rep:?}");
+    // The barrier path reports the same utilization but zero overlap.
+    let (_, rep_barrier) = engine(cfg).sort_sharded(data, 2);
+    assert_eq!(rep_barrier.pipeline_overlap_cycles, 0);
+    for (a, b) in rep.passes.iter().zip(&rep_barrier.passes) {
+        assert_eq!(a.busy_worker_cycles, b.busy_worker_cycles);
+        assert_eq!(a.idle_worker_cycles, b.idle_worker_cycles);
+    }
+}
+
+#[test]
+fn single_pass_shapes_have_zero_overlap() {
+    // 256 records / 16-record presorted runs = 16 runs -> one pass of
+    // one group: nothing to pipeline across.
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    let data = uniform_u32(256, 3);
+    let (_, rep) = engine(cfg).sort_pipelined(data, 0);
+    assert_eq!(rep.stages(), 1);
+    assert_eq!(rep.pipeline_overlap_cycles, 0);
+}
+
+#[test]
+fn livelock_bound_trips_identically_under_pipelined() {
+    // BON040 parity (the SortError carries only stage and bound, and
+    // the minimum failing (pass, group) wins): every scheduler, loop
+    // and worker count must surface the same error.
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    let data = uniform_u32(50_000, 4);
+    let err_fused = engine(cfg)
+        .with_max_pass_cycles(10)
+        .try_sort(data.clone())
+        .expect_err("bound of 10 cycles must trip");
+    let err_barrier = engine(cfg)
+        .with_max_pass_cycles(10)
+        .try_sort_sharded(data.clone(), 2)
+        .expect_err("bound of 10 cycles must trip");
+    assert_eq!(err_fused, err_barrier);
+    for workers in [1usize, 2, test_workers(), 0] {
+        for reference in [false, true] {
+            let err = engine(cfg)
+                .with_max_pass_cycles(10)
+                .with_reference_loop(reference)
+                .try_sort_pipelined(data.clone(), workers)
+                .expect_err("bound of 10 cycles must trip");
+            assert_eq!(
+                err, err_fused,
+                "workers={workers} reference={reference}: BON040 must not \
+                 depend on the scheduler"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_jobs_match_solo_barrier_sorts_on_random_shapes() {
+    // The forest DAG interleaves every job's tasks on one pool, but
+    // each job's output and report must stay bit-identical to sorting
+    // it alone under the barrier (per-job overlap is 0 on both sides;
+    // only the batch-level overlap may be nonzero).
+    let mut rng = Rng::seed_from_u64(0xBA7C_5EED);
+    for round in 0..6 {
+        let cfg = random_config(&mut rng);
+        let jobs = rng.range_usize(2, 4);
+        // Equal lengths per job: the forest plan is uniform.
+        let len = rng.range_usize(1, 8_000);
+        let datasets: Vec<Vec<U32Rec>> = (0..jobs)
+            .map(|_| {
+                (0..len)
+                    .map(|_| U32Rec::new(rng.next_u32().max(1)))
+                    .collect()
+            })
+            .collect();
+        let solo: Vec<(Vec<U32Rec>, SortReport)> = datasets
+            .iter()
+            .map(|d| engine(cfg).sort_sharded(d.clone(), 1))
+            .collect();
+        let mut at_workers = Vec::new();
+        for workers in [1usize, 2, test_workers(), 0] {
+            let (batch, overlap) = engine(cfg).sort_batch_pipelined(datasets.clone(), workers);
+            for (j, ((out_b, rep_b), (out_s, rep_s))) in batch.iter().zip(&solo).enumerate() {
+                assert_eq!(out_b, out_s, "round {round} workers={workers} job {j}");
+                assert_eq!(rep_b, rep_s, "round {round} workers={workers} job {j}");
+            }
+            at_workers.push((batch, overlap));
+        }
+        // Batch results — including the batch-level overlap — must not
+        // see the real worker count.
+        for (batch, overlap) in &at_workers[1..] {
+            assert_eq!(batch, &at_workers[0].0, "round {round}");
+            assert_eq!(*overlap, at_workers[0].1, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn batch_of_multipass_sorts_overlaps_across_jobs() {
+    // A single 4-pass sort is single-rooted, so its overlap is small;
+    // a batch of them pipelines job j+1's wide first pass into job j's
+    // serial tail. The batch overlap must beat the sum of the solo
+    // overlaps.
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 4), 4);
+    let datasets: Vec<Vec<U32Rec>> = (0..3).map(|j| uniform_u32(4_000, 7 + j)).collect();
+    let solo_overlap: u64 = datasets
+        .iter()
+        .map(|d| {
+            engine(cfg)
+                .sort_pipelined(d.clone(), 2)
+                .1
+                .pipeline_overlap_cycles
+        })
+        .sum();
+    let (batch, overlap) = engine(cfg).sort_batch_pipelined(datasets, 2);
+    assert!(
+        batch.iter().all(|(_, r)| r.stages() >= 3),
+        "must be multi-pass"
+    );
+    assert!(
+        overlap > solo_overlap,
+        "cross-job pipelining must reclaim more than per-job stragglers: \
+         {overlap} vs {solo_overlap}"
+    );
+}
+
+#[test]
+fn batch_livelock_reports_the_first_failing_job() {
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+    let datasets: Vec<Vec<U32Rec>> = (0..3).map(|j| uniform_u32(20_000, 40 + j)).collect();
+    let err_solo = engine(cfg)
+        .with_max_pass_cycles(10)
+        .try_sort_sharded(datasets[0].clone(), 2)
+        .expect_err("bound of 10 cycles must trip");
+    for workers in [1usize, 2, 0] {
+        let err = engine(cfg)
+            .with_max_pass_cycles(10)
+            .try_sort_batch_pipelined(datasets.clone(), workers)
+            .expect_err("bound of 10 cycles must trip");
+        assert_eq!(err, err_solo, "workers={workers}");
+    }
+}
+
+#[test]
+fn batch_trivial_and_empty_inputs() {
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(2, 4), 4);
+    let (batch, overlap) = engine(cfg).sort_batch_pipelined(Vec::<Vec<U32Rec>>::new(), 2);
+    assert!(batch.is_empty());
+    assert_eq!(overlap, 0);
+    // Single-run jobs: no merge passes, nothing to overlap.
+    let (batch, overlap) =
+        engine(cfg).sort_batch_pipelined(vec![vec![U32Rec::new(3)], vec![U32Rec::new(2)]], 2);
+    assert_eq!(batch[0].0, vec![U32Rec::new(3)]);
+    assert_eq!(batch[1].0, vec![U32Rec::new(2)]);
+    assert!(batch.iter().all(|(_, r)| r.stages() == 0));
+    assert_eq!(overlap, 0);
+}
+
+#[test]
+fn empty_and_single_record_inputs_pipelined() {
+    let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(2, 4), 4);
+    let (out, rep) = engine(cfg).sort_pipelined(Vec::<U32Rec>::new(), 2);
+    assert!(out.is_empty());
+    assert_eq!(rep.stages(), 0);
+    assert_eq!(rep.pipeline_overlap_cycles, 0);
+    let (out, rep) = engine(cfg).sort_pipelined(vec![U32Rec::new(9)], 2);
+    assert_eq!(out, vec![U32Rec::new(9)]);
+    assert_eq!(rep.stages(), 0);
+}

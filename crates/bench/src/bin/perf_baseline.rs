@@ -10,13 +10,14 @@
 //! least 5x faster on the SSD-scale config (where the machine spends
 //! most cycles waiting on flash).
 //!
-//! Usage: `perf_baseline [out.json]` (default `BENCH_5.json`).
+//! Usage: `perf_baseline [out.json]` (default `BENCH_5.json`; the
+//! `BONSAI_BENCH_OUT` environment variable overrides the default when
+//! no argument is given).
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig, SortReport};
-use bonsai_bench::perf::{normalized, ssd_scale_config};
+use bonsai_bench::perf::{bench_json, bench_out_path, normalized, ssd_scale_config, JsonField};
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_memsim::MemoryConfig;
 
@@ -85,31 +86,46 @@ fn measure(name: &'static str, cfg: SimEngineConfig, records: usize) -> Row {
 }
 
 fn render_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"perf_baseline\",\n  \"configs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"name\": \"{}\", \"records\": {}, \"reference_wall_s\": {:.6}, \
-             \"fast_wall_s\": {:.6}, \"speedup\": {:.3}, \"total_cycles\": {}, \
-             \"fast_forwarded_cycles\": {}}}",
-            r.name,
-            r.records,
-            r.reference_wall_s,
-            r.fast_wall_s,
-            r.speedup,
-            r.total_cycles,
-            r.fast_forwarded_cycles
-        );
-        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let json_rows: Vec<Vec<(&str, JsonField)>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                ("name", JsonField::Str(r.name.to_string())),
+                ("records", JsonField::U64(r.records as u64)),
+                (
+                    "reference_wall_s",
+                    JsonField::F64 {
+                        value: r.reference_wall_s,
+                        precision: 6,
+                    },
+                ),
+                (
+                    "fast_wall_s",
+                    JsonField::F64 {
+                        value: r.fast_wall_s,
+                        precision: 6,
+                    },
+                ),
+                (
+                    "speedup",
+                    JsonField::F64 {
+                        value: r.speedup,
+                        precision: 3,
+                    },
+                ),
+                ("total_cycles", JsonField::U64(r.total_cycles)),
+                (
+                    "fast_forwarded_cycles",
+                    JsonField::U64(r.fast_forwarded_cycles),
+                ),
+            ]
+        })
+        .collect();
+    bench_json("perf_baseline", &json_rows)
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".into());
+    let out_path = bench_out_path("BENCH_5.json");
 
     println!("== perf_baseline: reference per-cycle loop vs fast-forward ==");
     let rows = vec![

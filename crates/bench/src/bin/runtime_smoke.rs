@@ -12,12 +12,12 @@
 
 use std::time::{Duration, Instant};
 
-use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
-use bonsai_bench::perf::{normalized, ssd_scale_config};
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig, VIRTUAL_WORKERS};
+use bonsai_bench::perf::{normalized, ssd_multipass_config, ssd_scale_config, MULTIPASS_RECORDS};
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_memsim::MemoryConfig;
 use bonsai_records::U32Rec;
-use bonsai_runtime::{JobOutput, Runtime, RuntimeConfig, SortJob};
+use bonsai_runtime::{JobOutput, PassScheduler, Runtime, RuntimeConfig, SortJob};
 
 /// Sorts `jobs` copies of `data` under `cfg` on `workers` threads,
 /// returning the batch wall time and every job's output.
@@ -79,6 +79,51 @@ fn main() {
     let (serial, parallel) = smoke("dram", dram, &data, jobs, workers);
     let hbm = SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::hbm_u50());
     smoke("hbm", hbm, &data, jobs, workers);
+
+    // Worker-utilization observability: one multi-pass job through the
+    // runtime's pipelined DAG scheduler, reporting each pass's busy vs
+    // idle worker time on the deterministic virtual reference pool and
+    // the pipeline_overlap_cycles the DAG reclaimed from the barrier.
+    let runtime = Runtime::start(RuntimeConfig {
+        workers,
+        scheduler: PassScheduler::Pipelined,
+        ..RuntimeConfig::default()
+    });
+    runtime.submit(SortJob::new(
+        0,
+        ssd_multipass_config(),
+        uniform_u32(MULTIPASS_RECORDS, 2026),
+    ));
+    let report = runtime
+        .finish()
+        .remove(0)
+        .result
+        .unwrap_or_else(|e| panic!("utilization smoke job failed: {e}"))
+        .report;
+    println!(
+        "pipelined    {} records, {} passes on the {VIRTUAL_WORKERS}-worker reference pool:",
+        MULTIPASS_RECORDS,
+        report.stages()
+    );
+    for p in &report.passes {
+        let total = p.busy_worker_cycles + p.idle_worker_cycles;
+        println!(
+            "  stage {}: {:>4} groups, busy {:>9} idle {:>9} cycles ({:>5.1}% utilized)",
+            p.stage,
+            p.runs_out,
+            p.busy_worker_cycles,
+            p.idle_worker_cycles,
+            100.0 * p.busy_worker_cycles as f64 / total.max(1) as f64,
+        );
+    }
+    println!(
+        "  pipeline_overlap_cycles {} (barrier-makespan cycles the DAG reclaimed)",
+        report.pipeline_overlap_cycles
+    );
+    assert!(
+        report.stages() >= 3 && report.pipeline_overlap_cycles > 0,
+        "the utilization smoke must overlap a multi-pass shape: {report:?}"
+    );
 
     // Fast-forward perf smoke: on the SSD-scale shape the event-driven
     // fast path must beat the reference per-cycle loop by >= 2x (the

@@ -1,6 +1,9 @@
-//! Shared shapes and helpers for the fast-forward performance suite
-//! (`perf_baseline`, the `runtime_smoke` perf gate and the equivalence
-//! tests).
+//! Shared shapes and helpers for the performance suite
+//! (`perf_baseline`, `perf_pipeline`, the `runtime_smoke` perf gate and
+//! the equivalence tests): machine shapes, report normalizers, and the
+//! `BENCH_*.json` writer every bench binary shares.
+
+use std::fmt::Write as _;
 
 use bonsai_amt::{AmtConfig, SimEngineConfig, SortReport};
 use bonsai_memsim::MemoryConfig;
@@ -17,6 +20,25 @@ pub fn ssd_scale_config() -> SimEngineConfig {
     cfg
 }
 
+/// A multi-pass variant of the SSD-scale shape for the cross-pass
+/// pipelining bench: a 4-leaf tree turns [`MULTIPASS_RECORDS`] records
+/// (132 presorted runs) into a 4-pass sort with groups 33 → 9 → 3 → 1.
+/// On this latency-bound stream every merge group costs roughly the
+/// same simulated cycles regardless of pass (quadrupling the run
+/// length quarters the per-record cost), so the barrier scheduler's
+/// ceil-waste — 5 + 2 + 1 + 1 = 9 group-waves for 46 groups of work
+/// that fit in 46/8 ≈ 5.75 — is exactly the idle cross-pass
+/// pipelining exists to reclaim.
+pub fn ssd_multipass_config() -> SimEngineConfig {
+    let mut cfg = SimEngineConfig::with_memory(AmtConfig::new(4, 4), 4, MemoryConfig::ssd_direct());
+    cfg.loader.batch_bytes = 131_072;
+    cfg
+}
+
+/// Records per job for [`ssd_multipass_config`]: 132 presorted
+/// 16-record runs.
+pub const MULTIPASS_RECORDS: usize = 2112;
+
 /// Strips the `fast_forwarded_cycles` observability counters (the only
 /// fields that legitimately differ between the reference loop and the
 /// fast path) so reports can be compared bit for bit.
@@ -26,4 +48,107 @@ pub fn normalized(mut r: SortReport) -> SortReport {
         p.fast_forwarded_cycles = 0;
     }
     r
+}
+
+/// Strips `pipeline_overlap_cycles` (the only field that legitimately
+/// differs between the barrier and pipelined schedulers) so reports can
+/// be compared bit for bit across schedulers.
+pub fn no_overlap(mut r: SortReport) -> SortReport {
+    r.pipeline_overlap_cycles = 0;
+    r
+}
+
+/// One value in a [`bench_json`] row.
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A JSON string.
+    Str(String),
+    /// An integer.
+    U64(u64),
+    /// A float rendered with a fixed number of decimals (JSON floats
+    /// round-trip poorly otherwise, and the files are diffed in git).
+    F64 {
+        /// The value.
+        value: f64,
+        /// Decimal places to render.
+        precision: usize,
+    },
+}
+
+impl core::fmt::Display for JsonField {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JsonField::Str(s) => write!(f, "\"{s}\""),
+            JsonField::U64(v) => write!(f, "{v}"),
+            JsonField::F64 { value, precision } => write!(f, "{value:.precision$}"),
+        }
+    }
+}
+
+/// Renders the shared `BENCH_*.json` shape every perf bench writes:
+/// `{"bench": <name>, "configs": [<one object per row>]}`, with row
+/// fields in the given order.
+pub fn bench_json(bench: &str, rows: &[Vec<(&str, JsonField)>]) -> String {
+    let mut out = format!("{{\n  \"bench\": \"{bench}\",\n  \"configs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        for (j, (key, value)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{key}\": {value}");
+        }
+        out.push('}');
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Resolves where a bench binary writes its `BENCH_*.json`: the first
+/// CLI argument if given, else the `BONSAI_BENCH_OUT` environment
+/// variable, else `default` (the in-repo filename).
+pub fn bench_out_path(default: &str) -> String {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("BONSAI_BENCH_OUT").ok())
+        .unwrap_or_else(|| default.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_shape_and_field_order() {
+        let rows = vec![vec![
+            ("name", JsonField::Str("dram".into())),
+            ("records", JsonField::U64(150_000)),
+            (
+                "speedup",
+                JsonField::F64 {
+                    value: 1.234_567,
+                    precision: 3,
+                },
+            ),
+        ]];
+        let json = bench_json("perf_example", &rows);
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"perf_example\",\n  \"configs\": [\n    \
+             {\"name\": \"dram\", \"records\": 150000, \"speedup\": 1.235}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn multipass_shape_really_is_multipass() {
+        let cfg = ssd_multipass_config();
+        let runs = MULTIPASS_RECORDS.div_ceil(cfg.initial_run_len());
+        let plan = bonsai_amt::SortPlan::new(runs, cfg.amt.l);
+        assert!(plan.num_passes() >= 3, "{} passes", plan.num_passes());
+        let groups: Vec<usize> = (0..plan.num_passes())
+            .map(|p| plan.pass(p).groups)
+            .collect();
+        assert_eq!(groups, vec![33, 9, 3, 1]);
+    }
 }

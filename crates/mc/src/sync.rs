@@ -1,7 +1,7 @@
 //! Model-checked synchronization shims.
 //!
 //! Drop-in lookalikes for the `std::sync` primitives the runtime uses,
-//! routed through the execution [`Controller`](crate::controller) so
+//! routed through the execution controller so
 //! that every acquire, wait, notify, atomic access, spawn and join is a
 //! scheduling decision the explorer can branch on. Only meaningful
 //! inside a [`crate::Checker`] run; constructing a shim outside one

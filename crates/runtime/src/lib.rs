@@ -58,6 +58,36 @@ pub use bonsai_mc::facade::{StdSync, SyncOps};
 pub use pool::WorkerPool;
 pub use queue::{BoundedQueue, PushError};
 
+/// Which scheduler a worker drives one job's merge passes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PassScheduler {
+    /// Per-pass barrier: every group of pass *p* drains before pass
+    /// *p+1* starts ([`SimEngine::try_sort_sharded`]).
+    #[default]
+    Barrier,
+    /// Cross-pass pipelined group DAG: a pass-*p+1* group starts as
+    /// soon as the pass-*p* groups feeding its leaves have drained
+    /// ([`SimEngine::try_sort_pipelined`]). Output and report are
+    /// bit-identical to [`PassScheduler::Barrier`] except the
+    /// observability-only `pipeline_overlap_cycles` counter.
+    Pipelined,
+}
+
+/// Environment variable selecting the default [`PassScheduler`] for
+/// [`RuntimeConfig::default`]: `pipelined` picks the cross-pass group
+/// DAG, anything else (or unset) the per-pass barrier. Exists so CI can
+/// run the whole suite under either scheduler, mirroring
+/// [`bonsai_amt::REFERENCE_LOOP_ENV`] for the simulation loop.
+pub const SCHEDULER_ENV: &str = "BONSAI_RUNTIME_SCHEDULER";
+
+fn scheduler_from_env() -> PassScheduler {
+    if std::env::var(SCHEDULER_ENV).is_ok_and(|v| v == "pipelined") {
+        PassScheduler::Pipelined
+    } else {
+        PassScheduler::Barrier
+    }
+}
+
 /// Knobs of the batch runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
@@ -70,6 +100,12 @@ pub struct RuntimeConfig {
     /// (`0` = one per core). The default of `1` keeps one job per core;
     /// raise it when jobs are few and wide.
     pub pass_workers: usize,
+    /// How those pass workers are scheduled: per-pass barrier or
+    /// cross-pass pipelined group DAG. Defaults to the barrier unless
+    /// [`SCHEDULER_ENV`] says `pipelined`. Both produce bit-identical
+    /// sorted output and reports (modulo the observability-only
+    /// `pipeline_overlap_cycles` counter).
+    pub scheduler: PassScheduler,
     /// Per-pass livelock cycle bound handed to the engine; `None` keeps
     /// the engine default.
     pub max_pass_cycles: Option<u64>,
@@ -100,6 +136,7 @@ impl Default for RuntimeConfig {
             workers: 0,
             queue_depth: 16,
             pass_workers: 1,
+            scheduler: scheduler_from_env(),
             max_pass_cycles: None,
             reference_loop: None,
             producers: 1,
@@ -250,10 +287,14 @@ fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
             if let Some(reference) = config.reference_loop {
                 engine = engine.with_reference_loop(reference);
             }
-            engine
-                .try_sort_sharded(job.data, config.pass_workers)
-                .map(|(sorted, report)| JobOutput { sorted, report })
-                .map_err(JobError::Sim)
+            match config.scheduler {
+                PassScheduler::Barrier => engine.try_sort_sharded(job.data, config.pass_workers),
+                PassScheduler::Pipelined => {
+                    engine.try_sort_pipelined(job.data, config.pass_workers)
+                }
+            }
+            .map(|(sorted, report)| JobOutput { sorted, report })
+            .map_err(JobError::Sim)
         });
     JobResult {
         id: job.id,
@@ -570,6 +611,60 @@ mod tests {
             }
             other => panic!("expected JobError::Panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pipelined_scheduler_matches_barrier_modulo_overlap() {
+        let data = uniform_u32(20_000, 21);
+        let run = |scheduler: PassScheduler| {
+            let runtime = Runtime::start(RuntimeConfig {
+                workers: 2,
+                pass_workers: 2,
+                scheduler,
+                ..RuntimeConfig::default()
+            });
+            runtime.submit(SortJob::new(0, dram_cfg(), data.clone()));
+            runtime.finish().remove(0).result.expect("sorts")
+        };
+        let barrier = run(PassScheduler::Barrier);
+        let pipelined = run(PassScheduler::Pipelined);
+        assert_eq!(barrier.sorted, pipelined.sorted);
+        assert_eq!(barrier.report.pipeline_overlap_cycles, 0);
+        let mut normalized = pipelined.report.clone();
+        normalized.pipeline_overlap_cycles = 0;
+        assert_eq!(
+            barrier.report, normalized,
+            "schedulers must agree on everything but the overlap counter"
+        );
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_under_pipelined_scheduler() {
+        // Same poisoned-Ord shape as the barrier test above, but the
+        // panic now fires inside a DAG worker: catch_unwind in the DAG
+        // loop must drain the task graph (no wedged wait_while) before
+        // the job-level catch records the failure.
+        let runtime = Runtime::<PanicRec>::start(RuntimeConfig {
+            workers: 1,
+            pass_workers: 2,
+            scheduler: PassScheduler::Pipelined,
+            ..RuntimeConfig::default()
+        });
+        let mut poisoned: Vec<PanicRec> = (0..3_000u32)
+            .map(|i| PanicRec(i.wrapping_mul(2_654_435_761).wrapping_add(7) | 1))
+            .collect();
+        poisoned[1_234] = PanicRec(POISON);
+        runtime.submit(SortJob::new(0, dram_cfg(), poisoned));
+        runtime.submit(SortJob::new(1, dram_cfg(), vec![PanicRec(3), PanicRec(2)]));
+        let results = runtime.finish();
+        assert_eq!(results.len(), 2);
+        match &results[0].result {
+            Err(JobError::Panic(message)) => {
+                assert!(message.contains("poisoned record"), "got: {message}");
+            }
+            other => panic!("expected JobError::Panic, got {other:?}"),
+        }
+        assert!(results[1].result.is_ok(), "batch survives the DAG panic");
     }
 
     #[test]
