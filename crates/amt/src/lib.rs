@@ -47,6 +47,7 @@ pub mod functional;
 pub mod graph;
 mod loser_tree;
 pub mod passsim;
+pub mod prove;
 mod report;
 pub mod schedule;
 pub mod shard;

@@ -1,0 +1,527 @@
+//! Lowering the pipeline-graph IR into the bounded token net of
+//! `bonsai_check::prove`, plus the simulation replay hook that
+//! cross-validates static refutations against [`SimEngine`].
+//!
+//! # The occupancy abstraction
+//!
+//! [`net_from_graph`] folds a [`PipelineGraph`] into a small
+//! [`TokenNet`] whose reachable markings over-approximate the
+//! pipeline's occupancy states. Each flow-controlled edge becomes a
+//! pair of places — FIFO occupancy plus the producer's credit pool —
+//! and each pipeline stage becomes a transition that consumes input
+//! tokens, returns input credits, spends output credits and produces
+//! output tokens. Every transition conserves `occupancy + credits` per
+//! edge, which is exactly the P-invariant family the prover's
+//! certificate checker re-verifies.
+//!
+//! Two symmetry quotients keep the net exhaustively explorable for any
+//! tree shape:
+//!
+//! - **sibling folding**: all read channels that serve a leaf are
+//!   protocol-identical, as are all mergers of one level and both
+//!   write channels; one representative cell stands for the class
+//!   (dead channels — `BON034` material — get no cell at all);
+//! - **homogeneous-level folding**: adjacent tree levels whose
+//!   abstract cell is identical (same coupler presence; internal FIFOs
+//!   are never below the flush requirement by the `max(8w,16)` sizing
+//!   rule) collapse into one representative level. The bottom level
+//!   (leaf-fed) and the root (drain-fed) always keep their own cells.
+//!
+//! Capacities are abstracted to small token counts that preserve the
+//! safety-relevant relations: whether the credit pool is empty, whether
+//! the buffer can ever satisfy the consumer's flush requirement
+//! (`gate`), and whether credits exceed capacity. In particular a leaf
+//! buffer shallower than the bottom merger's `w+1`-record flush
+//! requirement (`BON031` territory) lowers to an unsatisfiable gate, so
+//! reachability refutes it — the cycle simulator's software relaxation
+//! of that hardware contract is precisely what `BON065` reports when a
+//! replay diverges.
+//!
+//! The fold is deliberately *conservative about liveness*: mergers are
+//! fair two-input joins (a starved input wedges the cell, as the
+//! hardware's tuple coupling requires), and the net is cyclic — the
+//! write side destroys tokens and the source mints them against a
+//! bounded request window, so steady-state deadlocks are found without
+//! modeling end-of-stream flush artifacts.
+
+use bonsai_check::graph::{NodeKind, PipelineGraph};
+use bonsai_check::prove::{TokenNet, Transition};
+use bonsai_check::{codes, Diagnostic};
+use bonsai_records::U32Rec;
+
+use crate::config::SimEngineConfig;
+use crate::engine::SimEngine;
+use crate::graph::{lower_to_graph, LowerOptions};
+
+/// Options refining the net lowering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetOptions {
+    /// Extra producer credits granted on the left leaf edge *beyond*
+    /// its buffer capacity. The real lowering never over-credits an
+    /// edge, so this probe knob is how CI exercises the `BON061`
+    /// overflow refutation path end to end.
+    pub credit_slack: u32,
+}
+
+/// Default record count for [`replay_refutation`] workloads.
+pub const REPLAY_RECORDS: usize = 512;
+
+/// Default per-pass cycle bound for replay: generous for the tiny
+/// replay workloads, small enough that a genuine wedge fails fast.
+pub const REPLAY_MAX_PASS_CYCLES: u64 = 300_000;
+
+/// One folded flow-controlled edge: FIFO-occupancy and credit places.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    fifo: usize,
+    credits: usize,
+}
+
+fn add_cell(net: &mut TokenNet, name: &str, capacity: u32, credits: u32) -> Cell {
+    let fifo = net.add_place(format!("{name}.fifo"), capacity, 0);
+    let pool = net.add_place(format!("{name}.credits"), credits.max(capacity), credits);
+    Cell {
+        fifo,
+        credits: pool,
+    }
+}
+
+/// `consume w_in from input, produce w_out into output` with the
+/// matching credit flows; `gate` is the input occupancy the stage must
+/// observe before it makes progress (the flush requirement).
+fn relay(name: &str, input: Cell, gate: u32, w_in: u32, output: Cell, w_out: u32) -> Transition {
+    let mut t = Transition {
+        name: name.into(),
+        takes: vec![(input.fifo, w_in), (output.credits, w_out)],
+        puts: vec![(input.credits, w_in), (output.fifo, w_out)],
+        ..Transition::default()
+    };
+    if gate > w_in {
+        t.guards.push((input.fifo, gate));
+    }
+    t
+}
+
+/// The abstract leaf-edge parameters: `(capacity, credits, gate)` in
+/// batch tokens.
+fn leaf_cell_params(fifo_depth: u64, credits: u64, w_bottom: u64) -> (u32, u32, u32) {
+    if credits == 0 {
+        // Zero credit pool: the loader can never feed this buffer.
+        return (1, 0, 1);
+    }
+    let batch_records = (fifo_depth / credits).max(1);
+    let gate_batches = (w_bottom + 1).div_ceil(batch_records);
+    if gate_batches > credits {
+        // The full buffer cannot satisfy the flush requirement
+        // (buffer_records < w+1): an unsatisfiable gate, the net-level
+        // mirror of `BON031`.
+        (1, 1, 2)
+    } else {
+        let c = credits.min(2) as u32;
+        (c, c, (gate_batches as u32).min(c))
+    }
+}
+
+fn malformed(what: &str) -> Vec<Diagnostic> {
+    vec![Diagnostic::error(
+        codes::GRAPH_MALFORMED,
+        "cannot fold the pipeline graph into a token net",
+    )
+    .with("missing", what.to_string())]
+}
+
+/// Fold a pipeline graph into its bounded occupancy token net.
+///
+/// Fails with `BON037` when the graph lacks the loader → merger-tree →
+/// drain spine the fold keys on (graphs produced by
+/// [`lower_to_graph`] always have it).
+pub fn net_from_graph(g: &PipelineGraph, opts: &NetOptions) -> Result<TokenNet, Vec<Diagnostic>> {
+    let mut loader = None;
+    let mut drain = None;
+    let mut levels: Vec<(usize, u64)> = Vec::new(); // (level, width)
+    let mut coupled = Vec::new();
+    for (id, node) in g.nodes.iter().enumerate() {
+        match node.kind {
+            NodeKind::Loader => loader = Some(id),
+            NodeKind::WriteDrain => drain = Some(id),
+            NodeKind::Merger { level, width } if !levels.iter().any(|&(l, _)| l == level) => {
+                levels.push((level, width as u64));
+            }
+            NodeKind::Coupler { level, .. } if !coupled.contains(&level) => {
+                coupled.push(level);
+            }
+            _ => {}
+        }
+    }
+    let Some(loader_id) = loader else {
+        return Err(malformed("loader"));
+    };
+    if drain.is_none() {
+        return Err(malformed("write drain"));
+    }
+    if levels.is_empty() {
+        return Err(malformed("merger tree"));
+    }
+    levels.sort_unstable();
+    let bottom_level = levels.last().expect("non-empty").0;
+    let w_bottom = levels.last().expect("non-empty").1;
+
+    // The representative leaf edge: loader → bottom merger.
+    let bottom_ids: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Merger { level, .. } if level == bottom_level))
+        .map(|(id, _)| id)
+        .collect();
+    let Some(leaf_edge) = g
+        .edges
+        .iter()
+        .find(|e| e.from == loader_id && bottom_ids.contains(&e.to))
+    else {
+        return Err(malformed("leaf edge"));
+    };
+    // The representative read-channel window: any channel that actually
+    // feeds the loader (dead channels have no such edge and no cell).
+    let read_credits = g
+        .edges
+        .iter()
+        .find(|e| {
+            e.to == loader_id
+                && matches!(
+                    g.nodes[e.from].kind,
+                    NodeKind::MemoryChannel { write: false, .. }
+                )
+        })
+        .map_or(2, |e| e.credits.clamp(1, 2) as u32);
+    let write_credits = g
+        .edges
+        .iter()
+        .find(|e| {
+            e.from == drain.expect("checked")
+                && matches!(
+                    g.nodes[e.to].kind,
+                    NodeKind::MemoryChannel { write: true, .. }
+                )
+        })
+        .map_or(2, |e| e.credits.clamp(1, 2) as u32);
+
+    let mut net = TokenNet::default();
+
+    // Read side: outstanding-request window into the channel, then the
+    // channel's delivery buffer toward the loader.
+    let rc = add_cell(&mut net, "chan_r", read_credits, read_credits);
+    let cl = add_cell(&mut net, "chan_r->loader", read_credits, read_credits);
+    net.add_transition(Transition {
+        name: "source.feed".into(),
+        takes: vec![(rc.credits, 1)],
+        puts: vec![(rc.fifo, 1)],
+        ..Transition::default()
+    });
+    net.add_transition(relay("chan_r.deliver", rc, 1, 1, cl, 1));
+
+    // Leaf edges: both inputs of the bottom merger, in batch tokens.
+    let (leaf_cap, leaf_credits, leaf_gate) =
+        leaf_cell_params(leaf_edge.fifo_depth, leaf_edge.credits, w_bottom);
+    let lhs = {
+        let fifo = net.add_place("leaf_l.fifo", leaf_cap, 0);
+        let credits = leaf_credits + opts.credit_slack;
+        let pool = net.add_place("leaf_l.credits", credits.max(leaf_cap), credits);
+        Cell {
+            fifo,
+            credits: pool,
+        }
+    };
+    let rhs = add_cell(&mut net, "leaf_r", leaf_cap, leaf_credits);
+    net.add_transition(relay("loader.fill_l", cl, 1, 1, lhs, 1));
+    net.add_transition(relay("loader.fill_r", cl, 1, 1, rhs, 1));
+
+    // The merger chain, bottom to root. Middle levels collapse into one
+    // representative per run of identical cells (coupled or not);
+    // internal edges are never below the flush requirement thanks to
+    // the max(8w,16) sizing rule, so their abstract shape is fixed:
+    // capacity 3 (one residual tuple + a fresh 2-token production),
+    // fully credited, consumed two tokens at a time.
+    let mut reps: Vec<bool> = Vec::new(); // has_coupler per representative
+    for i in (0..levels.len().saturating_sub(1)).rev() {
+        let has_coupler = coupled.contains(&levels[i].0);
+        if i == 0 || reps.last() != Some(&has_coupler) {
+            reps.push(has_coupler);
+        }
+    }
+    let mut upstream = add_cell(&mut net, "merge_out0", 3, 3);
+    net.add_transition(Transition {
+        name: "merger_bottom.step".into(),
+        guards: if leaf_gate > 1 {
+            vec![(lhs.fifo, leaf_gate), (rhs.fifo, leaf_gate)]
+        } else {
+            Vec::new()
+        },
+        takes: vec![(lhs.fifo, 1), (rhs.fifo, 1), (upstream.credits, 2)],
+        puts: vec![(lhs.credits, 1), (rhs.credits, 1), (upstream.fifo, 2)],
+    });
+    for (i, has_coupler) in reps.iter().enumerate() {
+        let input = if *has_coupler {
+            let mid = add_cell(&mut net, &format!("couple{i}"), 3, 3);
+            net.add_transition(relay(&format!("coupler{i}.step"), upstream, 2, 2, mid, 2));
+            mid
+        } else {
+            upstream
+        };
+        let out = add_cell(&mut net, &format!("merge_out{}", i + 1), 3, 3);
+        net.add_transition(relay(&format!("merger{i}.step"), input, 2, 2, out, 2));
+        upstream = out;
+    }
+
+    // Root → drain → write channel → sink. The write side destroys the
+    // tokens the source minted, closing the steady-state cycle.
+    let dw = add_cell(&mut net, "drain->chan_w", write_credits, write_credits);
+    let ws = add_cell(&mut net, "chan_w->sink", write_credits, write_credits);
+    net.add_transition(relay("drain.pop", upstream, 1, 1, dw, 1));
+    net.add_transition(relay("chan_w.burst", dw, 1, 1, ws, 1));
+    net.add_transition(Transition {
+        name: "sink.consume".into(),
+        takes: vec![(ws.fifo, 1)],
+        puts: vec![(ws.credits, 1)],
+        ..Transition::default()
+    });
+
+    net.validate().map_err(|e| {
+        vec![Diagnostic::error(
+            codes::GRAPH_MALFORMED,
+            "folded token net failed structural validation",
+        )
+        .with("reason", e)]
+    })?;
+    Ok(net)
+}
+
+/// Lower a configuration to the graph IR and fold it into its token
+/// net. Fails with the lowering's fatal shape diagnostics (`BON001`,
+/// `BON002`, `BON004`, `BON017`).
+pub fn net_from_config(
+    config: &SimEngineConfig,
+    opts: &NetOptions,
+) -> Result<TokenNet, Vec<Diagnostic>> {
+    let g = lower_to_graph(config, &LowerOptions::default())?;
+    net_from_graph(&g, opts)
+}
+
+/// How a static refutation fared when replayed on the cycle simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The simulator wedged too: the refutation is confirmed in
+    /// simulation (`code` is `BON040`, with the failing stage).
+    Reproduced {
+        /// The simulator's structured failure code.
+        code: &'static str,
+        /// The 1-based merge stage that wedged.
+        stage: u32,
+        /// Cycles burned when the livelock bound tripped.
+        cycles: u64,
+    },
+    /// The simulator completed the sort: the static model is
+    /// conservative for this configuration (`BON065`).
+    Completed {
+        /// Total simulated cycles of the successful sort.
+        cycles: u64,
+    },
+    /// The engine rejected the configuration outright; the shape
+    /// diagnostics already cover it and no replay is meaningful.
+    Rejected {
+        /// The constructor's findings.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+/// Replay a statically refuted configuration against [`SimEngine`]
+/// with a small randomized workload and a tight livelock bound.
+#[must_use]
+pub fn replay_refutation(
+    config: &SimEngineConfig,
+    records: usize,
+    max_pass_cycles: u64,
+    seed: u64,
+) -> ReplayOutcome {
+    let mut engine = match SimEngine::try_new(*config) {
+        Ok(engine) => engine.with_max_pass_cycles(max_pass_cycles),
+        Err(diagnostics) => return ReplayOutcome::Rejected { diagnostics },
+    };
+    // Inline xorshift64*: the workload only needs to be deterministic
+    // and unsorted (bonsai-rng is a dev-dependency by design).
+    let mut state = seed | 1;
+    let data: Vec<U32Rec> = (0..records)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            U32Rec::new((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32)
+        })
+        .collect();
+    match engine.try_sort(data) {
+        Ok((_, report)) => ReplayOutcome::Completed {
+            cycles: report.total_cycles,
+        },
+        Err(e) => ReplayOutcome::Reproduced {
+            code: e.code(),
+            stage: e.stage,
+            cycles: e.cycles,
+        },
+    }
+}
+
+/// Replay with defaults and translate the outcome into diagnostics:
+/// a confirmation context string on reproduction, a `BON065` warning
+/// when the simulator completes despite the static refutation, and
+/// nothing when the engine rejected the configuration (the shape
+/// errors already tell the story).
+#[must_use]
+pub fn confirm_refutation(config: &SimEngineConfig) -> (ReplayOutcome, Vec<Diagnostic>) {
+    let outcome = replay_refutation(config, REPLAY_RECORDS, REPLAY_MAX_PASS_CYCLES, 1);
+    let diags = match &outcome {
+        ReplayOutcome::Completed { cycles } => vec![Diagnostic::warning(
+            codes::PROVE_REPLAY_DIVERGED,
+            "static refutation did not reproduce in simulation: the cycle simulator \
+             relaxes the hardware contract the token net enforces",
+        )
+        .with("sim_cycles", cycles)
+        .with("replay_records", REPLAY_RECORDS)],
+        ReplayOutcome::Reproduced { .. } | ReplayOutcome::Rejected { .. } => Vec::new(),
+    };
+    (outcome, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AmtConfig;
+    use bonsai_check::prove::{
+        prove, prove_with_diagnostics, verify_certificate, verify_refutation, FailureKind,
+        ProveOptions, ProveOutcome,
+    };
+    use bonsai_memsim::MemoryConfig;
+
+    fn dram(p: usize, l: usize) -> SimEngineConfig {
+        SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4)
+    }
+
+    #[test]
+    fn paper_shapes_certify_within_default_budget() {
+        for (p, l) in [(4, 16), (8, 64), (16, 256), (32, 64)] {
+            let net = net_from_config(&dram(p, l), &NetOptions::default()).expect("lowers");
+            let (outcome, diags) = prove_with_diagnostics(&net, &ProveOptions::default());
+            let ProveOutcome::Certified(cert) = outcome else {
+                panic!("AMT({p},{l}) must certify, got {diags:?}");
+            };
+            assert!(diags.is_empty(), "AMT({p},{l}): {diags:?}");
+            assert!(cert.covered.iter().all(|&c| c), "AMT({p},{l})");
+            verify_certificate(&net, &cert).expect("certificate verifies");
+        }
+    }
+
+    #[test]
+    fn folding_is_shape_independent_in_size() {
+        // The level quotient keeps the net small no matter how deep the
+        // tree: AMT(16,256) has 511 mergers but the same handful of
+        // protocol classes.
+        let small = net_from_config(&dram(4, 16), &NetOptions::default()).unwrap();
+        let big = net_from_config(&dram(16, 256), &NetOptions::default()).unwrap();
+        assert!(big.places.len() <= 30, "{} places", big.places.len());
+        assert!(big.places.len() >= small.places.len());
+        assert!(big.transitions.len() <= 16);
+    }
+
+    #[test]
+    fn zero_buffer_batches_is_refuted_and_reproduces_in_simulation() {
+        let mut cfg = dram(4, 16);
+        cfg.loader.buffer_batches = 0;
+        let net = net_from_config(&cfg, &NetOptions::default()).unwrap();
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("zero leaf credits must refute");
+        };
+        assert_eq!(r.kind, FailureKind::Deadlock);
+        assert!(!r.trace.is_empty());
+        verify_refutation(&net, &r).expect("trace replays on the net");
+        // The counterexample round-trips through the Schedule contract.
+        let parsed: bonsai_check::prove::Trace = r.trace.to_string().parse().unwrap();
+        assert_eq!(parsed, r.trace);
+        // And the simulator genuinely wedges on this configuration.
+        let (outcome, diags) = confirm_refutation(&cfg);
+        match outcome {
+            ReplayOutcome::Reproduced { code, stage, .. } => {
+                assert_eq!(code, codes::SIM_PASS_LIVELOCK);
+                assert_eq!(stage, 1);
+            }
+            other => panic!("expected a reproduced livelock, got {other:?}"),
+        }
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn shallow_leaf_buffer_is_refuted_but_diverges_in_simulation() {
+        // p=8, l=4 with 2-record batches of 16-byte records: the static
+        // flush contract (w+1 = 5 records buffered) is unsatisfiable,
+        // but the software simulator refills mid-tuple and completes —
+        // the BON065 divergence case.
+        let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(8, 4), 16);
+        cfg.loader.batch_bytes = 32;
+        let net = net_from_config(&cfg, &NetOptions::default()).unwrap();
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("shallow leaf buffer must refute");
+        };
+        assert_eq!(r.kind, FailureKind::Deadlock);
+        verify_refutation(&net, &r).expect("trace replays on the net");
+        let (outcome, diags) = confirm_refutation(&cfg);
+        assert!(
+            matches!(outcome, ReplayOutcome::Completed { .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::PROVE_REPLAY_DIVERGED);
+    }
+
+    #[test]
+    fn credit_slack_probe_overflows() {
+        let net = net_from_config(&dram(4, 16), &NetOptions { credit_slack: 2 }).unwrap();
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("over-credited leaf must overflow");
+        };
+        let FailureKind::Overflow { place } = r.kind else {
+            panic!("expected overflow, got {:?}", r.kind);
+        };
+        assert_eq!(net.places[place].name, "leaf_l.fifo");
+        verify_refutation(&net, &r).expect("trace replays on the net");
+    }
+
+    #[test]
+    fn tiny_single_bank_shapes_certify() {
+        for (p, l) in [(1, 2), (2, 4)] {
+            let cfg = SimEngineConfig::with_memory(
+                AmtConfig::new(p, l),
+                4,
+                MemoryConfig::ddr4_single_bank(),
+            );
+            let net = net_from_config(&cfg, &NetOptions::default()).expect("lowers");
+            let (outcome, diags) = prove_with_diagnostics(&net, &ProveOptions::default());
+            assert!(
+                matches!(outcome, ProveOutcome::Certified(_)),
+                "AMT({p},{l}): {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fatal_shape_errors_pass_through() {
+        let mut cfg = dram(4, 16);
+        cfg.loader.record_bytes = 0;
+        let err = net_from_config(&cfg, &NetOptions::default()).unwrap_err();
+        assert!(err.iter().any(|d| d.code == codes::RECORD_WIDTH_ZERO));
+    }
+
+    #[test]
+    fn graphs_without_the_merge_spine_are_rejected() {
+        let empty = PipelineGraph::new();
+        let err = net_from_graph(&empty, &NetOptions::default()).unwrap_err();
+        assert!(err.iter().any(|d| d.code == codes::GRAPH_MALFORMED));
+    }
+}

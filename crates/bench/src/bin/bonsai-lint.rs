@@ -31,9 +31,25 @@
 //! bonsai-lint --runtime --dag-width 100 --queue-depth 8 --pass-workers 4
 //!                                               # BON056: DAG over capacity
 //! ```
+//!
+//! `--prove` switches to the BON06x occupancy-reachability pass: the
+//! configuration is lowered to a bounded token net and exhaustively
+//! explored, yielding a machine-checked certificate, a replayable
+//! counterexample, or a budget warning:
+//!
+//! ```sh
+//! bonsai-lint --prove                           # certify all in-repo configs
+//! bonsai-lint --prove --buffer-batches 0        # BON060: deadlock + replay
+//! bonsai-lint --prove --credit-slack 2          # BON061: FIFO overflow
+//! bonsai-lint --prove --state-budget 4          # BON062: budget exhausted
+//! bonsai-lint --prove --assume-throughput 1     # BON064: bound vs observed
+//! bonsai-lint --prove-selftest                  # BON063: checker liveness
+//! ```
 
 use bonsai_amt::graph::{lower_to_graph, LowerOptions};
-use bonsai_bench::lint::{self, RawEngineLint, RawRuntimeLint};
+use bonsai_amt::prove::{net_from_config, NetOptions};
+use bonsai_bench::lint::{self, LintFinding, ProveLintOptions, RawEngineLint, RawRuntimeLint};
+use bonsai_check::prove::certificate_selftest;
 use bonsai_memsim::MemoryConfig;
 use std::process::ExitCode;
 
@@ -60,6 +76,12 @@ struct Overrides {
     dag_width: Option<usize>,
     detach: bool,
     no_close_on_drop: bool,
+    prove: bool,
+    prove_selftest: bool,
+    state_budget: Option<usize>,
+    credit_slack: Option<u32>,
+    replay_records: Option<usize>,
+    assume_throughput: Option<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +143,41 @@ impl Overrides {
             dag_width: self.dag_width,
         }
     }
+
+    fn any_prove_config(&self) -> bool {
+        self.state_budget.is_some()
+            || self.credit_slack.is_some()
+            || self.replay_records.is_some()
+            || self.assume_throughput.is_some()
+    }
+
+    fn prove_options(&self) -> ProveLintOptions {
+        let defaults = ProveLintOptions::default();
+        ProveLintOptions {
+            state_budget: self.state_budget.unwrap_or(defaults.state_budget),
+            credit_slack: self.credit_slack.unwrap_or(defaults.credit_slack),
+            replay_records: self.replay_records.unwrap_or(defaults.replay_records),
+            assume_throughput: self.assume_throughput,
+        }
+    }
+}
+
+/// Every mode funnels its findings through this one serializer so
+/// `--json`'s schema and the 0/1 exit contract are identical across
+/// config-lint, `--runtime`, `--prove` and `--prove-selftest`.
+fn emit(findings: &[LintFinding], json: bool) -> ExitCode {
+    let (report, errors, _warnings) = if json {
+        let (json, errors, warnings) = lint::render_json(findings);
+        (format!("{json}\n"), errors, warnings)
+    } else {
+        lint::render(findings)
+    };
+    print!("{report}");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
@@ -130,6 +187,9 @@ const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
        bonsai-lint --runtime [--workers N] [--pass-workers N] \
 [--queue-depth N] [--producers N] [--cores N] [--records N] \
 [--dag-width N] [--detach] [--no-close-on-drop] [--json]
+       bonsai-lint --prove [engine flags] [--state-budget N] \
+[--credit-slack N] [--replay-records N] [--assume-throughput B/S] [--json]
+       bonsai-lint --prove-selftest [engine flags] [--json]
 
 Without overrides, lints every in-repo experiment configuration (shape
 checks, pipeline-graph analyses, latency-bound certification, drift
@@ -157,6 +217,27 @@ judges one raw topology (docs/diagnostics.md, Runtime topology):
                      capacity (BON056)
   --detach           model join_on_drop = false (BON053)
   --no-close-on-drop model close_on_drop = false (BON052)
+
+`--prove` runs the BON06x occupancy-reachability pass: exhaustive
+explicit-state exploration of the configuration's bounded token net.
+Without engine flags it proves every in-repo engine configuration; with
+engine flags it proves that one raw configuration. Certified configs get
+their inductive occupancy certificate independently re-verified (BON063)
+and their static throughput floor cross-checked (BON064); refuted ones
+get a minimal counterexample trace replayed against SimEngine (BON060/
+BON061, BON065 on divergence); exhausted budgets warn (BON062):
+
+  --state-budget N       explored-state budget (default 262144)
+  --credit-slack N       grant N extra leaf credits beyond capacity —
+                         the deliberate FIFO-overflow probe (BON061)
+  --replay-records N     records for counterexample replay (0 = skip)
+  --assume-throughput B  cross-check the static floor against an
+                         observed throughput of B bytes/second (BON064)
+
+`--prove-selftest` checks the certificate checker itself is alive: it
+corrupts a valid certificate and exits 1 with BON063 when the checker
+rejects it (a vacuous checker is reported distinctly and exits 1
+without BON063).
 
 exit codes:
   0  no error-severity diagnostics (warnings allowed)
@@ -201,6 +282,25 @@ fn parse_args() -> Overrides {
             }
             "--json" => over.json = true,
             "--runtime" => over.runtime = true,
+            "--prove" => over.prove = true,
+            "--prove-selftest" => over.prove_selftest = true,
+            "--state-budget" => over.state_budget = Some(value("--state-budget") as usize),
+            "--credit-slack" => over.credit_slack = Some(value("--credit-slack") as u32),
+            "--replay-records" => over.replay_records = Some(value("--replay-records") as usize),
+            "--assume-throughput" => {
+                over.assume_throughput = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| v.is_finite() && *v >= 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!(
+                                "bonsai-lint: --assume-throughput needs bytes/second (a \
+                                 non-negative number)"
+                            );
+                            usage_error()
+                        }),
+                );
+            }
             "--workers" => over.workers = Some(value("--workers") as usize),
             "--pass-workers" => over.pass_workers = Some(value("--pass-workers") as usize),
             "--queue-depth" => over.queue_depth = Some(value("--queue-depth") as usize),
@@ -236,15 +336,23 @@ fn parse_args() -> Overrides {
 fn main() -> ExitCode {
     let over = parse_args();
 
-    // Runtime flags only make sense in --runtime mode, and the engine /
-    // graph flags only outside it; a mixed line is a usage error, not a
-    // silently ignored knob.
-    if over.runtime && (over.any_config() || over.dump_graph.is_some()) {
-        eprintln!("bonsai-lint: --runtime cannot be combined with engine flags");
+    // Each mode's flags only make sense in that mode; a mixed line is a
+    // usage error, not a silently ignored knob.
+    let proving = over.prove || over.prove_selftest;
+    if over.runtime && (over.any_config() || over.dump_graph.is_some() || proving) {
+        eprintln!("bonsai-lint: --runtime cannot be combined with engine or prove flags");
         usage_error();
     }
     if !over.runtime && over.any_runtime_config() {
         eprintln!("bonsai-lint: runtime topology flags need --runtime");
+        usage_error();
+    }
+    if proving && over.dump_graph.is_some() {
+        eprintln!("bonsai-lint: --prove cannot be combined with --dump-graph");
+        usage_error();
+    }
+    if !proving && over.any_prove_config() {
+        eprintln!("bonsai-lint: prove flags need --prove");
         usage_error();
     }
 
@@ -254,18 +362,56 @@ fn main() -> ExitCode {
         } else {
             lint::lint_runtime_all()
         };
-        let (report, errors, _warnings) = if over.json {
-            let (json, errors, warnings) = lint::render_json(&findings);
-            (format!("{json}\n"), errors, warnings)
-        } else {
-            lint::render(&findings)
+        return emit(&findings, over.json);
+    }
+
+    if over.prove_selftest {
+        // Arm the checker against the configuration's own net (the
+        // default raw engine unless overridden) and demand it reject a
+        // deliberately corrupted certificate.
+        let cfg = over.raw().config();
+        let net = match net_from_config(&cfg, &NetOptions::default()) {
+            Ok(net) => net,
+            Err(fatal) => {
+                return emit(
+                    &[LintFinding {
+                        target: "prove/selftest".into(),
+                        diagnostics: fatal,
+                    }],
+                    over.json,
+                );
+            }
         };
-        print!("{report}");
-        return if errors > 0 {
-            ExitCode::FAILURE
-        } else {
-            ExitCode::SUCCESS
+        return match certificate_selftest(&net) {
+            Ok(diag) => emit(
+                &[LintFinding {
+                    target: "prove/selftest".into(),
+                    diagnostics: vec![diag],
+                }],
+                over.json,
+            ),
+            Err(why) => {
+                eprintln!("bonsai-lint: certificate checker selftest FAILED: {why}");
+                ExitCode::FAILURE
+            }
         };
+    }
+
+    if over.prove {
+        let opts = over.prove_options();
+        let findings = if over.any_config() {
+            let raw = over.raw();
+            vec![LintFinding {
+                target: format!(
+                    "prove/cli/p{}_l{}_b{}_r{}",
+                    raw.p, raw.l, raw.batch_bytes, raw.record_bytes
+                ),
+                diagnostics: lint::engine_prove_diagnostics(&raw.config(), &opts),
+            }]
+        } else {
+            lint::prove_all(&opts)
+        };
+        return emit(&findings, over.json);
     }
 
     if let Some(format) = over.dump_graph {
@@ -295,16 +441,5 @@ fn main() -> ExitCode {
     } else {
         lint::lint_all()
     };
-    let (report, errors, _warnings) = if over.json {
-        let (json, errors, warnings) = lint::render_json(&findings);
-        (format!("{json}\n"), errors, warnings)
-    } else {
-        lint::render(&findings)
-    };
-    print!("{report}");
-    if errors > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    emit(&findings, over.json)
 }

@@ -1,0 +1,183 @@
+//! `prove_fuzz`: randomized differential soundness check of the
+//! occupancy prover and the static throughput bound.
+//!
+//! Draws random engine configurations, runs the exhaustive
+//! reachability pass on each, and enforces the two soundness contracts
+//! the static layer makes about the cycle simulator:
+//!
+//! 1. a **certified** configuration must actually complete a sort in
+//!    `SimEngine` (a certified-but-wedged config means the token-net
+//!    abstraction dropped a blocking dependency);
+//! 2. the simulated run must finish within the static cycle ceiling —
+//!    equivalently, the static throughput *lower bound* must not exceed
+//!    the simulated `SortReport` throughput (`BON064` territory: the
+//!    ceiling under-counted a cost).
+//!
+//! Any violation prints the offending configuration and fails the run,
+//! which is how CI turns "the bound is conservative" from a comment
+//! into an enforced invariant.
+//!
+//! ```sh
+//! prove_fuzz                        # 500 random configs, fixed seed
+//! prove_fuzz --configs 120 --seed 7 # bounded CI smoke
+//! ```
+
+use bonsai_amt::prove::{net_from_config, NetOptions};
+use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig};
+use bonsai_check::prove::{prove, ProveOptions, ProveOutcome};
+use bonsai_memsim::{LoaderConfig, MemoryConfig};
+use bonsai_model::check::static_cycle_ceiling;
+use bonsai_model::ArrayParams;
+use bonsai_records::U32Rec;
+use std::process::ExitCode;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn pick<T: Copy>(&mut self, choices: &[T]) -> T {
+        choices[(self.next() % choices.len() as u64) as usize]
+    }
+}
+
+fn random_config(rng: &mut XorShift) -> SimEngineConfig {
+    let p = rng.pick(&[1usize, 2, 4, 8, 16, 32]);
+    let l = rng.pick(&[2usize, 4, 8, 16, 32, 64, 128, 256]);
+    let record_bytes = rng.pick(&[4u64, 8, 16]);
+    let batch_bytes = rng.pick(&[32u64, 64, 128, 256, 512, 1024, 4096]);
+    let buffer_batches = rng.pick(&[1u64, 2, 3]);
+    let memory = match rng.next() % 5 {
+        0 => MemoryConfig::ddr4_aws_f1(),
+        1 => MemoryConfig::ddr4_single_bank(),
+        2 => MemoryConfig::hbm_u50(),
+        3 => MemoryConfig::throttled_to_ssd(),
+        _ => MemoryConfig::ssd_direct(),
+    };
+    let presort = rng.pick(&[None, Some(16usize)]);
+    SimEngineConfig {
+        amt: AmtConfig { p, l },
+        loader: LoaderConfig {
+            batch_bytes,
+            record_bytes,
+            buffer_batches,
+        },
+        memory,
+        presort,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: prove_fuzz [--configs N] [--seed N] [--records N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut configs = 500usize;
+    let mut seed = 0xb0a5_a1d0_u64;
+    let mut records = 4096usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--configs" => configs = value() as usize,
+            "--seed" => seed = value(),
+            "--records" => records = value() as usize,
+            _ => usage(),
+        }
+    }
+
+    let mut rng = XorShift(seed | 1);
+    let mut certified = 0usize;
+    let mut refuted = 0usize;
+    let mut exhausted = 0usize;
+    let mut skipped = 0usize;
+    let mut violations = 0usize;
+
+    for i in 0..configs {
+        let cfg = random_config(&mut rng);
+        if bonsai_check::has_errors(&cfg.validate()) {
+            // Malformed shapes are the shape checks' jurisdiction; the
+            // prover only judges configurations that could be built.
+            skipped += 1;
+            continue;
+        }
+        let Ok(net) = net_from_config(&cfg, &NetOptions::default()) else {
+            skipped += 1;
+            continue;
+        };
+        match prove(&net, &ProveOptions::default()) {
+            ProveOutcome::Refuted(_) => refuted += 1,
+            ProveOutcome::BudgetExhausted(_) => exhausted += 1,
+            ProveOutcome::Certified(_) => {
+                certified += 1;
+                let mut engine = match SimEngine::try_new(cfg) {
+                    Ok(engine) => engine,
+                    Err(diags) => {
+                        println!("VIOLATION #{i}: certified config rejected by engine: {diags:?}");
+                        println!("  config: {cfg:?}");
+                        violations += 1;
+                        continue;
+                    }
+                };
+                let data: Vec<U32Rec> = (0..records)
+                    .map(|_| U32Rec::new(rng.next() as u32))
+                    .collect();
+                let array = ArrayParams {
+                    n_records: records as u64,
+                    record_bytes: cfg.loader.record_bytes,
+                };
+                match engine.try_sort(data) {
+                    Ok((sorted, report)) => {
+                        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+                        if let Some(ceiling) = static_cycle_ceiling(&cfg, &array) {
+                            // Cycle inequality == throughput inequality:
+                            // floor = bytes·f/ceiling, simulated =
+                            // bytes·f/cycles, so floor ≤ simulated ⟺
+                            // cycles ≤ ceiling (integer-exact).
+                            if report.total_cycles > ceiling {
+                                println!(
+                                    "VIOLATION #{i}: static bound unsound: simulated \
+                                     {} cycles > ceiling {ceiling}",
+                                    report.total_cycles
+                                );
+                                println!("  config: {cfg:?}");
+                                violations += 1;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        println!(
+                            "VIOLATION #{i}: certified config wedged in simulation: {} at \
+                             stage {} after {} cycles",
+                            e.code(),
+                            e.stage,
+                            e.cycles
+                        );
+                        println!("  config: {cfg:?}");
+                        violations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "prove_fuzz: {configs} config(s): {certified} certified, {refuted} refuted, \
+         {exhausted} budget-exhausted, {skipped} skipped, {violations} violation(s)"
+    );
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -9,10 +9,15 @@
 //! spends minutes on it.
 
 use bonsai_amt::graph::{lower_to_graph, required_bytes_per_cycle, LowerOptions};
+use bonsai_amt::prove::{replay_refutation, NetOptions, ReplayOutcome};
 use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_check::prove::{prove_with_diagnostics, ProveOptions, ProveOutcome};
 use bonsai_check::Diagnostic;
-use bonsai_memsim::MemoryConfig;
-use bonsai_model::check::{certify_latency_bound, check_full_config, model_drift_probe};
+use bonsai_memsim::{MemoryConfig, DEFAULT_FREQ_HZ};
+use bonsai_model::check::{
+    certify_latency_bound, check_bound_against_observed, check_full_config, check_static_bound,
+    model_drift_probe,
+};
 use bonsai_model::{ArrayParams, BonsaiOptimizer, ComponentLibrary, FullConfig, HardwareParams};
 use bonsai_runtime::RuntimeConfig;
 
@@ -173,6 +178,127 @@ pub fn lint_runtime_all() -> Vec<LintFinding> {
         .map(|(target, cfg)| LintFinding {
             target,
             diagnostics: cfg.validate_for_cores(REF_CORES),
+        })
+        .collect()
+}
+
+/// Options for the `bonsai-lint --prove` occupancy-reachability pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ProveLintOptions {
+    /// Explicit-state budget for the reachability search.
+    pub state_budget: usize,
+    /// Extra leaf-edge credits beyond capacity (the `BON061` probe).
+    pub credit_slack: u32,
+    /// Records for the counterexample replay; `0` disables replay.
+    pub replay_records: usize,
+    /// Observed throughput in bytes/second to cross-check the static
+    /// lower bound against (`BON064`); `None` checks against the Eq. 1
+    /// model instead.
+    pub assume_throughput: Option<f64>,
+}
+
+impl Default for ProveLintOptions {
+    fn default() -> Self {
+        Self {
+            state_budget: bonsai_check::prove::DEFAULT_STATE_BUDGET,
+            credit_slack: 0,
+            replay_records: bonsai_amt::prove::REPLAY_RECORDS,
+            assume_throughput: None,
+        }
+    }
+}
+
+/// The occupancy-reachability pass for one engine configuration:
+/// lower to the token net, exhaustively explore it, and
+///
+/// - on **certified**: re-verify the certificate (`BON063` if the
+///   independent checker rejects it) and cross-check the static
+///   throughput floor against the Eq. 1 model — or against
+///   `assume_throughput` when given (`BON064`);
+/// - on **refuted**: report the counterexample (`BON060`/`BON061`) and
+///   replay it against `SimEngine`; a simulator that *completes* the
+///   statically-wedged configuration earns a `BON065` divergence
+///   warning, a reproduced wedge annotates the refutation with the
+///   simulator's own failure;
+/// - on **budget-exhausted**: pass through the `BON062` warning.
+pub fn engine_prove_diagnostics(cfg: &SimEngineConfig, opts: &ProveLintOptions) -> Vec<Diagnostic> {
+    let net = match bonsai_amt::prove::net_from_config(
+        cfg,
+        &NetOptions {
+            credit_slack: opts.credit_slack,
+        },
+    ) {
+        Ok(net) => net,
+        Err(fatal) => return fatal,
+    };
+    let (outcome, mut diagnostics) = prove_with_diagnostics(
+        &net,
+        &ProveOptions {
+            state_budget: opts.state_budget,
+            ..ProveOptions::default()
+        },
+    );
+    match outcome {
+        ProveOutcome::Certified(_) => {
+            let array = ArrayParams::from_bytes(CERTIFY_BYTES, cfg.loader.record_bytes.max(1));
+            diagnostics.extend(match opts.assume_throughput {
+                Some(observed) => {
+                    check_bound_against_observed(cfg, &array, DEFAULT_FREQ_HZ, observed)
+                }
+                None => check_static_bound(cfg, &array, &HardwareParams::aws_f1()),
+            });
+        }
+        ProveOutcome::Refuted(_) if opts.replay_records > 0 => {
+            match replay_refutation(cfg, opts.replay_records, REPLAY_LINT_PASS_CYCLES, 1) {
+                ReplayOutcome::Reproduced {
+                    code,
+                    stage,
+                    cycles,
+                } => {
+                    // Attach the simulator's confirmation to the
+                    // refutation diagnostic itself.
+                    if let Some(pos) = diagnostics.iter().position(Diagnostic::is_error) {
+                        let confirmed = diagnostics.remove(pos);
+                        diagnostics.insert(
+                            pos,
+                            confirmed
+                                .with("sim_reproduced", code)
+                                .with("sim_stage", stage)
+                                .with("sim_cycles", cycles),
+                        );
+                    }
+                }
+                ReplayOutcome::Completed { cycles } => {
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            bonsai_check::codes::PROVE_REPLAY_DIVERGED,
+                            "static refutation did not reproduce in simulation: the cycle \
+                             simulator relaxes the hardware contract the token net enforces",
+                        )
+                        .with("sim_cycles", cycles)
+                        .with("replay_records", opts.replay_records),
+                    );
+                }
+                ReplayOutcome::Rejected { .. } => {}
+            }
+        }
+        _ => {}
+    }
+    diagnostics
+}
+
+/// Livelock bound for lint-time counterexample replays: generous for
+/// the small replay workloads, tight enough to fail fast on a wedge.
+const REPLAY_LINT_PASS_CYCLES: u64 = 300_000;
+
+/// The occupancy-reachability pass over every in-repo engine
+/// configuration.
+pub fn prove_all(opts: &ProveLintOptions) -> Vec<LintFinding> {
+    engine_targets()
+        .into_iter()
+        .map(|(target, cfg)| LintFinding {
+            target: format!("prove/{target}"),
+            diagnostics: engine_prove_diagnostics(&cfg, opts),
         })
         .collect()
 }
@@ -671,6 +797,92 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == bonsai_check::codes::RUNTIME_WORKERS_EXCEED_GROUPS));
+    }
+
+    #[test]
+    fn prove_pass_certifies_every_in_repo_config() {
+        let findings = prove_all(&ProveLintOptions::default());
+        assert!(!findings.is_empty());
+        for f in &findings {
+            assert!(f.target.starts_with("prove/"));
+            assert!(
+                f.diagnostics.is_empty(),
+                "{}: {:?}",
+                f.target,
+                f.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn prove_pass_refutes_and_confirms_a_zero_credit_config() {
+        let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        cfg.loader.buffer_batches = 0;
+        let diags = engine_prove_diagnostics(&cfg, &ProveLintOptions::default());
+        let deadlock = diags
+            .iter()
+            .find(|d| d.code == bonsai_check::codes::PROVE_DEADLOCK_REACHABLE)
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        // The replay confirmation is folded into the refutation itself.
+        assert!(
+            deadlock
+                .context
+                .iter()
+                .any(|(k, v)| *k == "sim_reproduced" && v == "BON040"),
+            "{deadlock:?}"
+        );
+    }
+
+    #[test]
+    fn prove_pass_reports_divergence_as_bon065() {
+        // Shallow leaf buffers wedge the hardware contract but not the
+        // software simulator.
+        let mut cfg = SimEngineConfig::dram_sorter(AmtConfig::new(8, 4), 16);
+        cfg.loader.batch_bytes = 32;
+        let diags = engine_prove_diagnostics(&cfg, &ProveLintOptions::default());
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&bonsai_check::codes::PROVE_DEADLOCK_REACHABLE),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&bonsai_check::codes::PROVE_REPLAY_DIVERGED),
+            "{codes:?}"
+        );
+    }
+
+    #[test]
+    fn prove_pass_budget_and_bound_probes() {
+        let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let diags = engine_prove_diagnostics(
+            &cfg,
+            &ProveLintOptions {
+                state_budget: 4,
+                ..ProveLintOptions::default()
+            },
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::PROVE_BUDGET_EXHAUSTED),
+            "{diags:?}"
+        );
+        assert!(!bonsai_check::has_errors(&diags), "budget is a warning");
+
+        // Claiming 1 B/s observed contradicts any positive floor.
+        let diags = engine_prove_diagnostics(
+            &cfg,
+            &ProveLintOptions {
+                assume_throughput: Some(1.0),
+                ..ProveLintOptions::default()
+            },
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == bonsai_check::codes::PROVE_BOUND_UNSOUND),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `BON03x`   | Pipeline graph       | [`codes::GRAPH_DEADLOCK`] |
 //! | `BON04x`   | Simulation runtime   | [`codes::SIM_PASS_LIVELOCK`] |
 //! | `BON05x`   | Runtime topology     | [`codes::RUNTIME_QUEUE_ZERO`] |
+//! | `BON06x`   | Occupancy reachability | [`codes::PROVE_DEADLOCK_REACHABLE`] |
 //! | `BON1xx`   | Simulation sanitizer | [`codes::SAN_FIFO_OVERFLOW`] |
 //!
 //! Every code is catalogued with cause and fix in
@@ -30,6 +31,7 @@
 //! stack through dev-dependencies.
 
 pub mod graph;
+pub mod prove;
 
 use std::fmt;
 
@@ -229,6 +231,21 @@ pub mod codes {
     /// A task DAG's peak ready width exceeds queue + worker capacity.
     pub const RUNTIME_DAG_OVER_CAPACITY: &str = "BON056";
 
+    // --- BON06x: occupancy reachability (bonsai-prove) ------------------
+
+    /// Exhaustive occupancy reachability found a deadlocked marking.
+    pub const PROVE_DEADLOCK_REACHABLE: &str = "BON060";
+    /// Exhaustive occupancy reachability found a FIFO/credit overflow.
+    pub const PROVE_OVERFLOW_REACHABLE: &str = "BON061";
+    /// The reachability state budget ran out before coverage.
+    pub const PROVE_BUDGET_EXHAUSTED: &str = "BON062";
+    /// A certified occupancy bound failed independent re-verification.
+    pub const PROVE_CERTIFICATE_INVALID: &str = "BON063";
+    /// The static throughput floor exceeds an observed/model throughput.
+    pub const PROVE_BOUND_UNSOUND: &str = "BON064";
+    /// A static refutation did not reproduce in simulation.
+    pub const PROVE_REPLAY_DIVERGED: &str = "BON065";
+
     // --- BON03x: pipeline-graph analyses --------------------------------
 
     /// The pipeline graph can deadlock (zero-credit edge or dataflow
@@ -407,6 +424,36 @@ pub mod codes {
             code: RUNTIME_DAG_OVER_CAPACITY,
             severity: Severity::Error,
             summary: "DAG ready set can exceed queue + worker capacity",
+        },
+        CodeInfo {
+            code: PROVE_DEADLOCK_REACHABLE,
+            severity: Severity::Error,
+            summary: "occupancy reachability found a deadlock",
+        },
+        CodeInfo {
+            code: PROVE_OVERFLOW_REACHABLE,
+            severity: Severity::Error,
+            summary: "occupancy reachability found an overflow",
+        },
+        CodeInfo {
+            code: PROVE_BUDGET_EXHAUSTED,
+            severity: Severity::Warning,
+            summary: "reachability state budget exhausted",
+        },
+        CodeInfo {
+            code: PROVE_CERTIFICATE_INVALID,
+            severity: Severity::Error,
+            summary: "occupancy certificate failed re-verification",
+        },
+        CodeInfo {
+            code: PROVE_BOUND_UNSOUND,
+            severity: Severity::Error,
+            summary: "static throughput floor exceeds observed throughput",
+        },
+        CodeInfo {
+            code: PROVE_REPLAY_DIVERGED,
+            severity: Severity::Warning,
+            summary: "static refutation did not reproduce in simulation",
         },
         CodeInfo {
             code: GRAPH_DEADLOCK,

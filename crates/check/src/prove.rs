@@ -1,0 +1,1236 @@
+//! Exhaustive occupancy-state reachability over bounded token nets.
+//!
+//! The pipeline-graph analyses (`BON030`–`BON037`) are *structural*:
+//! they inspect annotations edge by edge. This module closes the gap to
+//! a *behavioral* guarantee: the pipeline is abstracted into a bounded
+//! Petri-net-style [`TokenNet`] — places are FIFO slots, producer
+//! credits and memory-channel outstanding-request windows; transitions
+//! are loader feeds, merger steps and drain pops — and every reachable
+//! occupancy marking is enumerated explicitly. The answer is
+//! three-valued:
+//!
+//! - **Certified** ([`ProveOutcome::Certified`]): the full state space
+//!   was covered without finding a deadlock or an overflow. The result
+//!   carries a [`Certificate`] whose per-place occupancy bounds are
+//!   entailed by conservation invariants (P-invariants of the net) that
+//!   a small independent checker, [`verify_certificate`], re-verifies
+//!   against the net structure alone — it never trusts the search.
+//! - **Refuted** ([`ProveOutcome::Refuted`]): a reachable marking
+//!   deadlocks (no transition enabled) or overflows a bounded place.
+//!   The witness is a [`Trace`] — printable and parseable exactly like
+//!   `bonsai_mc::Schedule` — that [`TokenNet::replay`] and
+//!   [`verify_refutation`] can re-execute step by step.
+//! - **Budget-exhausted** ([`ProveOutcome::BudgetExhausted`]): the
+//!   state budget ran out first; frontier statistics are reported as
+//!   `BON062` so the caller can retry with a bigger budget.
+//!
+//! # Partial-order reduction and why it is sound here
+//!
+//! The search uses Valmari-style stubborn sets: at each marking only a
+//! closed subset of the enabled transitions is expanded. The closure
+//! rules guarantee that any transition sequence outside the set
+//! commutes with the chosen ones, which preserves **all deadlocks**
+//! without a cycle proviso. Overflow is a safety property that plain
+//! stubborn sets do *not* preserve, so the prover first derives the
+//! net's conservation invariants: if they entail that every place's
+//! occupancy is bounded by its capacity, overflow is unreachable by
+//! algebra alone and the reduced search only has to find deadlocks. If
+//! any place is *not* provably bounded (e.g. an over-credited edge),
+//! the reduction is disabled and the search is exhaustive over the
+//! full interleaving space. Either way no refutation can be missed.
+//!
+//! Counterexample minimality: the search is breadth-first, so the
+//! returned trace is the shortest in the explored graph. When a
+//! reduced search refutes, the prover re-runs without reduction within
+//! the same budget to recover a globally shortest witness, keeping the
+//! reduced trace only if the full space does not fit the budget.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{codes, Diagnostic};
+
+/// Default explicit-state budget (distinct markings stored).
+///
+/// The folded nets lowered from engine configurations stay well under
+/// this (see `bonsai_amt::prove`); it exists so a malformed or
+/// adversarial net degrades into `BON062` instead of eating the host.
+pub const DEFAULT_STATE_BUDGET: usize = 1 << 18;
+
+/// Largest admissible place capacity. Token counts are stored as `u8`
+/// per place so a quarter-million markings fit in a few megabytes.
+pub const MAX_CAPACITY: u32 = 200;
+
+/// One bounded place: a FIFO occupancy counter, a credit pool or an
+/// outstanding-request window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    /// Human-readable name, used in diagnostics and certificates.
+    pub name: String,
+    /// Hard occupancy bound. A firing that pushes the marking above
+    /// this refutes the net (`BON061`).
+    pub capacity: u32,
+    /// Tokens present in the initial marking.
+    pub initial: u32,
+}
+
+/// One atomic pipeline step: loader feed, merger step, drain pop.
+///
+/// A transition is enabled when every `takes` and `guards` threshold is
+/// met; firing consumes the `takes`, leaves the `guards` untouched and
+/// adds the `puts`. Puts never block — exceeding a place's capacity is
+/// an overflow refutation, not back-pressure (back-pressure is modeled
+/// explicitly with credit places).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transition {
+    /// Human-readable name, used in rendered traces.
+    pub name: String,
+    /// Non-consuming read arcs: `(place, minimum tokens)`.
+    pub guards: Vec<(usize, u32)>,
+    /// Consuming input arcs: `(place, tokens removed)`.
+    pub takes: Vec<(usize, u32)>,
+    /// Output arcs: `(place, tokens added)`.
+    pub puts: Vec<(usize, u32)>,
+}
+
+/// A bounded token net: the occupancy abstraction of one pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenNet {
+    /// All places, indexed by the ids the transitions refer to.
+    pub places: Vec<Place>,
+    /// All transitions, indexed by the ids traces refer to.
+    pub transitions: Vec<Transition>,
+}
+
+/// Where a replayed trace ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayEnd {
+    /// Every step fired cleanly; this is the final marking.
+    Marking(Vec<u32>),
+    /// Firing step `step` (0-based index into the trace) overflowed
+    /// `place`; the replay stops there.
+    Overflow {
+        /// The place whose capacity was exceeded.
+        place: usize,
+        /// The trace step whose firing overflowed.
+        step: usize,
+    },
+}
+
+impl TokenNet {
+    /// Add a place and return its id.
+    pub fn add_place(&mut self, name: impl Into<String>, capacity: u32, initial: u32) -> usize {
+        self.places.push(Place {
+            name: name.into(),
+            capacity,
+            initial,
+        });
+        self.places.len() - 1
+    }
+
+    /// Add a transition and return its id.
+    pub fn add_transition(&mut self, t: Transition) -> usize {
+        self.transitions.push(t);
+        self.transitions.len() - 1
+    }
+
+    /// Structural sanity: every arc must reference a real place with a
+    /// positive weight, and capacities must fit the `u8` token counters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, p) in self.places.iter().enumerate() {
+            if p.capacity > MAX_CAPACITY {
+                return Err(format!(
+                    "place {i} ({}) capacity {} exceeds MAX_CAPACITY {MAX_CAPACITY}",
+                    p.name, p.capacity
+                ));
+            }
+            if p.initial > MAX_CAPACITY {
+                return Err(format!(
+                    "place {i} ({}) initial {} exceeds MAX_CAPACITY {MAX_CAPACITY}",
+                    p.name, p.initial
+                ));
+            }
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            for (p, w) in t.guards.iter().chain(&t.takes).chain(&t.puts) {
+                if *p >= self.places.len() {
+                    return Err(format!(
+                        "transition {i} ({}) references place {p} of {}",
+                        t.name,
+                        self.places.len()
+                    ));
+                }
+                if *w == 0 || *w > MAX_CAPACITY {
+                    return Err(format!(
+                        "transition {i} ({}) has arc weight {w} on place {p}",
+                        t.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The initial marking as plain token counts.
+    #[must_use]
+    pub fn initial_marking(&self) -> Vec<u32> {
+        self.places.iter().map(|p| p.initial).collect()
+    }
+
+    /// `true` if transition `t` can fire in marking `m`.
+    #[must_use]
+    pub fn enabled(&self, m: &[u32], t: usize) -> bool {
+        let tr = &self.transitions[t];
+        tr.takes.iter().chain(&tr.guards).all(|&(p, w)| m[p] >= w)
+    }
+
+    /// Fire `t` in `m` (must be enabled). Returns the first overflowed
+    /// place, if any; `m` is updated either way so the offending
+    /// occupancy can be reported.
+    fn fire(&self, m: &mut [u32], t: usize) -> Option<usize> {
+        let tr = &self.transitions[t];
+        for &(p, w) in &tr.takes {
+            m[p] -= w;
+        }
+        let mut overflow = None;
+        for &(p, w) in &tr.puts {
+            m[p] += w;
+            if overflow.is_none() && m[p] > self.places[p].capacity {
+                overflow = Some(p);
+            }
+        }
+        overflow
+    }
+
+    /// Re-execute a trace from the initial marking, verifying that every
+    /// step is enabled when it fires. This is the replay half of the
+    /// independent checker: it trusts nothing but the net structure.
+    pub fn replay(&self, trace: &Trace) -> Result<ReplayEnd, String> {
+        let mut m = self.initial_marking();
+        for (step, &t) in trace.steps().iter().enumerate() {
+            if t >= self.transitions.len() {
+                return Err(format!(
+                    "trace step {step} names transition {t} of {}",
+                    self.transitions.len()
+                ));
+            }
+            if !self.enabled(&m, t) {
+                return Err(format!(
+                    "trace step {step} ({}) is not enabled",
+                    self.transitions[t].name
+                ));
+            }
+            if let Some(place) = self.fire(&mut m, t) {
+                return Ok(ReplayEnd::Overflow { place, step });
+            }
+        }
+        Ok(ReplayEnd::Marking(m))
+    }
+}
+
+/// A counterexample transition sequence, printable and parseable with
+/// the same dotted-index contract as `bonsai_mc::Schedule`: the empty
+/// trace renders as `(default)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace(Vec<usize>);
+
+impl Trace {
+    /// Wrap an explicit step list.
+    #[must_use]
+    pub fn new(steps: Vec<usize>) -> Self {
+        Self(steps)
+    }
+
+    /// The transition ids, in firing order.
+    #[must_use]
+    pub fn steps(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty (initial-marking) trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Render the trace with transition names, `a -> b -> c`, capped at
+    /// `max` steps for diagnostics.
+    #[must_use]
+    pub fn render_names(&self, net: &TokenNet, max: usize) -> String {
+        let mut out = String::new();
+        for (i, &t) in self.0.iter().take(max).enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+            }
+            match net.transitions.get(t) {
+                Some(tr) => out.push_str(&tr.name),
+                None => out.push_str(&format!("#{t}")),
+            }
+        }
+        if self.0.len() > max {
+            out.push_str(&format!(" -> ... ({} more)", self.0.len() - max));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "(default)");
+        }
+        for (i, step) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Trace {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "(default)" {
+            return Ok(Self(Vec::new()));
+        }
+        let mut steps = Vec::new();
+        for part in s.split('.') {
+            let part = part.trim();
+            steps.push(
+                part.parse::<usize>()
+                    .map_err(|e| format!("bad trace component {part:?}: {e}"))?,
+            );
+        }
+        Ok(Self(steps))
+    }
+}
+
+/// A unit-weight conservation law: the token sum over `places` is the
+/// same in every reachable marking (every transition's net effect on
+/// the set is zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    /// The places whose occupancies sum to `total`.
+    pub places: Vec<usize>,
+    /// The conserved token sum (fixed by the initial marking).
+    pub total: u32,
+}
+
+/// The machine-checkable half of a certified outcome.
+///
+/// For places `covered` by a conservation invariant the bound is
+/// *inductive*: [`verify_certificate`] re-derives it from the
+/// invariants and the net structure without trusting the search. For
+/// uncovered places the bound is the peak occupancy the exhaustive
+/// search observed — attested by state enumeration, not by algebra;
+/// the lowered pipeline nets always cover every place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Per-place occupancy upper bound over all reachable markings.
+    pub place_bounds: Vec<u32>,
+    /// Whether each bound is entailed by the invariants (inductive).
+    pub covered: Vec<bool>,
+    /// The conservation invariants backing the covered bounds.
+    pub invariants: Vec<Invariant>,
+    /// Peak occupancy actually observed per place (informational;
+    /// never exceeds the inductive bound).
+    pub peak: Vec<u32>,
+    /// Distinct markings enumerated by the search.
+    pub states_explored: usize,
+}
+
+/// What went wrong in a refuted net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A reachable marking enables no transition at all.
+    Deadlock,
+    /// Firing the last trace step pushed `place` above its capacity.
+    Overflow {
+        /// The overflowed place.
+        place: usize,
+    },
+}
+
+/// A refuted outcome: the witness trace and the marking it reaches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refutation {
+    /// Deadlock or overflow.
+    pub kind: FailureKind,
+    /// Shortest witness found; replayable via [`TokenNet::replay`].
+    pub trace: Trace,
+    /// The failing marking (after the final step fires).
+    pub marking: Vec<u32>,
+}
+
+/// Search statistics reported when the state budget runs out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Markings fully expanded before the budget tripped.
+    pub states_explored: usize,
+    /// Markings discovered but not yet expanded.
+    pub frontier: usize,
+    /// The budget that was exhausted.
+    pub budget: usize,
+}
+
+/// Three-valued reachability verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProveOutcome {
+    /// Full coverage, no deadlock, no overflow; carries the
+    /// independently checkable [`Certificate`].
+    Certified(Certificate),
+    /// A deadlock or overflow is reachable; carries the witness.
+    Refuted(Refutation),
+    /// The state budget ran out before coverage; `BON062`.
+    BudgetExhausted(FrontierStats),
+}
+
+/// Knobs for the reachability search.
+#[derive(Debug, Clone, Copy)]
+pub struct ProveOptions {
+    /// Maximum distinct markings stored before giving up.
+    pub state_budget: usize,
+    /// Enable stubborn-set partial-order reduction. Automatically
+    /// disabled (regardless of this flag) when the conservation
+    /// invariants cannot exclude overflow, so reduction never hides a
+    /// refutation.
+    pub reduction: bool,
+}
+
+impl Default for ProveOptions {
+    fn default() -> Self {
+        Self {
+            state_budget: DEFAULT_STATE_BUDGET,
+            reduction: true,
+        }
+    }
+}
+
+/// Discover the net's unit-weight conservation invariants: singleton
+/// places no transition touches, and place pairs whose summed delta is
+/// zero across every transition (the FIFO-occupancy + producer-credit
+/// pairs of the pipeline lowering).
+#[must_use]
+pub fn conservation_invariants(net: &TokenNet) -> Vec<Invariant> {
+    let n = net.places.len();
+    // Net token delta per (transition, place).
+    let mut deltas: Vec<Vec<i64>> = Vec::with_capacity(net.transitions.len());
+    for t in &net.transitions {
+        let mut d = vec![0i64; n];
+        for &(p, w) in &t.takes {
+            d[p] -= i64::from(w);
+        }
+        for &(p, w) in &t.puts {
+            d[p] += i64::from(w);
+        }
+        deltas.push(d);
+    }
+    let constant: Vec<bool> = (0..n).map(|p| deltas.iter().all(|d| d[p] == 0)).collect();
+    let mut out = Vec::new();
+    for (p, _) in constant.iter().enumerate().filter(|(_, &c)| c) {
+        out.push(Invariant {
+            places: vec![p],
+            total: net.places[p].initial,
+        });
+    }
+    for a in 0..n {
+        if constant[a] {
+            continue;
+        }
+        for b in (a + 1)..n {
+            if constant[b] {
+                continue;
+            }
+            if deltas.iter().all(|d| d[a] + d[b] == 0) {
+                out.push(Invariant {
+                    places: vec![a, b],
+                    total: net.places[a].initial + net.places[b].initial,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The occupancy bound each invariant set entails for each place it
+/// contains (`None` where no invariant covers the place).
+fn entailed_bounds(net: &TokenNet, invariants: &[Invariant]) -> Vec<Option<u32>> {
+    let mut bounds: Vec<Option<u32>> = vec![None; net.places.len()];
+    for inv in invariants {
+        for &p in &inv.places {
+            bounds[p] = Some(match bounds[p] {
+                Some(b) => b.min(inv.total),
+                None => inv.total,
+            });
+        }
+    }
+    bounds
+}
+
+struct SearchResult {
+    outcome: ProveOutcome,
+    reduced: bool,
+}
+
+/// Run exhaustive explicit-state reachability on a validated net.
+///
+/// # Panics
+///
+/// Panics if [`TokenNet::validate`] fails; validate first when the net
+/// comes from outside the trusted lowering.
+#[must_use]
+pub fn prove(net: &TokenNet, opts: &ProveOptions) -> ProveOutcome {
+    net.validate().expect("prove() requires a valid TokenNet");
+    let invariants = conservation_invariants(net);
+    let entailed = entailed_bounds(net, &invariants);
+    // Overflow is excluded by algebra only if every place's entailed
+    // bound fits its capacity; otherwise the reduction must be off so
+    // the search preserves overflow reachability, not just deadlocks.
+    let overflow_excluded = net
+        .places
+        .iter()
+        .enumerate()
+        .all(|(p, place)| entailed[p].is_some_and(|b| b <= place.capacity));
+    let reduce = opts.reduction && overflow_excluded;
+    let first = search(net, opts.state_budget, reduce);
+    let outcome = match first.outcome {
+        // A reduced search finds the shortest trace of the *reduced*
+        // graph; retry unreduced (same budget) for a globally shortest
+        // witness, keeping the reduced one if the full space is too big.
+        ProveOutcome::Refuted(r) if first.reduced => match search(net, opts.state_budget, false) {
+            SearchResult {
+                outcome: ProveOutcome::Refuted(full),
+                ..
+            } => ProveOutcome::Refuted(if full.trace.len() <= r.trace.len() {
+                full
+            } else {
+                r
+            }),
+            _ => ProveOutcome::Refuted(r),
+        },
+        other => other,
+    };
+    match outcome {
+        ProveOutcome::Certified(mut cert) => {
+            cert.invariants = invariants;
+            for (p, b) in entailed.iter().enumerate() {
+                match b {
+                    Some(bound) => {
+                        cert.place_bounds[p] = *bound;
+                        cert.covered[p] = true;
+                    }
+                    None => {
+                        cert.place_bounds[p] = cert.peak[p];
+                        cert.covered[p] = false;
+                    }
+                }
+            }
+            ProveOutcome::Certified(cert)
+        }
+        other => other,
+    }
+}
+
+fn search(net: &TokenNet, budget: usize, reduce: bool) -> SearchResult {
+    let n_places = net.places.len();
+    let n_trans = net.transitions.len();
+    // Arc indexes for the stubborn-set closure.
+    let mut takers_of: Vec<Vec<usize>> = vec![Vec::new(); n_places];
+    let mut requirers_of: Vec<Vec<usize>> = vec![Vec::new(); n_places];
+    let mut putters_of: Vec<Vec<usize>> = vec![Vec::new(); n_places];
+    for (t, tr) in net.transitions.iter().enumerate() {
+        for &(p, _) in &tr.takes {
+            takers_of[p].push(t);
+            requirers_of[p].push(t);
+        }
+        for &(p, _) in &tr.guards {
+            requirers_of[p].push(t);
+        }
+        for &(p, _) in &tr.puts {
+            putters_of[p].push(t);
+        }
+    }
+
+    let pack = |m: &[u32]| -> Box<[u8]> {
+        m.iter()
+            .map(|&v| u8::try_from(v).expect("marking fits u8 (validate)"))
+            .collect()
+    };
+    let unpack = |m: &[u8]| -> Vec<u32> { m.iter().map(|&v| u32::from(v)).collect() };
+
+    let initial = net.initial_marking();
+    let mut states: Vec<Box<[u8]>> = vec![pack(&initial)];
+    let mut parents: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX)];
+    let mut index: HashMap<Box<[u8]>, usize> = HashMap::new();
+    index.insert(states[0].clone(), 0);
+    let mut peak = initial.clone();
+
+    let trace_to = |parents: &[(usize, usize)], mut s: usize| -> Trace {
+        let mut steps = Vec::new();
+        while parents[s].0 != usize::MAX {
+            steps.push(parents[s].1);
+            s = parents[s].0;
+        }
+        steps.reverse();
+        Trace::new(steps)
+    };
+
+    let mut cursor = 0usize;
+    let mut enabled = Vec::with_capacity(n_trans);
+    while cursor < states.len() {
+        let m = unpack(&states[cursor]);
+        enabled.clear();
+        enabled.extend((0..n_trans).filter(|&t| net.enabled(&m, t)));
+        if enabled.is_empty() {
+            return SearchResult {
+                outcome: ProveOutcome::Refuted(Refutation {
+                    kind: FailureKind::Deadlock,
+                    trace: trace_to(&parents, cursor),
+                    marking: m,
+                }),
+                reduced: reduce,
+            };
+        }
+        let expansion = if reduce && enabled.len() > 1 {
+            stubborn_expansion(net, &m, &enabled, &takers_of, &requirers_of, &putters_of)
+        } else {
+            enabled.clone()
+        };
+        for &t in &expansion {
+            let mut next = m.clone();
+            if let Some(place) = net.fire(&mut next, t) {
+                let mut steps = trace_to(&parents, cursor).0;
+                steps.push(t);
+                return SearchResult {
+                    outcome: ProveOutcome::Refuted(Refutation {
+                        kind: FailureKind::Overflow { place },
+                        trace: Trace::new(steps),
+                        marking: next,
+                    }),
+                    reduced: reduce,
+                };
+            }
+            let key = pack(&next);
+            if !index.contains_key(&key) {
+                if states.len() >= budget {
+                    return SearchResult {
+                        outcome: ProveOutcome::BudgetExhausted(FrontierStats {
+                            states_explored: cursor,
+                            frontier: states.len() - cursor,
+                            budget,
+                        }),
+                        reduced: reduce,
+                    };
+                }
+                index.insert(key.clone(), states.len());
+                states.push(key);
+                parents.push((cursor, t));
+                for (p, v) in next.iter().enumerate() {
+                    if *v > peak[p] {
+                        peak[p] = *v;
+                    }
+                }
+            }
+        }
+        cursor += 1;
+    }
+    SearchResult {
+        outcome: ProveOutcome::Certified(Certificate {
+            place_bounds: peak.clone(),
+            covered: vec![false; n_places],
+            invariants: Vec::new(),
+            peak,
+            states_explored: states.len(),
+        }),
+        reduced: reduce,
+    }
+}
+
+/// Compute a deadlock-preserving stubborn set for marking `m` and
+/// return its enabled members. Tries every enabled transition as the
+/// seed and keeps the smallest expansion.
+fn stubborn_expansion(
+    net: &TokenNet,
+    m: &[u32],
+    enabled: &[usize],
+    takers_of: &[Vec<usize>],
+    requirers_of: &[Vec<usize>],
+    putters_of: &[Vec<usize>],
+) -> Vec<usize> {
+    let n_trans = net.transitions.len();
+    let is_enabled: Vec<bool> = {
+        let mut v = vec![false; n_trans];
+        for &t in enabled {
+            v[t] = true;
+        }
+        v
+    };
+    let mut best: Option<Vec<usize>> = None;
+    for &seed in enabled {
+        let mut in_set = vec![false; n_trans];
+        let mut stack = vec![seed];
+        in_set[seed] = true;
+        while let Some(t) = stack.pop() {
+            let tr = &net.transitions[t];
+            if is_enabled[t] {
+                // Transitions that can disable t (they consume from its
+                // required places) and transitions t can disable (they
+                // require the places t consumes from) must come along,
+                // so everything outside the set commutes with t.
+                for &(p, _) in tr.takes.iter().chain(&tr.guards) {
+                    for &o in &takers_of[p] {
+                        if !in_set[o] {
+                            in_set[o] = true;
+                            stack.push(o);
+                        }
+                    }
+                }
+                for &(p, _) in &tr.takes {
+                    for &o in &requirers_of[p] {
+                        if !in_set[o] {
+                            in_set[o] = true;
+                            stack.push(o);
+                        }
+                    }
+                }
+            } else {
+                // One unsatisfied precondition is enough: only its
+                // producers could ever enable t.
+                if let Some(&(p, _)) = tr.takes.iter().chain(&tr.guards).find(|&&(p, w)| m[p] < w) {
+                    for &o in &putters_of[p] {
+                        if !in_set[o] {
+                            in_set[o] = true;
+                            stack.push(o);
+                        }
+                    }
+                }
+            }
+        }
+        let expansion: Vec<usize> = enabled.iter().copied().filter(|&t| in_set[t]).collect();
+        let better = best.as_ref().is_none_or(|b| expansion.len() < b.len());
+        if better {
+            let done = expansion.len() == 1;
+            best = Some(expansion);
+            if done {
+                break;
+            }
+        }
+    }
+    best.unwrap_or_else(|| enabled.to_vec())
+}
+
+/// Independently re-verify a certificate against the net structure.
+///
+/// Checks, without re-running any search:
+///
+/// 1. every listed invariant really is conserved by every transition
+///    and matches the initial marking;
+/// 2. every covered place's claimed bound equals the tightest bound the
+///    listed invariants entail, and fits the place's capacity;
+/// 3. every uncovered place's claimed (search-attested) bound fits the
+///    capacity.
+///
+/// Any discrepancy is a prover soundness bug (`BON063`).
+pub fn verify_certificate(net: &TokenNet, cert: &Certificate) -> Result<(), String> {
+    let n = net.places.len();
+    if cert.place_bounds.len() != n || cert.covered.len() != n {
+        return Err(format!(
+            "certificate shape mismatch: {} bounds / {} covered flags for {n} places",
+            cert.place_bounds.len(),
+            cert.covered.len()
+        ));
+    }
+    for (i, inv) in cert.invariants.iter().enumerate() {
+        if inv.places.is_empty() {
+            return Err(format!("invariant {i} covers no places"));
+        }
+        let mut seen = vec![false; n];
+        let mut initial_sum: u64 = 0;
+        for &p in &inv.places {
+            if p >= n {
+                return Err(format!("invariant {i} references place {p} of {n}"));
+            }
+            if seen[p] {
+                return Err(format!("invariant {i} lists place {p} twice"));
+            }
+            seen[p] = true;
+            initial_sum += u64::from(net.places[p].initial);
+        }
+        if initial_sum != u64::from(inv.total) {
+            return Err(format!(
+                "invariant {i} claims total {} but the initial marking sums to {initial_sum}",
+                inv.total
+            ));
+        }
+        for (t, tr) in net.transitions.iter().enumerate() {
+            let mut delta: i64 = 0;
+            for &(p, w) in &tr.takes {
+                if seen[p] {
+                    delta -= i64::from(w);
+                }
+            }
+            for &(p, w) in &tr.puts {
+                if seen[p] {
+                    delta += i64::from(w);
+                }
+            }
+            if delta != 0 {
+                return Err(format!(
+                    "invariant {i} is not conserved by transition {t} ({}): delta {delta}",
+                    tr.name
+                ));
+            }
+        }
+    }
+    // Tightest bound each place gets from the *certificate's own*
+    // invariant list (now proven sound above).
+    let mut entailed: Vec<Option<u32>> = vec![None; n];
+    for inv in &cert.invariants {
+        for &p in &inv.places {
+            entailed[p] = Some(match entailed[p] {
+                Some(b) => b.min(inv.total),
+                None => inv.total,
+            });
+        }
+    }
+    for (p, place) in net.places.iter().enumerate() {
+        let bound = cert.place_bounds[p];
+        if cert.covered[p] {
+            match entailed[p] {
+                Some(e) if e == bound => {}
+                Some(e) => {
+                    return Err(format!(
+                        "place {p} ({}): claimed bound {bound} but the invariants entail {e}",
+                        place.name
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "place {p} ({}): marked covered but no invariant contains it",
+                        place.name
+                    ));
+                }
+            }
+        }
+        if bound > place.capacity {
+            return Err(format!(
+                "place {p} ({}): bound {bound} exceeds capacity {}",
+                place.name, place.capacity
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Independently re-verify a refutation by replaying its trace.
+pub fn verify_refutation(net: &TokenNet, refutation: &Refutation) -> Result<(), String> {
+    match (&refutation.kind, net.replay(&refutation.trace)?) {
+        (FailureKind::Deadlock, ReplayEnd::Marking(m)) => {
+            if m != refutation.marking {
+                return Err(format!(
+                    "replayed marking {m:?} differs from the claimed {:?}",
+                    refutation.marking
+                ));
+            }
+            if let Some(t) = (0..net.transitions.len()).find(|&t| net.enabled(&m, t)) {
+                return Err(format!(
+                    "claimed deadlock marking still enables {} ({t})",
+                    net.transitions[t].name
+                ));
+            }
+            Ok(())
+        }
+        (FailureKind::Overflow { place }, ReplayEnd::Overflow { place: got, step }) => {
+            if got != *place {
+                return Err(format!(
+                    "replay overflowed place {got}, not the claimed {place}"
+                ));
+            }
+            if step + 1 != refutation.trace.len() {
+                return Err(format!(
+                    "replay overflowed at step {step} before the trace end {}",
+                    refutation.trace.len()
+                ));
+            }
+            Ok(())
+        }
+        (FailureKind::Deadlock, ReplayEnd::Overflow { place, step }) => Err(format!(
+            "deadlock trace overflowed place {place} at step {step} instead"
+        )),
+        (FailureKind::Overflow { .. }, ReplayEnd::Marking(_)) => {
+            Err("overflow trace replayed without overflowing".into())
+        }
+    }
+}
+
+/// Prove the checker is not vacuous: certify the net, corrupt one
+/// claimed bound and demand that [`verify_certificate`] rejects it.
+///
+/// `Ok` carries the `BON063` diagnostic the rejection produced (what a
+/// real soundness bug would surface); `Err` means either the net is not
+/// certifiable (selftest needs a healthy net) or — far worse — the
+/// checker accepted the corruption.
+pub fn certificate_selftest(net: &TokenNet) -> Result<Diagnostic, String> {
+    let ProveOutcome::Certified(cert) = prove(net, &ProveOptions::default()) else {
+        return Err("certificate selftest needs a certifiable net".into());
+    };
+    verify_certificate(net, &cert)
+        .map_err(|e| format!("checker rejected the genuine certificate: {e}"))?;
+    let Some(victim) = cert.covered.iter().position(|&c| c) else {
+        return Err("certificate selftest needs at least one covered place".into());
+    };
+    let mut corrupt = cert.clone();
+    // A tampered bound is no longer what the invariants entail.
+    corrupt.place_bounds[victim] += 1;
+    match verify_certificate(net, &corrupt) {
+        Err(why) => Ok(Diagnostic::error(
+            codes::PROVE_CERTIFICATE_INVALID,
+            "certificate selftest: the independent checker rejected a corrupted \
+             certificate, as it must",
+        )
+        .with("place", &net.places[victim].name)
+        .with("reason", why)),
+        Ok(()) => Err(
+            "independent checker accepted a corrupted certificate; the re-verification \
+             is vacuous"
+                .into(),
+        ),
+    }
+}
+
+/// Map a prove outcome to `BON060`–`BON063` diagnostics. A certified
+/// outcome is re-verified by the independent checker before it earns an
+/// empty diagnostic list.
+#[must_use]
+pub fn outcome_diagnostics(net: &TokenNet, outcome: &ProveOutcome) -> Vec<Diagnostic> {
+    match outcome {
+        ProveOutcome::Certified(cert) => match verify_certificate(net, cert) {
+            Ok(()) => Vec::new(),
+            Err(why) => vec![Diagnostic::error(
+                codes::PROVE_CERTIFICATE_INVALID,
+                "occupancy certificate failed independent re-verification (prover \
+                 soundness bug)",
+            )
+            .with("reason", why)
+            .with("states", cert.states_explored)],
+        },
+        ProveOutcome::Refuted(r) => {
+            let mut d = match &r.kind {
+                FailureKind::Deadlock => {
+                    let wedged: Vec<String> = net
+                        .places
+                        .iter()
+                        .zip(&r.marking)
+                        .filter(|(_, &occ)| occ > 0)
+                        .map(|(p, occ)| format!("{}={occ}", p.name))
+                        .take(6)
+                        .collect();
+                    Diagnostic::error(
+                        codes::PROVE_DEADLOCK_REACHABLE,
+                        "occupancy reachability refuted: a reachable marking enables no \
+                         transition (pipeline deadlock)",
+                    )
+                    .with("wedged", wedged.join(" "))
+                }
+                FailureKind::Overflow { place } => Diagnostic::error(
+                    codes::PROVE_OVERFLOW_REACHABLE,
+                    "occupancy reachability refuted: a reachable firing overflows a \
+                     bounded place",
+                )
+                .with("place", &net.places[*place].name)
+                .with("capacity", net.places[*place].capacity)
+                .with("occupancy", r.marking[*place]),
+            };
+            d = d
+                .with("trace", &r.trace)
+                .with("depth", r.trace.len())
+                .with("steps", r.trace.render_names(net, 12));
+            vec![d]
+        }
+        ProveOutcome::BudgetExhausted(fs) => vec![Diagnostic::warning(
+            codes::PROVE_BUDGET_EXHAUSTED,
+            "occupancy reachability exhausted its state budget before covering the \
+             space; raise --state-budget for a verdict",
+        )
+        .with("states_explored", fs.states_explored)
+        .with("frontier", fs.frontier)
+        .with("budget", fs.budget)],
+    }
+}
+
+/// [`prove`] plus [`outcome_diagnostics`] in one call.
+#[must_use]
+pub fn prove_with_diagnostics(
+    net: &TokenNet,
+    opts: &ProveOptions,
+) -> (ProveOutcome, Vec<Diagnostic>) {
+    let outcome = prove(net, opts);
+    let diags = outcome_diagnostics(net, &outcome);
+    (outcome, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `stages` producer→consumer cells chained source to sink; each
+    /// cell is a FIFO-occupancy place plus its credit pool. `credits`
+    /// beyond `capacity` makes the net over-credited (overflow).
+    fn chain(stages: usize, capacity: u32, credits: u32) -> TokenNet {
+        let mut net = TokenNet::default();
+        let mut fifos = Vec::new();
+        let mut pools = Vec::new();
+        for i in 0..stages {
+            fifos.push(net.add_place(format!("fifo{i}"), capacity, 0));
+            pools.push(net.add_place(format!("credit{i}"), credits.max(capacity), credits));
+        }
+        net.add_transition(Transition {
+            name: "source".into(),
+            takes: vec![(pools[0], 1)],
+            puts: vec![(fifos[0], 1)],
+            ..Transition::default()
+        });
+        for i in 0..stages - 1 {
+            net.add_transition(Transition {
+                name: format!("relay{i}"),
+                takes: vec![(fifos[i], 1), (pools[i + 1], 1)],
+                puts: vec![(pools[i], 1), (fifos[i + 1], 1)],
+                ..Transition::default()
+            });
+        }
+        net.add_transition(Transition {
+            name: "sink".into(),
+            takes: vec![(fifos[stages - 1], 1)],
+            puts: vec![(pools[stages - 1], 1)],
+            ..Transition::default()
+        });
+        net
+    }
+
+    #[test]
+    fn healthy_chain_certifies_with_inductive_bounds() {
+        let net = chain(3, 2, 2);
+        let ProveOutcome::Certified(cert) = prove(&net, &ProveOptions::default()) else {
+            panic!("healthy chain must certify");
+        };
+        assert!(cert.states_explored > 1);
+        assert!(cert.covered.iter().all(|&c| c), "{:?}", cert.covered);
+        for (p, place) in net.places.iter().enumerate() {
+            assert!(cert.place_bounds[p] <= place.capacity);
+            assert!(cert.peak[p] <= cert.place_bounds[p]);
+        }
+        verify_certificate(&net, &cert).expect("certificate verifies");
+    }
+
+    #[test]
+    fn zero_credit_chain_deadlocks_at_the_initial_marking() {
+        let net = chain(1, 2, 0);
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("zero credits must refute");
+        };
+        assert_eq!(r.kind, FailureKind::Deadlock);
+        assert!(r.trace.is_empty());
+        assert_eq!(r.trace.to_string(), "(default)");
+        verify_refutation(&net, &r).expect("refutation replays");
+    }
+
+    #[test]
+    fn downstream_credit_wedge_yields_a_minimal_trace() {
+        // Stage 1 has credits but stage 2 has none: the source fills
+        // fifo0 (2 deep) and everything wedges. Shortest witness: two
+        // source firings.
+        let mut net = chain(2, 2, 2);
+        // Drain stage-2 credits by rebuilding with credits 0 there.
+        let pool1 = 3; // fifo0, credit0, fifo1, credit1
+        net.places[pool1].initial = 0;
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("wedged chain must refute");
+        };
+        assert_eq!(r.kind, FailureKind::Deadlock);
+        assert_eq!(r.trace.len(), 2, "trace: {}", r.trace);
+        verify_refutation(&net, &r).expect("refutation replays");
+        // Round-trips through the Schedule print/parse contract.
+        let parsed: Trace = r.trace.to_string().parse().unwrap();
+        assert_eq!(parsed, r.trace);
+    }
+
+    #[test]
+    fn over_credited_chain_overflows() {
+        let net = chain(2, 2, 3);
+        let ProveOutcome::Refuted(r) = prove(&net, &ProveOptions::default()) else {
+            panic!("over-credit must refute");
+        };
+        match r.kind {
+            FailureKind::Overflow { place } => {
+                assert!(net.places[place].name.starts_with("fifo"));
+                assert!(r.marking[place] > net.places[place].capacity);
+            }
+            FailureKind::Deadlock => panic!("expected overflow"),
+        }
+        verify_refutation(&net, &r).expect("refutation replays");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_frontier_stats() {
+        let net = chain(3, 2, 2);
+        let outcome = prove(
+            &net,
+            &ProveOptions {
+                state_budget: 2,
+                reduction: true,
+            },
+        );
+        let ProveOutcome::BudgetExhausted(fs) = outcome else {
+            panic!("budget 2 must exhaust");
+        };
+        assert_eq!(fs.budget, 2);
+        assert!(fs.frontier > 0);
+    }
+
+    #[test]
+    fn reduction_explores_no_more_and_agrees_with_full_search() {
+        let net = chain(4, 2, 2);
+        let full = prove(
+            &net,
+            &ProveOptions {
+                state_budget: DEFAULT_STATE_BUDGET,
+                reduction: false,
+            },
+        );
+        let reduced = prove(&net, &ProveOptions::default());
+        let (ProveOutcome::Certified(f), ProveOutcome::Certified(r)) = (&full, &reduced) else {
+            panic!("both searches must certify");
+        };
+        assert!(
+            r.states_explored <= f.states_explored,
+            "reduced {} vs full {}",
+            r.states_explored,
+            f.states_explored
+        );
+        // The inductive bounds are search-independent.
+        assert_eq!(f.place_bounds, r.place_bounds);
+    }
+
+    #[test]
+    fn trace_parse_rejects_malformed_input() {
+        for bad in ["1..2", "a.b", "1.-2", "1.2.", "."] {
+            assert!(bad.parse::<Trace>().is_err(), "{bad:?} must be rejected");
+        }
+        let t: Trace = " 3 . 1 . 2 ".parse().unwrap();
+        assert_eq!(t.steps(), &[3, 1, 2]);
+        let empty: Trace = "(default)".parse().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn corrupted_certificates_are_rejected() {
+        let net = chain(2, 2, 2);
+        let ProveOutcome::Certified(cert) = prove(&net, &ProveOptions::default()) else {
+            panic!("must certify");
+        };
+        let mut bad_bound = cert.clone();
+        bad_bound.place_bounds[0] += 1;
+        assert!(verify_certificate(&net, &bad_bound).is_err());
+        let mut bad_total = cert.clone();
+        bad_total.invariants[0].total += 1;
+        assert!(verify_certificate(&net, &bad_total).is_err());
+        let mut bad_cap = cert.clone();
+        bad_cap.place_bounds[0] = net.places[0].capacity + 1;
+        bad_cap.covered[0] = false;
+        assert!(verify_certificate(&net, &bad_cap).is_err());
+    }
+
+    #[test]
+    fn selftest_produces_the_rejection_diagnostic() {
+        let net = chain(2, 2, 2);
+        let diag = certificate_selftest(&net).expect("selftest passes on a healthy net");
+        assert_eq!(diag.code, codes::PROVE_CERTIFICATE_INVALID);
+        assert!(diag.is_error());
+    }
+
+    #[test]
+    fn outcome_diagnostics_name_the_right_codes() {
+        let healthy = chain(2, 2, 2);
+        let (_, diags) = prove_with_diagnostics(&healthy, &ProveOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+
+        let wedged = chain(1, 2, 0);
+        let (_, diags) = prove_with_diagnostics(&wedged, &ProveOptions::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::PROVE_DEADLOCK_REACHABLE);
+        assert!(diags[0].context.iter().any(|(k, _)| *k == "trace"));
+
+        let over = chain(2, 2, 3);
+        let (_, diags) = prove_with_diagnostics(&over, &ProveOptions::default());
+        assert_eq!(diags[0].code, codes::PROVE_OVERFLOW_REACHABLE);
+
+        let (_, diags) = prove_with_diagnostics(
+            &healthy,
+            &ProveOptions {
+                state_budget: 1,
+                reduction: true,
+            },
+        );
+        assert_eq!(diags[0].code, codes::PROVE_BUDGET_EXHAUSTED);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn replay_rejects_disabled_steps_and_bad_indices() {
+        let net = chain(1, 2, 1);
+        assert!(net.replay(&Trace::new(vec![9])).is_err());
+        // sink (transition 1) before anything is produced.
+        assert!(net.replay(&Trace::new(vec![1])).is_err());
+        // source then sink is fine and returns to the initial marking.
+        match net.replay(&Trace::new(vec![0, 1])).unwrap() {
+            ReplayEnd::Marking(m) => assert_eq!(m, net.initial_marking()),
+            ReplayEnd::Overflow { .. } => panic!("no overflow expected"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_nets() {
+        let mut net = TokenNet::default();
+        let p = net.add_place("p", 1, 0);
+        net.add_transition(Transition {
+            name: "bad".into(),
+            takes: vec![(p + 1, 1)],
+            ..Transition::default()
+        });
+        assert!(net.validate().is_err());
+        let mut zero_w = TokenNet::default();
+        let p = zero_w.add_place("p", 1, 0);
+        zero_w.add_transition(Transition {
+            name: "zero".into(),
+            puts: vec![(p, 0)],
+            ..Transition::default()
+        });
+        assert!(zero_w.validate().is_err());
+        let mut huge = TokenNet::default();
+        huge.add_place("p", MAX_CAPACITY + 1, 0);
+        assert!(huge.validate().is_err());
+    }
+
+    #[test]
+    fn conservation_invariants_find_fifo_credit_pairs() {
+        let net = chain(2, 2, 2);
+        let invs = conservation_invariants(&net);
+        // Two fifo+credit pairs, each conserved at 2 tokens.
+        assert_eq!(invs.len(), 2, "{invs:?}");
+        for inv in &invs {
+            assert_eq!(inv.places.len(), 2);
+            assert_eq!(inv.total, 2);
+        }
+    }
+}

@@ -388,4 +388,57 @@ mod tests {
         assert!((IoBusConfig::nvme_ssd().peak_bandwidth() - 8e9).abs() < 1.0);
         assert!((IoBusConfig::pcie_host().peak_bandwidth() - 16e9).abs() < 1.0);
     }
+
+    #[test]
+    fn striping_with_non_divisible_leaf_counts_loads_low_banks_heavier() {
+        // 6 leaves over 4 banks: banks 0 and 1 take two leaves, banks 2
+        // and 3 take one — and every bank serves at least one leaf.
+        let m = MemoryConfig::ddr4_aws_f1();
+        let mut per_bank = [0usize; 4];
+        for leaf in 0..6 {
+            per_bank[m.bank_for_leaf(leaf).expect("has banks")] += 1;
+        }
+        assert_eq!(per_bank, [2, 2, 1, 1]);
+        assert_eq!(m.banks_serving(6), 4);
+        // Fewer leaves than banks: only the first `leaves` banks serve.
+        assert_eq!(m.banks_serving(3), 3);
+        assert_eq!(m.shard_view(3).banks, 3);
+    }
+
+    #[test]
+    fn single_bank_striping_is_degenerate_but_total() {
+        let m = MemoryConfig::ddr4_single_bank();
+        for leaf in [0usize, 1, 7, 1000] {
+            assert_eq!(m.bank_for_leaf(leaf), Some(0));
+        }
+        assert_eq!(m.banks_serving(0), 0);
+        assert_eq!(m.banks_serving(64), 1);
+        let view = m.shard_view(64);
+        assert_eq!(view.banks, 1);
+        assert_eq!(view, m, "the whole memory is its own shard view");
+    }
+
+    #[test]
+    fn zero_leaf_shard_view_still_yields_a_usable_memory() {
+        // A group with no active leaves (or a zero-bank memory) must
+        // not produce a bankless — hence portless — shard view: the
+        // net lowering and the pass sharder both assume at least one
+        // read channel exists.
+        let m = MemoryConfig::ddr4_aws_f1();
+        assert_eq!(m.banks_serving(0), 0, "serving count itself is honest");
+        assert_eq!(m.shard_view(0).banks, 1, "clamped for the degenerate group");
+        let none = MemoryConfig {
+            banks: 0,
+            ..MemoryConfig::ddr4_aws_f1()
+        };
+        assert_eq!(none.shard_view(0).banks, 1);
+        assert_eq!(none.shard_view(64).banks, 1);
+        // Everything but the bank count is preserved by the view.
+        let view = m.shard_view(2);
+        assert_eq!(view.banks, 2);
+        assert_eq!(view.read_bytes_per_cycle, m.read_bytes_per_cycle);
+        assert_eq!(view.write_bytes_per_cycle, m.write_bytes_per_cycle);
+        assert_eq!(view.capacity_bytes, m.capacity_bytes);
+        assert_eq!(view.burst_setup_cycles, m.burst_setup_cycles);
+    }
 }

@@ -210,6 +210,150 @@ pub fn model_drift_probe(
     }
 }
 
+/// Safety factor applied on top of the fully-serialized per-stage cost
+/// in [`static_cycle_ceiling`]. The serialized sum already dominates
+/// every overlap the simulator can miss; the factor absorbs fill/drain
+/// artifacts on tiny arrays so the ceiling is *unconditionally* above
+/// any simulated run — that inequality is the soundness contract
+/// `prove_fuzz` differentially enforces.
+pub const CEILING_SAFETY_FACTOR: u64 = 2;
+
+/// Conservative static upper bound on the total cycles [`SimEngine`]
+/// can spend sorting `array` under `config`, assuming **zero overlap**
+/// between memory and compute: per merge stage, every batch pays a full
+/// burst setup and serialized transfer on both the read and write side,
+/// every record pays the full tree depth (plus the presorter network
+/// depth), every run pays a per-level flush bubble, and a generous
+/// pipeline-fill term is added — the whole sum then scaled by
+/// [`CEILING_SAFETY_FACTOR`].
+///
+/// Returns `None` when the configuration is malformed (the shape checks
+/// own that report) or the array needs zero merge stages (nothing to
+/// bound).
+#[must_use]
+pub fn static_cycle_ceiling(config: &SimEngineConfig, array: &ArrayParams) -> Option<u64> {
+    if bonsai_check::has_errors(&config.validate()) {
+        return None;
+    }
+    let presort = config.presort.unwrap_or(1);
+    let stages = perf::stages(array.n_records, config.amt.l, presort);
+    if stages == 0 || array.n_records == 0 {
+        return None;
+    }
+    let n = array.n_records;
+    let total_bytes = n.saturating_mul(config.loader.record_bytes);
+    let batch = config.loader.batch_bytes.max(1);
+    let batches = total_bytes.div_ceil(batch).max(1);
+    let setup = config.memory.burst_setup_cycles;
+    let read_rate = config.memory.read_bytes_per_cycle.max(1);
+    let write_rate = config.memory.write_bytes_per_cycle.max(1);
+    let p = config.amt.p as u64;
+    let depth = (config.amt.levels() as u64).max(1);
+    let presort_depth = if presort > 1 {
+        let stages = u64::from(presort.ilog2());
+        stages * stages + 2
+    } else {
+        0
+    };
+    // Runs only ever shrink across stages; the first stage's count
+    // bounds them all.
+    let runs = n.div_ceil(config.initial_run_len().max(1) as u64).max(1);
+
+    // The loader issues at least one burst per leaf stream per pass on
+    // top of the per-batch transfers, so the leaf count rides the
+    // setup charge.
+    let leaves = config.amt.l as u64;
+    let read = batches
+        .saturating_mul(batch.div_ceil(read_rate))
+        .saturating_add((batches + leaves).saturating_mul(setup));
+    let write = batches.saturating_mul(setup + batch.div_ceil(write_rate));
+    let compute = n.saturating_mul(depth + presort_depth + 2);
+    let flush = runs.saturating_mul(depth * (p + 2));
+    let fill = depth * (8 * p + 16) + 2 * setup + batch;
+    let per_stage = read
+        .saturating_add(write)
+        .saturating_add(compute)
+        .saturating_add(flush)
+        .saturating_add(fill);
+    Some(
+        per_stage
+            .saturating_mul(u64::from(stages))
+            .saturating_mul(CEILING_SAFETY_FACTOR),
+    )
+}
+
+/// Static steady-state throughput lower bound in bytes per second,
+/// derived from [`static_cycle_ceiling`] at clock `freq_hz`: the engine
+/// is guaranteed to sort `array` at *at least* this rate. `None` when
+/// no ceiling exists.
+#[must_use]
+pub fn throughput_floor(
+    config: &SimEngineConfig,
+    array: &ArrayParams,
+    freq_hz: f64,
+) -> Option<f64> {
+    let ceiling = static_cycle_ceiling(config, array)?;
+    if ceiling == 0 || freq_hz <= 0.0 {
+        return None;
+    }
+    let total_bytes = array.n_records.saturating_mul(config.loader.record_bytes);
+    Some(total_bytes as f64 * freq_hz / ceiling as f64)
+}
+
+/// Soundness cross-check of the static bound against an *observed*
+/// throughput in bytes per second (`BON064`). A lower bound exceeding
+/// what was actually achieved is a contradiction — the ceiling
+/// under-counted some cost — and is reported as an error.
+#[must_use]
+pub fn check_bound_against_observed(
+    config: &SimEngineConfig,
+    array: &ArrayParams,
+    freq_hz: f64,
+    observed_bytes_per_sec: f64,
+) -> Vec<Diagnostic> {
+    let Some(floor) = throughput_floor(config, array, freq_hz) else {
+        return Vec::new();
+    };
+    if floor > observed_bytes_per_sec {
+        vec![Diagnostic::error(
+            codes::PROVE_BOUND_UNSOUND,
+            "static throughput lower bound exceeds the observed throughput",
+        )
+        .with("floor_mb_s", format!("{:.3}", floor / 1e6))
+        .with(
+            "observed_mb_s",
+            format!("{:.3}", observed_bytes_per_sec / 1e6),
+        )
+        .with("n_records", array.n_records)]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Consistency check of the static throughput floor against the Eq. 1
+/// analytical model (`BON064`).
+///
+/// The floor assumes full serialization, so it must sit *below* the
+/// model's overlap-aware prediction; a floor above the model means the
+/// ceiling's cost accounting dropped a term the model still charges
+/// for — the same soundness bug [`check_bound_against_observed`]
+/// catches dynamically, found statically.
+#[must_use]
+pub fn check_static_bound(
+    config: &SimEngineConfig,
+    array: &ArrayParams,
+    hw: &HardwareParams,
+) -> Vec<Diagnostic> {
+    let presort = config.presort.unwrap_or(1);
+    let model_secs = perf::eq1_latency(array, hw, config.amt.p, config.amt.l, presort);
+    if model_secs <= 0.0 || !model_secs.is_finite() {
+        return Vec::new();
+    }
+    let total_bytes = array.n_records.saturating_mul(config.loader.record_bytes);
+    let model_throughput = total_bytes as f64 / model_secs;
+    check_bound_against_observed(config, array, hw.freq_hz, model_throughput)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +501,74 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, codes::GRAPH_MODEL_DRIFT);
         assert!(!diags[0].is_error(), "drift is a warning");
+    }
+
+    #[test]
+    fn ceiling_dominates_an_actual_simulation() {
+        use bonsai_records::U32Rec;
+        for (p, l, n) in [(4, 16, 4096usize), (8, 64, 4096), (4, 16, 300)] {
+            let config = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+            let array = ArrayParams {
+                n_records: n as u64,
+                record_bytes: config.loader.record_bytes,
+            };
+            let ceiling = static_cycle_ceiling(&config, &array).expect("bounded");
+            let mut state = 0x9e37_79b9_u64;
+            let data: Vec<U32Rec> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    U32Rec::new(state as u32)
+                })
+                .collect();
+            let (_, report) = SimEngine::new(config).sort(data);
+            assert!(
+                report.total_cycles <= ceiling,
+                "AMT({p},{l}) n={n}: sim {} > ceiling {ceiling}",
+                report.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn ceiling_declines_trivial_and_malformed_inputs() {
+        let config = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        // Fully presorted in one chunk: zero merge stages, no bound.
+        let tiny = ArrayParams {
+            n_records: 16,
+            record_bytes: 4,
+        };
+        assert_eq!(static_cycle_ceiling(&config, &tiny), None);
+        let mut broken = config;
+        broken.loader.record_bytes = 0;
+        let array = ArrayParams::from_bytes(1 << 20, 4);
+        assert_eq!(static_cycle_ceiling(&broken, &array), None);
+        assert_eq!(throughput_floor(&broken, &array, 250e6), None);
+    }
+
+    #[test]
+    fn floor_sits_below_the_analytical_model() {
+        let hw = HardwareParams::aws_f1();
+        let array = ArrayParams::from_bytes(1 << 24, 4);
+        for (p, l) in [(4, 16), (8, 64), (16, 256), (32, 64)] {
+            let config = SimEngineConfig::dram_sorter(AmtConfig::new(p, l), 4);
+            let floor = throughput_floor(&config, &array, hw.freq_hz).expect("bounded");
+            assert!(floor > 0.0);
+            let diags = check_static_bound(&config, &array, &hw);
+            assert!(diags.is_empty(), "AMT({p},{l}): {diags:?}");
+        }
+    }
+
+    #[test]
+    fn contradicted_floor_reports_bon064() {
+        let config = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let array = ArrayParams::from_bytes(1 << 24, 4);
+        // Claiming the hardware only achieved 1 B/s contradicts any
+        // positive lower bound.
+        let diags = check_bound_against_observed(&config, &array, 250e6, 1.0);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::PROVE_BOUND_UNSOUND);
+        assert!(diags[0].is_error());
     }
 }
