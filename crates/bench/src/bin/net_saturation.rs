@@ -1,0 +1,200 @@
+//! Saturation bench for the sort service: jobs/sec over loopback at
+//! 1, 8, and 64 concurrent clients.
+//!
+//! Each row starts a fresh in-process [`bonsai_net::Server`] on an
+//! ephemeral loopback port, splits the same fixed total of
+//! [`TOTAL_JOBS`] jobs across its clients, pipelines up to
+//! [`WINDOW`] jobs per connection, and verifies every reply
+//! (exactly-once acknowledgement, output equal to sanitize-then-sort
+//! of the input). The figure of merit is aggregate jobs/sec; with the
+//! total fixed, rows differ only in concurrency, so the 64-client row
+//! measures what contention costs — accept loop, per-connection
+//! threads, the shared bounded queue — and none of it is workload
+//! noise.
+//!
+//! Gate: the 64-client row must reach at least the 1-client rate. On a
+//! multi-core host saturation should *win* (more connections keep more
+//! runtime workers fed); like the other wall-clock gates
+//! (`perf_pipeline`, `runtime_smoke`) it arms only on hosts with ≥ 4
+//! cores, because on one core concurrency can only add overhead.
+//! Exactly-once verification is always on, every row, every host.
+//!
+//! Usage: `net_saturation [out.json]` (default `BENCH_9.json`; the
+//! `BONSAI_BENCH_OUT` environment variable overrides the default when
+//! no argument is given).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_bench::perf::{bench_json, bench_out_path, JsonField};
+use bonsai_gensort::dist::uniform_u32;
+use bonsai_net::{Client, Reply, Server, ServerConfig};
+use bonsai_records::{Record, U32Rec};
+use bonsai_runtime::RuntimeConfig;
+
+/// Jobs per row, split across that row's clients (64 divides it, so
+/// every concurrency level gets whole shares).
+const TOTAL_JOBS: u64 = 192;
+
+/// Records per job.
+const RECORDS: usize = 2048;
+
+/// Max pipelined jobs per connection.
+const WINDOW: usize = 4;
+
+/// Concurrency levels, one row each.
+const CLIENTS: [u64; 3] = [1, 8, 64];
+
+struct Row {
+    clients: u64,
+    jobs: u64,
+    elapsed_s: f64,
+    jobs_per_s: f64,
+}
+
+fn run_client(addr: SocketAddr, client_idx: u64, jobs: u64) -> u64 {
+    let mut client = Client::<U32Rec>::connect(addr).expect("connect loopback");
+    let mut pending: HashMap<u64, Vec<U32Rec>> = HashMap::new();
+    let mut ok = 0u64;
+    let recv_one = |client: &mut Client<U32Rec>, pending: &mut HashMap<_, Vec<U32Rec>>| match client
+        .recv()
+        .expect("recv")
+    {
+        Reply::Sorted { job_id, records } => {
+            let expected = pending
+                .remove(&job_id)
+                .expect("each job acknowledged exactly once");
+            assert_eq!(records, expected, "job {job_id}: output mismatch");
+        }
+        Reply::ServerError { code, message, .. } => panic!("{code}: {message}"),
+    };
+    for job in 0..jobs {
+        let seed = client_idx * 1_000_003 + job;
+        let data = uniform_u32(RECORDS, seed);
+        let mut expected: Vec<U32Rec> = data.iter().map(|r| r.sanitize()).collect();
+        expected.sort_unstable();
+        pending.insert(job, expected);
+        client.send(job, &data).expect("send");
+        while pending.len() >= WINDOW {
+            recv_one(&mut client, &mut pending);
+            ok += 1;
+        }
+    }
+    while !pending.is_empty() {
+        recv_one(&mut client, &mut pending);
+        ok += 1;
+    }
+    ok
+}
+
+fn measure(clients: u64) -> Row {
+    let config = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 0, // one per core
+            queue_depth: 64,
+            ..RuntimeConfig::default()
+        },
+        engine: SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4),
+        ..ServerConfig::default()
+    };
+    let server = Server::<U32Rec>::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let ok: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| scope.spawn(move || run_client(addr, c, TOTAL_JOBS / clients)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(ok, TOTAL_JOBS, "every job acknowledged exactly once");
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_ok, TOTAL_JOBS);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.wire_errors, 0);
+    assert_eq!(stats.connections, clients);
+
+    let row = Row {
+        clients,
+        jobs: TOTAL_JOBS,
+        elapsed_s,
+        jobs_per_s: TOTAL_JOBS as f64 / elapsed_s.max(1e-9),
+    };
+    println!(
+        "{:>3} clients: {} jobs x {} records in {:>6.3}s = {:>8.1} jobs/sec",
+        row.clients, row.jobs, RECORDS, row.elapsed_s, row.jobs_per_s,
+    );
+    row
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let base_rate = rows[0].jobs_per_s;
+    let json_rows: Vec<Vec<(&str, JsonField)>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                ("clients", JsonField::U64(r.clients)),
+                ("jobs", JsonField::U64(r.jobs)),
+                ("records", JsonField::U64(RECORDS as u64)),
+                (
+                    "elapsed_s",
+                    JsonField::F64 {
+                        value: r.elapsed_s,
+                        precision: 6,
+                    },
+                ),
+                (
+                    "jobs_per_s",
+                    JsonField::F64 {
+                        value: r.jobs_per_s,
+                        precision: 1,
+                    },
+                ),
+                (
+                    "speedup_vs_1c",
+                    JsonField::F64 {
+                        value: r.jobs_per_s / base_rate,
+                        precision: 3,
+                    },
+                ),
+            ]
+        })
+        .collect();
+    bench_json("net_saturation", &json_rows)
+}
+
+fn main() {
+    let out_path = bench_out_path("BENCH_9.json");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("== net_saturation: sort-service jobs/sec over loopback ==");
+    let rows: Vec<Row> = CLIENTS.into_iter().map(measure).collect();
+
+    // The saturation gate: concurrency must not cost throughput. Wall
+    // clock, so it arms only where parallel speedup is possible at all
+    // (same ≥ 4 core rule as the other wall-clock gates).
+    let single = &rows[0];
+    let saturated = rows.last().expect("rows is non-empty");
+    if cores >= 4 {
+        assert!(
+            saturated.jobs_per_s >= single.jobs_per_s,
+            "64-client throughput ({:.1} jobs/sec) fell below 1-client ({:.1}) on a {cores}-core host",
+            saturated.jobs_per_s,
+            single.jobs_per_s,
+        );
+    } else {
+        println!(
+            "note: {cores}-core host, saturation gate not armed \
+             (64c {:.2}x vs 1c; verification ran on every row)",
+            saturated.jobs_per_s / single.jobs_per_s,
+        );
+    }
+
+    let json = render_json(&rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

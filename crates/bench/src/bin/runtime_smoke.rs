@@ -33,7 +33,9 @@ fn run_batch(
     });
     let start = Instant::now();
     for id in 0..jobs {
-        runtime.submit(SortJob::new(id, cfg, data.to_vec()));
+        runtime
+            .submit(SortJob::new(id, cfg, data.to_vec()))
+            .expect("runtime open");
     }
     let results = runtime.finish();
     let wall = start.elapsed();
@@ -89,11 +91,13 @@ fn main() {
         scheduler: PassScheduler::Pipelined,
         ..RuntimeConfig::default()
     });
-    runtime.submit(SortJob::new(
-        0,
-        ssd_multipass_config(),
-        uniform_u32(MULTIPASS_RECORDS, 2026),
-    ));
+    runtime
+        .submit(SortJob::new(
+            0,
+            ssd_multipass_config(),
+            uniform_u32(MULTIPASS_RECORDS, 2026),
+        ))
+        .expect("runtime open");
     let report = runtime
         .finish()
         .remove(0)

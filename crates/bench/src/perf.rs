@@ -109,9 +109,21 @@ pub fn bench_json(bench: &str, rows: &[Vec<(&str, JsonField)>]) -> String {
 /// CLI argument if given, else the `BONSAI_BENCH_OUT` environment
 /// variable, else `default` (the in-repo filename).
 pub fn bench_out_path(default: &str) -> String {
-    std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("BONSAI_BENCH_OUT").ok())
+    resolve_bench_out(
+        std::env::args().nth(1),
+        std::env::var("BONSAI_BENCH_OUT").ok(),
+        default,
+    )
+}
+
+/// The pure precedence rule behind [`bench_out_path`], pinned by a
+/// unit test: an explicit CLI argument always beats the
+/// `BONSAI_BENCH_OUT` environment variable, which beats the in-repo
+/// default. An *empty* CLI argument or environment value is treated as
+/// unset rather than producing an unopenable `""` path.
+pub fn resolve_bench_out(cli: Option<String>, env: Option<String>, default: &str) -> String {
+    cli.filter(|s| !s.is_empty())
+        .or_else(|| env.filter(|s| !s.is_empty()))
         .unwrap_or_else(|| default.to_string())
 }
 
@@ -137,6 +149,27 @@ mod tests {
             json,
             "{\n  \"bench\": \"perf_example\",\n  \"configs\": [\n    \
              {\"name\": \"dram\", \"records\": 150000, \"speedup\": 1.235}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn bench_out_precedence_cli_beats_env_beats_default() {
+        let cli = || Some("cli.json".to_string());
+        let env = || Some("env.json".to_string());
+        assert_eq!(resolve_bench_out(cli(), env(), "default.json"), "cli.json");
+        assert_eq!(resolve_bench_out(None, env(), "default.json"), "env.json");
+        assert_eq!(
+            resolve_bench_out(None, None, "default.json"),
+            "default.json"
+        );
+        // Empty strings count as unset, not as a path.
+        assert_eq!(
+            resolve_bench_out(Some(String::new()), env(), "default.json"),
+            "env.json"
+        );
+        assert_eq!(
+            resolve_bench_out(Some(String::new()), Some(String::new()), "default.json"),
+            "default.json"
         );
     }
 

@@ -19,6 +19,7 @@
 //! | `BON04x`   | Simulation runtime   | [`codes::SIM_PASS_LIVELOCK`] |
 //! | `BON05x`   | Runtime topology     | [`codes::RUNTIME_QUEUE_ZERO`] |
 //! | `BON06x`   | Occupancy reachability | [`codes::PROVE_DEADLOCK_REACHABLE`] |
+//! | `BON07x`   | Wire protocol        | [`codes::WIRE_BAD_MAGIC`] |
 //! | `BON1xx`   | Simulation sanitizer | [`codes::SAN_FIFO_OVERFLOW`] |
 //!
 //! Every code is catalogued with cause and fix in
@@ -246,6 +247,29 @@ pub mod codes {
     /// A static refutation did not reproduce in simulation.
     pub const PROVE_REPLAY_DIVERGED: &str = "BON065";
 
+    // --- BON07x: wire protocol (bonsai-net) -----------------------------
+
+    /// A wire frame's magic word did not match; the byte stream is
+    /// desynchronized and the connection cannot be trusted further.
+    pub const WIRE_BAD_MAGIC: &str = "BON070";
+    /// A wire frame carried an unsupported protocol version.
+    pub const WIRE_BAD_VERSION: &str = "BON071";
+    /// The connection closed mid-frame (truncated header or payload).
+    pub const WIRE_TRUNCATED: &str = "BON072";
+    /// A wire frame declared a payload larger than the server accepts.
+    pub const WIRE_PAYLOAD_OVERSIZED: &str = "BON073";
+    /// A wire payload is not a whole number of records.
+    pub const WIRE_PAYLOAD_RAGGED: &str = "BON074";
+    /// A wire frame's record width does not match the server's record
+    /// type.
+    pub const WIRE_WIDTH_UNSUPPORTED: &str = "BON075";
+    /// The server is shutting down; the job was rejected, not run.
+    pub const WIRE_SERVER_CLOSED: &str = "BON076";
+    /// The job was accepted but failed server-side (invalid config,
+    /// BON040 livelock, or a panicking job); the payload carries the
+    /// underlying diagnostic text.
+    pub const WIRE_JOB_FAILED: &str = "BON077";
+
     // --- BON03x: pipeline-graph analyses --------------------------------
 
     /// The pipeline graph can deadlock (zero-credit edge or dataflow
@@ -454,6 +478,46 @@ pub mod codes {
             code: PROVE_REPLAY_DIVERGED,
             severity: Severity::Warning,
             summary: "static refutation did not reproduce in simulation",
+        },
+        CodeInfo {
+            code: WIRE_BAD_MAGIC,
+            severity: Severity::Error,
+            summary: "wire frame magic mismatch (stream desynchronized)",
+        },
+        CodeInfo {
+            code: WIRE_BAD_VERSION,
+            severity: Severity::Error,
+            summary: "wire protocol version unsupported",
+        },
+        CodeInfo {
+            code: WIRE_TRUNCATED,
+            severity: Severity::Error,
+            summary: "wire frame truncated mid-header or mid-payload",
+        },
+        CodeInfo {
+            code: WIRE_PAYLOAD_OVERSIZED,
+            severity: Severity::Error,
+            summary: "wire payload exceeds the server's frame limit",
+        },
+        CodeInfo {
+            code: WIRE_PAYLOAD_RAGGED,
+            severity: Severity::Error,
+            summary: "wire payload not a whole number of records",
+        },
+        CodeInfo {
+            code: WIRE_WIDTH_UNSUPPORTED,
+            severity: Severity::Error,
+            summary: "wire record width unsupported by the server",
+        },
+        CodeInfo {
+            code: WIRE_SERVER_CLOSED,
+            severity: Severity::Error,
+            summary: "server shutting down; job rejected at submit",
+        },
+        CodeInfo {
+            code: WIRE_JOB_FAILED,
+            severity: Severity::Error,
+            summary: "accepted job failed server-side",
         },
         CodeInfo {
             code: GRAPH_DEADLOCK,

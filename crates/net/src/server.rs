@@ -1,0 +1,549 @@
+//! The threaded sort server: accept loop, per-connection framing, and
+//! the streaming bridge into [`bonsai_runtime::Runtime`].
+//!
+//! One listener thread accepts connections; each connection gets a
+//! *reader* thread (frames in, jobs submitted) and a *writer* thread
+//! (results out, in completion order). Jobs flow through the runtime's
+//! bounded queue, so a flood of clients backs up into blocking
+//! [`Runtime::submit_with_reply`] calls instead of unbounded buffering,
+//! and each connection additionally caps its own in-flight jobs
+//! ([`ServerConfig::max_inflight_per_client`]) so one greedy client
+//! cannot monopolize the queue.
+//!
+//! Failure isolation is per *frame* and per *job*: a malformed frame is
+//! answered with a stable `BON07x` error response (and only the
+//! desynchronizing kinds close that one connection); a job that fails —
+//! or even panics — server-side comes back as `BON077` on its own
+//! connection while every other client keeps sorting.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use bonsai_amt::{AmtConfig, SimEngineConfig};
+use bonsai_records::wire::WireRecord;
+use bonsai_runtime::{JobResult, Runtime, RuntimeConfig, SortJob, SubmitError};
+
+use crate::frame::{self, RequestHeader, WireError, DEFAULT_MAX_PAYLOAD, HEADER_BYTES};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Read polls tolerated mid-frame after shutdown begins before the
+/// connection is abandoned (`40 × POLL` = a two-second grace window for
+/// a client to finish the frame it started).
+const SHUTDOWN_GRACE_POLLS: u32 = 40;
+
+/// Knobs of the sort server.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// The batch runtime underneath (workers, queue depth, scheduler).
+    pub runtime: RuntimeConfig,
+    /// Engine configuration every job is sorted with.
+    pub engine: SimEngineConfig,
+    /// Per-frame payload cap in bytes; a header declaring more is
+    /// refused with `BON073`.
+    pub max_payload: u32,
+    /// Jobs one connection may have in flight before its reader blocks
+    /// (fairness across clients on top of the shared bounded queue).
+    pub max_inflight_per_client: usize,
+    /// Secret for remote graceful shutdown: a control frame
+    /// (`record_width == 0`, `payload_len == 0`) whose job id equals
+    /// this token stops the server. `None` disables the remote path;
+    /// [`Server::shutdown`] always works locally.
+    pub shutdown_token: Option<u64>,
+    /// Log every wire error to stderr as a `bonsai-check` diagnostic
+    /// (the `bonsai-serve` binary turns this on; tests keep it quiet).
+    pub log: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeConfig::default(),
+            engine: SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            max_inflight_per_client: 8,
+            shutdown_token: None,
+            log: false,
+        }
+    }
+}
+
+/// Counters the server accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Jobs sorted and streamed back (`status 0`).
+    pub jobs_ok: u64,
+    /// Jobs that ran and failed (`BON077`).
+    pub jobs_failed: u64,
+    /// Jobs refused because the runtime was closing (`BON076`).
+    pub jobs_rejected: u64,
+    /// Malformed frames answered with `BON070`–`BON075`.
+    pub wire_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counting semaphore bounding one connection's in-flight jobs.
+#[derive(Debug)]
+struct Gate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(cap: usize) -> Self {
+        Self {
+            slots: Mutex::new(cap.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut slots = self.slots.lock().expect("gate lock");
+        while *slots == 0 {
+            slots = self.freed.wait(slots).expect("gate lock");
+        }
+        *slots -= 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock().expect("gate lock") += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// State shared between the accept loop, every connection thread, and
+/// the owning [`Server`] handle.
+struct Shared<R: WireRecord> {
+    runtime: Runtime<R>,
+    engine: SimEngineConfig,
+    max_payload: u32,
+    max_inflight: usize,
+    shutdown_token: Option<u64>,
+    log: bool,
+    stop: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    stats: StatsInner,
+}
+
+/// A running sort server; dropping (or [`Server::shutdown`]) stops the
+/// accept loop, joins every connection, and drains the runtime.
+pub struct Server<R: WireRecord> {
+    shared: Arc<Shared<R>>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl<R: WireRecord> core::fmt::Debug for Server<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.shared.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: WireRecord> Server<R> {
+    /// Binds the listener, starts the runtime and the accept loop.
+    /// Bind to port `0` for an ephemeral port and read it back with
+    /// [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime: Runtime::start(config.runtime),
+            engine: config.engine,
+            max_payload: config.max_payload,
+            max_inflight: config.max_inflight_per_client,
+            shutdown_token: config.shutdown_token,
+            log: config.log,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            stats: StatsInner::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("bonsai-net-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+            local_addr,
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Whether shutdown has been initiated (locally or by a
+    /// shutdown-token control frame).
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is initiated — by [`Server::shutdown`]
+    /// from another thread or by a client's shutdown-token frame.
+    pub fn wait(&self) {
+        while !self.is_stopping() {
+            thread::sleep(POLL);
+        }
+    }
+
+    /// Gracefully stops the server: refuses new jobs, lets in-flight
+    /// jobs finish and stream out, joins every thread, and returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.runtime.close();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for handle in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<R: WireRecord> Drop for Server<R> {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop<R: WireRecord>(listener: &TcpListener, shared: &Arc<Shared<R>>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("bonsai-net-conn".into())
+                    .spawn(move || serve_conn(stream, &conn_shared))
+                    .expect("spawn connection thread");
+                shared.conns.lock().expect("conns lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Outcome of filling a buffer from a polled socket.
+enum ReadFull {
+    /// The buffer is full.
+    Done,
+    /// Clean EOF at a frame boundary (zero bytes read).
+    CleanEof,
+    /// EOF mid-buffer: the peer closed inside a frame.
+    TruncatedEof,
+    /// Shutdown was requested and the read gave up waiting.
+    Stopped,
+    /// A hard I/O error.
+    Failed,
+}
+
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> ReadFull {
+    let mut filled = 0;
+    let mut polls_while_stopping = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadFull::CleanEof
+                } else {
+                    ReadFull::TruncatedEof
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                polls_while_stopping = 0;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    if filled == 0 {
+                        return ReadFull::Stopped;
+                    }
+                    polls_while_stopping += 1;
+                    if polls_while_stopping > SHUTDOWN_GRACE_POLLS {
+                        return ReadFull::Stopped;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadFull::Failed,
+        }
+    }
+    ReadFull::Done
+}
+
+/// Reads and discards `len` payload bytes so the stream stays framed
+/// after a recoverable header error. Returns `false` if the stream
+/// ended (or failed) first.
+fn skip_payload(stream: &mut TcpStream, len: u32, stop: &AtomicBool) -> bool {
+    let mut scratch = [0u8; 8192];
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let take = remaining.min(scratch.len());
+        match read_full(stream, &mut scratch[..take], stop) {
+            ReadFull::Done => remaining -= take,
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn reply_err<R: WireRecord>(
+    writer: &Mutex<TcpStream>,
+    shared: &Shared<R>,
+    job_id: u64,
+    err: &WireError,
+) {
+    if shared.log {
+        eprintln!("bonsai-serve: {}", err.diagnostic());
+    }
+    match err {
+        WireError::Closed => {
+            shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        WireError::JobFailed(_) => {
+            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let mut w = writer.lock().expect("writer lock");
+    let _ = frame::write_response_err(&mut *w, job_id, err);
+}
+
+/// The per-connection writer: streams each finished job back the
+/// moment its [`JobResult`] arrives, in completion order.
+fn writer_loop<R: WireRecord>(
+    results: &mpsc::Receiver<JobResult<R>>,
+    writer: &Mutex<TcpStream>,
+    gate: &Gate,
+    shared: &Shared<R>,
+) {
+    // A dead client must not wedge the drain: after the first write
+    // failure the loop keeps consuming results (releasing gate slots so
+    // the reader can observe EOF) without touching the socket again.
+    let mut sink_alive = true;
+    for result in results {
+        match result.result {
+            Ok(output) => {
+                shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                if sink_alive {
+                    let mut w = writer.lock().expect("writer lock");
+                    sink_alive =
+                        frame::write_response_ok(&mut *w, result.id, &output.sorted).is_ok();
+                }
+            }
+            Err(job_err) => {
+                if sink_alive {
+                    reply_err(
+                        writer,
+                        shared,
+                        result.id,
+                        &WireError::JobFailed(job_err.to_string()),
+                    );
+                } else {
+                    shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        gate.release();
+    }
+}
+
+fn serve_conn<R: WireRecord>(stream: TcpStream, shared: &Arc<Shared<R>>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = stream;
+    let writer = Arc::new(Mutex::new(write_half));
+    let gate = Arc::new(Gate::new(shared.max_inflight));
+    let (tx, rx) = mpsc::channel::<JobResult<R>>();
+
+    let writer_handle = {
+        let writer = Arc::clone(&writer);
+        let gate = Arc::clone(&gate);
+        let shared = Arc::clone(shared);
+        thread::Builder::new()
+            .name("bonsai-net-writer".into())
+            .spawn(move || writer_loop(&rx, &writer, &gate, &shared))
+            .expect("spawn writer thread")
+    };
+
+    loop {
+        let mut header_bytes = [0u8; HEADER_BYTES];
+        match read_full(&mut reader, &mut header_bytes, &shared.stop) {
+            ReadFull::Done => {}
+            ReadFull::CleanEof | ReadFull::Stopped | ReadFull::Failed => break,
+            ReadFull::TruncatedEof => {
+                reply_err(
+                    &writer,
+                    shared,
+                    0,
+                    &WireError::Truncated {
+                        context: "request header",
+                    },
+                );
+                break;
+            }
+        }
+        let header = match RequestHeader::decode(&header_bytes) {
+            Ok(header) => header,
+            Err(err @ WireError::BadVersion { .. }) => {
+                // Framing is intact — the length field is still ours to
+                // trust, so skip the payload and keep the connection.
+                let declared =
+                    u32::from_le_bytes(header_bytes[16..20].try_into().expect("4 bytes"));
+                if declared <= shared.max_payload
+                    && skip_payload(&mut reader, declared, &shared.stop)
+                {
+                    reply_err(&writer, shared, 0, &err);
+                    continue;
+                }
+                reply_err(&writer, shared, 0, &err);
+                break;
+            }
+            Err(err) => {
+                // Bad magic: the stream is desynchronized beyond repair.
+                reply_err(&writer, shared, 0, &err);
+                break;
+            }
+        };
+
+        // Control frame: width 0, no payload. With the right token it
+        // requests graceful shutdown; otherwise it is width-rejected.
+        if header.record_width == 0 && header.payload_len == 0 {
+            if shared.shutdown_token == Some(header.job_id) {
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.runtime.close();
+                let mut w = writer.lock().expect("writer lock");
+                let _ = frame::write_response_ok::<_, R>(&mut *w, header.job_id, &[]);
+                continue;
+            }
+            reply_err(
+                &writer,
+                shared,
+                header.job_id,
+                &WireError::UnsupportedWidth {
+                    found: 0,
+                    expected: R::WIRE_BYTES as u16,
+                },
+            );
+            continue;
+        }
+
+        if let Err(err) = header.validate(R::WIRE_BYTES as u16, shared.max_payload) {
+            if err.recoverable() && skip_payload(&mut reader, header.payload_len, &shared.stop) {
+                reply_err(&writer, shared, header.job_id, &err);
+                continue;
+            }
+            reply_err(&writer, shared, header.job_id, &err);
+            break;
+        }
+
+        let mut payload = vec![0u8; header.payload_len as usize];
+        match read_full(&mut reader, &mut payload, &shared.stop) {
+            ReadFull::Done => {}
+            ReadFull::CleanEof | ReadFull::TruncatedEof => {
+                reply_err(
+                    &writer,
+                    shared,
+                    header.job_id,
+                    &WireError::Truncated {
+                        context: "request payload",
+                    },
+                );
+                break;
+            }
+            ReadFull::Stopped | ReadFull::Failed => break,
+        }
+        let records = match frame::decode_records::<R>(&payload) {
+            Ok(records) => records,
+            Err(err) => {
+                // Unreachable after validate(), but never panic a
+                // connection thread over it.
+                reply_err(&writer, shared, header.job_id, &err);
+                continue;
+            }
+        };
+
+        gate.acquire();
+        let job = SortJob::new(header.job_id, shared.engine, records);
+        match shared.runtime.submit_with_reply(job, tx.clone()) {
+            Ok(_ticket) => {}
+            Err(SubmitError::Closed(job)) => {
+                gate.release();
+                reply_err(&writer, shared, job.id, &WireError::Closed);
+            }
+        }
+    }
+
+    // Hand the reader's sender back; the writer drains every in-flight
+    // result (workers hold their own clones) and then exits.
+    drop(tx);
+    let _ = writer_handle.join();
+}

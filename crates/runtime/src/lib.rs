@@ -17,6 +17,19 @@
 //! batch keeps sorting. Reports are bit-identical for every
 //! worker-count setting (see [`bonsai_amt::shard`]).
 //!
+//! Results come back two ways:
+//!
+//! - **batch** — [`Runtime::finish`] consumes the runtime and returns
+//!   every [`JobResult`] in submission order (by the runtime-assigned
+//!   [`JobResult::ticket`], so caller-chosen [`SortJob::id`]s may
+//!   collide freely — the id is an opaque tag, echoed back untouched);
+//! - **streaming** — [`Runtime::submit_with_reply`] attaches a
+//!   completion channel to one job, and the worker delivers that
+//!   [`JobResult`] the moment it finishes, while the runtime keeps
+//!   accepting jobs. This is what a long-lived front end (for example
+//!   `bonsai-net`'s TCP server) sits on: `finish` never has to be
+//!   called just to see a result.
+//!
 //! The queue and pool are generic over the `bonsai_mc` sync facade:
 //! production builds monomorphize to plain `std::sync` (zero overhead),
 //! while `tests/mc_queue.rs` instantiates the same code with the model
@@ -35,7 +48,9 @@
 //! let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
 //! let runtime = Runtime::start(RuntimeConfig::default());
 //! for id in 0..4 {
-//!     runtime.submit(SortJob::new(id, cfg, uniform_u32(10_000, id)));
+//!     runtime
+//!         .submit(SortJob::new(id, cfg, uniform_u32(10_000, id)))
+//!         .expect("runtime is open");
 //! }
 //! let results = runtime.finish();
 //! assert_eq!(results.len(), 4);
@@ -213,7 +228,10 @@ fn available_cores() -> usize {
 /// them under.
 #[derive(Debug, Clone)]
 pub struct SortJob<R> {
-    /// Caller-chosen identifier, echoed in the [`JobResult`].
+    /// Caller-chosen identifier, echoed in the [`JobResult`]. An opaque
+    /// tag: the runtime never interprets it, and ids may collide across
+    /// submitters — results are attributed and ordered by the
+    /// runtime-assigned [`JobResult::ticket`], not by this id.
     pub id: u64,
     /// Engine configuration for this job.
     pub config: SimEngineConfig,
@@ -227,6 +245,57 @@ impl<R> SortJob<R> {
         Self { id, config, data }
     }
 }
+
+/// Why [`Runtime::submit`] rejected a job. The job rides along so the
+/// caller gets its records back instead of losing them to the error
+/// path.
+pub enum SubmitError<R> {
+    /// The queue was closed (by [`Runtime::close`], typically from
+    /// another handle to an `Arc`-shared runtime) before the job could
+    /// be enqueued. Boxed so the `Result` stays small on the hot
+    /// accept path; the allocation only happens on rejection.
+    Closed(Box<SortJob<R>>),
+}
+
+impl<R> SubmitError<R> {
+    /// The rejected job, handed back to the caller.
+    #[must_use]
+    pub fn into_job(self) -> SortJob<R> {
+        match self {
+            SubmitError::Closed(job) => *job,
+        }
+    }
+}
+
+// Manual impls keep `R: Debug` off the public bound (and keep the
+// record payload out of error output).
+impl<R> core::fmt::Debug for SubmitError<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Closed(job) => f
+                .debug_struct("SubmitError::Closed")
+                .field("id", &job.id)
+                .field("records", &job.data.len())
+                .finish(),
+        }
+    }
+}
+
+impl<R> core::fmt::Display for SubmitError<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Closed(job) => {
+                write!(
+                    f,
+                    "runtime closed; job {} handed back to the caller",
+                    job.id
+                )
+            }
+        }
+    }
+}
+
+impl<R> std::error::Error for SubmitError<R> {}
 
 /// Why one job failed (the rest of the batch is unaffected).
 #[derive(Debug, Clone, PartialEq)]
@@ -267,16 +336,30 @@ pub struct JobOutput<R> {
 /// Outcome of one submitted job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult<R> {
-    /// The identifier from [`SortJob::id`].
+    /// The identifier from [`SortJob::id`] — an opaque caller tag,
+    /// echoed back untouched (it may collide with other jobs' ids).
     pub id: u64,
+    /// Runtime-assigned monotonic submission ticket, unique per
+    /// runtime. [`Runtime::finish`] orders results by this, so
+    /// colliding caller ids can never misattribute or reorder results.
+    pub ticket: u64,
     /// The sorted output, or why this job failed.
     pub result: Result<JobOutput<R>, JobError>,
     /// Wall-clock time the worker spent on the job.
     pub wall: Duration,
 }
 
-fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
+/// What travels through the queue: the job plus its ticket and an
+/// optional completion channel (`None` = collect for `finish`).
+struct Dispatch<R> {
+    ticket: u64,
+    job: SortJob<R>,
+    reply: Option<std::sync::mpsc::Sender<JobResult<R>>>,
+}
+
+fn run_job<R: Record>(ticket: u64, job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
     let start = std::time::Instant::now();
+    let id = job.id;
     let result = SimEngine::try_new(job.config)
         .map_err(JobError::Invalid)
         .and_then(|engine| {
@@ -297,7 +380,8 @@ fn run_job<R: Record>(job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
             .map_err(JobError::Sim)
         });
     JobResult {
-        id: job.id,
+        id,
+        ticket,
         result,
         wall: start.elapsed(),
     }
@@ -314,14 +398,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// A worker pool sorting batches of [`SortJob`]s.
 ///
 /// Submissions flow through a bounded queue; [`Runtime::finish`] closes
-/// the queue, joins the workers and returns every [`JobResult`] ordered
-/// by job id. Dropping the runtime without `finish` also closes the
-/// queue and joins the workers (per [`RuntimeConfig::close_on_drop`] /
-/// [`RuntimeConfig::join_on_drop`]), discarding any collected results.
+/// the queue, joins the workers and returns every collected
+/// [`JobResult`] in submission order (by [`JobResult::ticket`]).
+/// Jobs submitted with [`Runtime::submit_with_reply`] stream their
+/// result through the caller's channel the moment they complete
+/// instead, so a long-lived service never has to consume the runtime to
+/// observe results. Dropping the runtime without `finish` also closes
+/// the queue and joins the workers (per
+/// [`RuntimeConfig::close_on_drop`] / [`RuntimeConfig::join_on_drop`]),
+/// discarding any collected results.
 #[derive(Debug)]
 pub struct Runtime<R: Record> {
     config: RuntimeConfig,
-    pool: WorkerPool<SortJob<R>, JobResult<R>, StdSync>,
+    next_ticket: std::sync::atomic::AtomicU64,
+    // Reply-path results are delivered through their channel and return
+    // `None` from the runner, so an always-on service does not
+    // accumulate results it will never `finish`.
+    pool: WorkerPool<Dispatch<R>, Option<JobResult<R>>, StdSync>,
 }
 
 impl<R: Record> Runtime<R> {
@@ -333,23 +426,41 @@ impl<R: Record> Runtime<R> {
         } else {
             config.workers
         };
-        let runner = move |job: SortJob<R>| {
+        let runner = move |dispatch: Dispatch<R>| {
+            let Dispatch { ticket, job, reply } = dispatch;
             let id = job.id;
             let start = std::time::Instant::now();
             // A panicking job must fail alone: catch it here so the
             // worker survives to drain the rest of the queue, and so
             // shutdown never has to join a dead thread.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job, &config)))
-                .unwrap_or_else(|payload| JobResult {
-                    id,
-                    result: Err(JobError::Panic(panic_message(payload.as_ref()))),
-                    wall: start.elapsed(),
-                })
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(ticket, job, &config)
+            }))
+            .unwrap_or_else(|payload| JobResult {
+                id,
+                ticket,
+                result: Err(JobError::Panic(panic_message(payload.as_ref()))),
+                wall: start.elapsed(),
+            });
+            match reply {
+                // A dropped receiver means the submitter stopped
+                // listening (e.g. its connection died); the result is
+                // discarded, never wedging the worker.
+                Some(tx) => {
+                    let _ = tx.send(result);
+                    None
+                }
+                None => Some(result),
+            }
         };
         let mut pool = WorkerPool::start(workers, config.queue_depth, runner);
         pool.close_on_drop(config.close_on_drop)
             .join_on_drop(config.join_on_drop);
-        Self { config, pool }
+        Self {
+            config,
+            next_ticket: std::sync::atomic::AtomicU64::new(0),
+            pool,
+        }
     }
 
     /// The runtime configuration.
@@ -362,37 +473,100 @@ impl<R: Record> Runtime<R> {
         self.pool.pending()
     }
 
-    /// Submits a job, blocking while the queue is full (backpressure).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called after [`Runtime::finish`] closed the queue —
-    /// impossible through this API, which consumes the runtime.
-    pub fn submit(&self, job: SortJob<R>) {
-        if self.pool.submit(job).is_err() {
-            unreachable!("queue closes only when finish() consumes the runtime");
+    fn dispatch(
+        &self,
+        job: SortJob<R>,
+        reply: Option<std::sync::mpsc::Sender<JobResult<R>>>,
+    ) -> Result<u64, SubmitError<R>> {
+        let ticket = self
+            .next_ticket
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.pool.submit(Dispatch { ticket, job, reply }) {
+            Ok(()) => Ok(ticket),
+            // The blocking push only ever fails Closed; hand the job
+            // back instead of dropping (or panicking over) it.
+            Err(PushError::Closed(d) | PushError::Full(d)) => {
+                Err(SubmitError::Closed(Box::new(d.job)))
+            }
         }
     }
 
-    /// Submits a job without blocking.
+    /// Submits a job, blocking while the queue is full (backpressure),
+    /// and returns its submission ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] hands the job back if the queue was
+    /// closed — e.g. by [`Runtime::close`] on another handle to an
+    /// `Arc`-shared runtime. (This used to be an `unreachable!` panic.)
+    pub fn submit(&self, job: SortJob<R>) -> Result<u64, SubmitError<R>> {
+        self.dispatch(job, None)
+    }
+
+    /// Submits a job whose [`JobResult`] is delivered through `reply`
+    /// as soon as a worker completes it, instead of being collected for
+    /// [`Runtime::finish`]. Blocks while the queue is full
+    /// (backpressure) and returns the submission ticket.
+    ///
+    /// If the receiver is dropped before the job completes, the result
+    /// is discarded — the worker never blocks on delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] hands the job back if the queue was
+    /// closed.
+    pub fn submit_with_reply(
+        &self,
+        job: SortJob<R>,
+        reply: std::sync::mpsc::Sender<JobResult<R>>,
+    ) -> Result<u64, SubmitError<R>> {
+        self.dispatch(job, Some(reply))
+    }
+
+    /// Submits a job without blocking; returns its submission ticket.
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] hands the job back when the queue is at
-    /// capacity; retry or apply backpressure upstream.
+    /// capacity (retry or apply backpressure upstream),
+    /// [`PushError::Closed`] after [`Runtime::close`].
     // The large Err is the point: the rejected job (with its data)
     // returns to the caller instead of being dropped.
     #[allow(clippy::result_large_err)]
-    pub fn try_submit(&self, job: SortJob<R>) -> Result<(), PushError<SortJob<R>>> {
-        self.pool.try_submit(job)
+    pub fn try_submit(&self, job: SortJob<R>) -> Result<u64, PushError<SortJob<R>>> {
+        let ticket = self
+            .next_ticket
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.pool
+            .try_submit(Dispatch {
+                ticket,
+                job,
+                reply: None,
+            })
+            .map(|()| ticket)
+            .map_err(|e| match e {
+                PushError::Full(d) => PushError::Full(d.job),
+                PushError::Closed(d) => PushError::Closed(d.job),
+            })
     }
 
-    /// Drains the queue, stops the workers and returns every job's
-    /// result, ordered by job id.
+    /// Closes the job queue without consuming the runtime: queued jobs
+    /// still drain (and reply-path results still deliver), but every
+    /// subsequent submit gets its job back as [`SubmitError::Closed`].
+    /// This is the shutdown seam for `Arc`-shared runtimes — a server
+    /// can stop intake while connection handlers still hold clones.
+    pub fn close(&self) {
+        self.pool.close();
+    }
+
+    /// Drains the queue, stops the workers and returns every collected
+    /// job result in submission order ([`JobResult::ticket`]). Results
+    /// already streamed through [`Runtime::submit_with_reply`] channels
+    /// are not duplicated here.
     #[must_use]
     pub fn finish(self) -> Vec<JobResult<R>> {
-        let mut results = self.pool.finish();
-        results.sort_by_key(|r| r.id);
+        let mut results: Vec<JobResult<R>> = self.pool.finish().into_iter().flatten().collect();
+        results.sort_by_key(|r| r.ticket);
         results
     }
 }
@@ -417,7 +591,9 @@ mod tests {
         });
         let inputs: Vec<Vec<U32Rec>> = (0..6).map(|id| uniform_u32(5_000, id)).collect();
         for (id, data) in inputs.iter().enumerate() {
-            runtime.submit(SortJob::new(id as u64, dram_cfg(), data.clone()));
+            runtime
+                .submit(SortJob::new(id as u64, dram_cfg(), data.clone()))
+                .expect("runtime open");
         }
         let results = runtime.finish();
         assert_eq!(results.len(), 6);
@@ -441,9 +617,15 @@ mod tests {
             workers: 2,
             ..RuntimeConfig::default()
         });
-        runtime.submit(SortJob::new(0, dram_cfg(), uniform_u32(2_000, 1)));
-        runtime.submit(SortJob::new(1, bad, uniform_u32(2_000, 2)));
-        runtime.submit(SortJob::new(2, dram_cfg(), uniform_u32(2_000, 3)));
+        runtime
+            .submit(SortJob::new(0, dram_cfg(), uniform_u32(2_000, 1)))
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(1, bad, uniform_u32(2_000, 2)))
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(2, dram_cfg(), uniform_u32(2_000, 3)))
+            .expect("runtime open");
         let results = runtime.finish();
         assert!(results[0].result.is_ok());
         assert!(results[2].result.is_ok(), "batch survives a bad job");
@@ -464,7 +646,9 @@ mod tests {
             max_pass_cycles: Some(10),
             ..RuntimeConfig::default()
         });
-        runtime.submit(SortJob::new(0, dram_cfg(), uniform_u32(50_000, 4)));
+        runtime
+            .submit(SortJob::new(0, dram_cfg(), uniform_u32(50_000, 4)))
+            .expect("runtime open");
         let results = runtime.finish();
         match &results[0].result {
             Err(JobError::Sim(err)) => {
@@ -491,7 +675,9 @@ mod tests {
                 reference_loop: Some(reference),
                 ..RuntimeConfig::default()
             });
-            runtime.submit(SortJob::new(0, dram_cfg(), data.clone()));
+            runtime
+                .submit(SortJob::new(0, dram_cfg(), data.clone()))
+                .expect("runtime open");
             runtime.finish().remove(0).result.expect("sorts")
         };
         let fast = run(false);
@@ -522,7 +708,9 @@ mod tests {
             .map(|&shape| {
                 let runtime = Runtime::start(shape);
                 for id in 0..3 {
-                    runtime.submit(SortJob::new(id, dram_cfg(), data.clone()));
+                    runtime
+                        .submit(SortJob::new(id, dram_cfg(), data.clone()))
+                        .expect("runtime open");
                 }
                 let mut results = runtime.finish();
                 assert_eq!(results.len(), 3);
@@ -592,9 +780,15 @@ mod tests {
         };
         let mut poisoned = clean(7);
         poisoned[1_234] = PanicRec(POISON);
-        runtime.submit(SortJob::new(0, dram_cfg(), clean(1)));
-        runtime.submit(SortJob::new(1, dram_cfg(), poisoned));
-        runtime.submit(SortJob::new(2, dram_cfg(), clean(2)));
+        runtime
+            .submit(SortJob::new(0, dram_cfg(), clean(1)))
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(1, dram_cfg(), poisoned))
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(2, dram_cfg(), clean(2)))
+            .expect("runtime open");
         // finish() joins every worker; if the panic had killed a worker
         // instead of failing the job, the remaining jobs could sit in
         // the queue forever and this would hang (tier-1 timeout).
@@ -623,7 +817,9 @@ mod tests {
                 scheduler,
                 ..RuntimeConfig::default()
             });
-            runtime.submit(SortJob::new(0, dram_cfg(), data.clone()));
+            runtime
+                .submit(SortJob::new(0, dram_cfg(), data.clone()))
+                .expect("runtime open");
             runtime.finish().remove(0).result.expect("sorts")
         };
         let barrier = run(PassScheduler::Barrier);
@@ -654,8 +850,12 @@ mod tests {
             .map(|i| PanicRec(i.wrapping_mul(2_654_435_761).wrapping_add(7) | 1))
             .collect();
         poisoned[1_234] = PanicRec(POISON);
-        runtime.submit(SortJob::new(0, dram_cfg(), poisoned));
-        runtime.submit(SortJob::new(1, dram_cfg(), vec![PanicRec(3), PanicRec(2)]));
+        runtime
+            .submit(SortJob::new(0, dram_cfg(), poisoned))
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(1, dram_cfg(), vec![PanicRec(3), PanicRec(2)]))
+            .expect("runtime open");
         let results = runtime.finish();
         assert_eq!(results.len(), 2);
         match &results[0].result {
@@ -678,7 +878,9 @@ mod tests {
             let data: Vec<PanicRec> = (0..2_000u32)
                 .map(|i| PanicRec(if i == 999 { POISON } else { i | 1 }))
                 .collect();
-            runtime.submit(SortJob::new(0, dram_cfg(), data));
+            runtime
+                .submit(SortJob::new(0, dram_cfg(), data))
+                .expect("runtime open");
             // Dropped without finish: close_on_drop unparks any worker
             // still waiting in pop, join_on_drop reclaims both threads.
         }
@@ -709,5 +911,160 @@ mod tests {
             RuntimeConfig::default().validate().is_empty(),
             "the default runtime shape must not trip its own lints"
         );
+    }
+
+    /// Regression: submitting after the queue was closed out from under
+    /// the caller (an `Arc`-shared runtime whose other handle called
+    /// `close`) used to hit `unreachable!`; it must hand the job back
+    /// as a structured error instead.
+    #[test]
+    fn submit_after_close_hands_the_job_back() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        let data = uniform_u32(1_000, 3);
+        runtime.close();
+        match runtime.submit(SortJob::new(42, dram_cfg(), data.clone())) {
+            Err(SubmitError::Closed(job)) => {
+                assert_eq!(job.id, 42, "the rejected job comes back intact");
+                assert_eq!(job.data, data, "with its records");
+            }
+            Ok(ticket) => panic!("closed runtime accepted ticket {ticket}"),
+        }
+        assert!(
+            runtime.finish().is_empty(),
+            "nothing was enqueued after close"
+        );
+    }
+
+    /// Regression: caller-chosen ids may collide (independent clients
+    /// pick their own); results must still come back in submission
+    /// order with each output attributable to its own submission via
+    /// the runtime-assigned ticket.
+    #[test]
+    fn colliding_ids_are_ordered_and_attributed_by_ticket() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        // Three jobs, all claiming id 7, with distinguishable sizes.
+        let sizes = [1_000usize, 2_000, 3_000];
+        let tickets: Vec<u64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                runtime
+                    .submit(SortJob::new(7, dram_cfg(), uniform_u32(n, i as u64)))
+                    .expect("runtime open")
+            })
+            .collect();
+        assert!(
+            tickets.windows(2).all(|w| w[0] < w[1]),
+            "tickets are monotonic: {tickets:?}"
+        );
+        let results = runtime.finish();
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.id, 7, "caller tag echoed untouched");
+            assert_eq!(r.ticket, tickets[i], "submission order preserved");
+            let out = r.result.as_ref().expect("sorts");
+            assert_eq!(
+                out.sorted.len(),
+                sizes[i],
+                "result {i} must belong to submission {i}, not another id-7 job"
+            );
+        }
+    }
+
+    /// The streaming completion path: each result arrives through the
+    /// reply channel as its job finishes, without consuming the
+    /// runtime, and `finish` does not return those results again.
+    #[test]
+    fn submit_with_reply_streams_results_as_they_finish() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let inputs: Vec<Vec<U32Rec>> = (0..4).map(|id| uniform_u32(4_000, id)).collect();
+        for (id, data) in inputs.iter().enumerate() {
+            runtime
+                .submit_with_reply(
+                    SortJob::new(id as u64, dram_cfg(), data.clone()),
+                    tx.clone(),
+                )
+                .expect("runtime open");
+        }
+        drop(tx);
+        // Results stream in completion order while the runtime is live.
+        let mut streamed: Vec<JobResult<U32Rec>> = rx.iter().collect();
+        assert_eq!(streamed.len(), 4, "every reply-path job streams back");
+        streamed.sort_by_key(|r| r.ticket);
+        for (id, r) in streamed.iter().enumerate() {
+            assert_eq!(r.id, id as u64);
+            let out = r.result.as_ref().expect("sorts");
+            assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(out.sorted.len(), inputs[id].len());
+        }
+        assert!(
+            runtime.finish().is_empty(),
+            "streamed results must not be collected a second time"
+        );
+    }
+
+    /// Streamed and batch-collected runs of the same jobs produce
+    /// bit-identical outputs and reports: the completion path must not
+    /// disturb the sort itself.
+    #[test]
+    fn reply_path_is_bit_identical_to_batch_path() {
+        let data = uniform_u32(10_000, 77);
+        let batch = {
+            let runtime = Runtime::start(RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            });
+            runtime
+                .submit(SortJob::new(0, dram_cfg(), data.clone()))
+                .expect("runtime open");
+            runtime.finish().remove(0).result.expect("sorts")
+        };
+        let streamed = {
+            let runtime = Runtime::start(RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            });
+            let (tx, rx) = std::sync::mpsc::channel();
+            runtime
+                .submit_with_reply(SortJob::new(0, dram_cfg(), data.clone()), tx)
+                .expect("runtime open");
+            let result = rx.recv().expect("reply delivered");
+            drop(runtime);
+            result.result.expect("sorts")
+        };
+        assert_eq!(batch.sorted, streamed.sorted);
+        assert_eq!(batch.report, streamed.report);
+    }
+
+    /// A dropped reply receiver (a client that hung up) must not wedge
+    /// or kill the worker; later jobs still complete.
+    #[test]
+    fn dropped_reply_receiver_does_not_disturb_the_pool() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(rx);
+        runtime
+            .submit_with_reply(SortJob::new(0, dram_cfg(), uniform_u32(2_000, 5)), tx)
+            .expect("runtime open");
+        runtime
+            .submit(SortJob::new(1, dram_cfg(), uniform_u32(2_000, 6)))
+            .expect("runtime open");
+        let results = runtime.finish();
+        assert_eq!(results.len(), 1, "only the batch job is collected");
+        assert_eq!(results[0].id, 1);
+        assert!(results[0].result.is_ok());
     }
 }

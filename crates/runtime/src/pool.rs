@@ -131,6 +131,14 @@ impl<J: Send + 'static, R: Send + 'static, S: SyncOps> WorkerPool<J, R, S> {
         self.shared.queue.try_push(job)
     }
 
+    /// Closes the queue without joining the workers: queued jobs still
+    /// drain, further submits fail with [`PushError::Closed`], and the
+    /// workers exit once the queue is empty. [`WorkerPool::finish`] (or
+    /// drop) still joins them.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
     /// Closes the queue, joins every worker and returns the collected
     /// results (in completion order).
     ///

@@ -124,7 +124,9 @@ fn runtime_batch_identical_across_worker_shapes_and_modes() {
                     ..RuntimeConfig::default()
                 });
                 for (id, data) in jobs.iter().enumerate() {
-                    runtime.submit(SortJob::new(id as u64, cfg, data.clone()));
+                    runtime
+                        .submit(SortJob::new(id as u64, cfg, data.clone()))
+                        .expect("runtime open");
                 }
                 let results = runtime.finish();
                 assert_eq!(results.len(), jobs.len());
@@ -170,7 +172,9 @@ fn runtime_concurrent_submitters_with_tiny_queue() {
                     for j in 0..4u64 {
                         let id = s * 4 + j;
                         let data = uniform_u32(rng.range_usize(500, 2_500), id);
-                        runtime.submit(SortJob::new(id, cfg, data));
+                        runtime
+                            .submit(SortJob::new(id, cfg, data))
+                            .expect("runtime open");
                     }
                 })
             })
@@ -183,10 +187,36 @@ fn runtime_concurrent_submitters_with_tiny_queue() {
         let results = runtime.finish();
         assert!(start.elapsed() < Duration::from_secs(110), "finish stalled");
         assert_eq!(results.len(), 12, "every submitted job came back");
-        for (i, r) in results.iter().enumerate() {
-            assert_eq!(r.id, i as u64);
+        // `finish` orders by the runtime-assigned ticket (true
+        // submission order), and with three racing submitters that
+        // interleaving is nondeterministic — so assert the invariants,
+        // not one particular interleaving: tickets strictly increase,
+        // each id arrives exactly once, each submitter's own ids appear
+        // in its submission order, and every output is sorted.
+        let mut seen = [false; 12];
+        for r in &results {
+            let id = usize::try_from(r.id).unwrap();
+            assert!(!seen[id], "id {id} delivered twice");
+            seen[id] = true;
             let out = r.result.as_ref().expect("jobs sort");
             assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert!(seen.iter().all(|&s| s), "every id came back");
+        assert!(
+            results.windows(2).all(|w| w[0].ticket < w[1].ticket),
+            "finish orders by strictly increasing ticket"
+        );
+        for s in 0..3u64 {
+            let own: Vec<u64> = results
+                .iter()
+                .filter(|r| r.id / 4 == s)
+                .map(|r| r.id)
+                .collect();
+            assert_eq!(
+                own,
+                vec![s * 4, s * 4 + 1, s * 4 + 2, s * 4 + 3],
+                "submitter {s}'s jobs keep their submission order"
+            );
         }
     });
 }

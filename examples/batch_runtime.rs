@@ -32,7 +32,9 @@ fn main() {
     let jobs = 6u64;
     for id in 0..jobs {
         let cfg = shapes[(id % 2) as usize];
-        runtime.submit(SortJob::new(id, cfg, uniform_u32(100_000, id)));
+        runtime
+            .submit(SortJob::new(id, cfg, uniform_u32(100_000, id)))
+            .expect("runtime open");
     }
 
     // 3. Collect. Results come back ordered by job id whatever order

@@ -16,6 +16,7 @@
 //! - [`model`]: the Bonsai analytical models and configuration optimizer,
 //! - [`sorters`]: end-to-end DRAM / HBM / SSD sorting systems,
 //! - [`runtime`]: batch sort-job runtime (bounded queue, worker pool),
+//! - [`net`]: sort-as-a-service framed TCP front end over the runtime,
 //! - [`baselines`]: CPU radix-sort baseline and published-number models,
 //! - [`gensort`]: workload generation (including gensort 100-byte records).
 //!
@@ -39,6 +40,7 @@ pub use bonsai_gensort as gensort;
 pub use bonsai_memsim as memsim;
 pub use bonsai_merge_hw as merge_hw;
 pub use bonsai_model as model;
+pub use bonsai_net as net;
 pub use bonsai_records as records;
 pub use bonsai_runtime as runtime;
 pub use bonsai_sorters as sorters;
