@@ -92,7 +92,7 @@ impl core::fmt::Display for AmtConfig {
 }
 
 /// Full configuration of the cycle-approximate sorting engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimEngineConfig {
     /// Tree shape.
     pub amt: AmtConfig,

@@ -59,6 +59,21 @@ impl SimEngine {
         })
     }
 
+    /// Creates an engine from a configuration that is already known to
+    /// be valid — the compiled-shape cache's constructor
+    /// ([`CompiledShape::engine`](crate::CompiledShape::engine)), which
+    /// is the only caller, holds a `CompiledShape` as proof. Identical
+    /// to [`SimEngine::try_new`] minus the re-validation.
+    pub(crate) fn prevalidated(config: SimEngineConfig) -> Self {
+        Self {
+            config,
+            max_pass_cycles: MAX_PASS_CYCLES,
+            reference_loop: reference_loop_from_env(),
+            #[cfg(feature = "sanitize")]
+            diagnostics: Vec::new(),
+        }
+    }
+
     /// Creates an engine from its configuration.
     ///
     /// # Panics

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod config;
 pub mod dag;
 mod engine;
@@ -54,6 +55,7 @@ pub mod shard;
 mod tree;
 mod unrolled;
 
+pub use cache::{CompiledShape, ShapeCache};
 pub use config::{AmtConfig, SimEngineConfig};
 pub use dag::{BatchSorted, PassPlan, SortPlan, VIRTUAL_WORKERS};
 pub use engine::{SimEngine, REFERENCE_LOOP_ENV};

@@ -86,6 +86,20 @@ pub struct SortReport {
     /// from cross-scheduler equivalence comparisons), and deterministic:
     /// derived from per-group simulated cycles, not wall clock.
     pub pipeline_overlap_cycles: u64,
+    /// How many times the adaptive runtime served this job's engine
+    /// from its compiled-shape cache (skipping config validation and
+    /// plan lowering). `0` everywhere outside the adaptive scheduler.
+    /// Observability only, like [`fast_forwarded_cycles`]
+    /// (excluded from cached-vs-cold equivalence comparisons via
+    /// `no_cache_counters`).
+    ///
+    /// [`fast_forwarded_cycles`]: SortReport::fast_forwarded_cycles
+    pub shape_cache_hits: u64,
+    /// Cache-miss counterpart of [`shape_cache_hits`]: the job's shape
+    /// had to be compiled (validated + lowered) before sorting.
+    ///
+    /// [`shape_cache_hits`]: SortReport::shape_cache_hits
+    pub shape_cache_misses: u64,
 }
 
 impl SortReport {
@@ -101,6 +115,8 @@ impl SortReport {
             freq_hz: DEFAULT_FREQ_HZ,
             fast_forwarded_cycles,
             pipeline_overlap_cycles: 0,
+            shape_cache_hits: 0,
+            shape_cache_misses: 0,
         }
     }
 

@@ -30,6 +30,11 @@
 //! bonsai-lint --runtime --workers 4 --pass-workers 4 --cores 4  # BON054
 //! bonsai-lint --runtime --dag-width 100 --queue-depth 8 --pass-workers 4
 //!                                               # BON056: DAG over capacity
+//! bonsai-lint --runtime --reprogram-us 0        # BON080: shape thrash
+//! bonsai-lint --runtime --deadline-us 100 --reprogram-us 200
+//!                                               # BON081: deadline infeasible
+//! bonsai-lint --runtime --cache-shapes 1 --shape-classes 2      # BON082
+//! bonsai-lint --runtime --fairness-stride 0     # BON083: starvation
 //! ```
 //!
 //! `--prove` switches to the BON06x occupancy-reachability pass: the
@@ -48,7 +53,9 @@
 
 use bonsai_amt::graph::{lower_to_graph, LowerOptions};
 use bonsai_amt::prove::{net_from_config, NetOptions};
-use bonsai_bench::lint::{self, LintFinding, ProveLintOptions, RawEngineLint, RawRuntimeLint};
+use bonsai_bench::lint::{
+    self, LintFinding, ProveLintOptions, RawAdaptiveLint, RawEngineLint, RawRuntimeLint,
+};
 use bonsai_check::prove::certificate_selftest;
 use bonsai_memsim::MemoryConfig;
 use std::process::ExitCode;
@@ -76,6 +83,11 @@ struct Overrides {
     dag_width: Option<usize>,
     detach: bool,
     no_close_on_drop: bool,
+    cache_shapes: Option<usize>,
+    shape_classes: Option<usize>,
+    reprogram_us: Option<u64>,
+    deadline_us: Option<u64>,
+    fairness_stride: Option<u32>,
     prove: bool,
     prove_selftest: bool,
     state_budget: Option<usize>,
@@ -118,6 +130,14 @@ impl Overrides {
         }
     }
 
+    fn any_adaptive_config(&self) -> bool {
+        self.cache_shapes.is_some()
+            || self.shape_classes.is_some()
+            || self.reprogram_us.is_some()
+            || self.deadline_us.is_some()
+            || self.fairness_stride.is_some()
+    }
+
     fn any_runtime_config(&self) -> bool {
         self.workers.is_some()
             || self.pass_workers.is_some()
@@ -127,10 +147,23 @@ impl Overrides {
             || self.dag_width.is_some()
             || self.detach
             || self.no_close_on_drop
+            || self.any_adaptive_config()
     }
 
     fn raw_runtime(&self) -> RawRuntimeLint {
         let defaults = RawRuntimeLint::default();
+        // Any adaptive flag arms the BON08x pass; unset knobs keep the
+        // runtime's `AdaptiveConfig` defaults.
+        let adaptive = self.any_adaptive_config().then(|| {
+            let a = RawAdaptiveLint::default();
+            RawAdaptiveLint {
+                cache_shapes: self.cache_shapes.unwrap_or(a.cache_shapes),
+                shape_classes: self.shape_classes.unwrap_or(a.shape_classes),
+                reprogram_us: self.reprogram_us.unwrap_or(a.reprogram_us),
+                deadline_us: self.deadline_us.unwrap_or(a.deadline_us),
+                fairness_stride: self.fairness_stride.unwrap_or(a.fairness_stride),
+            }
+        });
         RawRuntimeLint {
             workers: self.workers.unwrap_or(defaults.workers),
             pass_workers: self.pass_workers.unwrap_or(defaults.pass_workers),
@@ -141,6 +174,7 @@ impl Overrides {
             cores: self.cores,
             records: self.records,
             dag_width: self.dag_width,
+            adaptive,
         }
     }
 
@@ -186,7 +220,9 @@ const USAGE: &str = "usage: bonsai-lint [--p N] [--l N] [--batch-bytes N] \
 [--json] [--dump-graph dot|json]
        bonsai-lint --runtime [--workers N] [--pass-workers N] \
 [--queue-depth N] [--producers N] [--cores N] [--records N] \
-[--dag-width N] [--detach] [--no-close-on-drop] [--json]
+[--dag-width N] [--detach] [--no-close-on-drop] [--cache-shapes N] \
+[--shape-classes N] [--reprogram-us N] [--deadline-us N] \
+[--fairness-stride N] [--json]
        bonsai-lint --prove [engine flags] [--state-budget N] \
 [--credit-slack N] [--replay-records N] [--assume-throughput B/S] [--json]
        bonsai-lint --prove-selftest [engine flags] [--json]
@@ -217,6 +253,21 @@ judges one raw topology (docs/diagnostics.md, Runtime topology):
                      capacity (BON056)
   --detach           model join_on_drop = false (BON053)
   --no-close-on-drop model close_on_drop = false (BON052)
+
+Any adaptive-scheduler flag additionally runs the BON08x knob checks
+(docs/diagnostics.md, Adaptive runtime); unset knobs keep the
+runtime's lint-clean `AdaptiveConfig` defaults:
+
+  --cache-shapes N    compiled-shape cache capacity (BON082)
+  --shape-classes N   job classes shapes are selected for (default 2:
+                      the latency and throughput lanes)
+  --reprogram-us N    modeled shape-switch cost in microseconds; 0 is
+                      the shape-thrash probe (BON080)
+  --deadline-us N     per-job latency deadline in microseconds, 0 =
+                      none; must exceed the reprogram cost (BON081)
+  --fairness-stride N latency-lane dispatches before a waiting
+                      throughput job runs; 0 is the starvation probe
+                      (BON083)
 
 `--prove` runs the BON06x occupancy-reachability pass: exhaustive
 explicit-state exploration of the configuration's bounded token net.
@@ -310,6 +361,11 @@ fn parse_args() -> Overrides {
             "--dag-width" => over.dag_width = Some(value("--dag-width") as usize),
             "--detach" => over.detach = true,
             "--no-close-on-drop" => over.no_close_on_drop = true,
+            "--cache-shapes" => over.cache_shapes = Some(value("--cache-shapes") as usize),
+            "--shape-classes" => over.shape_classes = Some(value("--shape-classes") as usize),
+            "--reprogram-us" => over.reprogram_us = Some(value("--reprogram-us")),
+            "--deadline-us" => over.deadline_us = Some(value("--deadline-us")),
+            "--fairness-stride" => over.fairness_stride = Some(value("--fairness-stride") as u32),
             "--dump-graph" => {
                 over.dump_graph = Some(match args.next().as_deref() {
                     Some("dot") => DumpFormat::Dot,

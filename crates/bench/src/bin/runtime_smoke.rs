@@ -8,25 +8,43 @@
 //! acceptance bar measures on a ≥ 4-core host.
 //!
 //! Usage: `runtime_smoke [jobs] [records_per_job] [workers]`
-//! (defaults 8 × 60 000 on one worker per core).
+//! (defaults 8 × 60 000 on one worker per core). The serial/parallel
+//! rows — wall time, jobs/sec and per-job latency p50/p99 — are also
+//! written as `BENCH_10.json` (the `BONSAI_BENCH_OUT` environment
+//! variable overrides the path).
 
 use std::time::{Duration, Instant};
 
 use bonsai_amt::{AmtConfig, SimEngine, SimEngineConfig, VIRTUAL_WORKERS};
-use bonsai_bench::perf::{normalized, ssd_multipass_config, ssd_scale_config, MULTIPASS_RECORDS};
+use bonsai_bench::perf::{
+    bench_json, normalized, percentile, resolve_bench_out, ssd_multipass_config, ssd_scale_config,
+    JsonField, MULTIPASS_RECORDS,
+};
 use bonsai_gensort::dist::uniform_u32;
 use bonsai_memsim::MemoryConfig;
 use bonsai_records::U32Rec;
 use bonsai_runtime::{JobOutput, PassScheduler, Runtime, RuntimeConfig, SortJob};
 
+/// One serial-or-parallel batch run, as a `BENCH_10.json` row.
+struct SmokeRow {
+    config: &'static str,
+    workers: usize,
+    jobs: u64,
+    records: usize,
+    elapsed_s: f64,
+    /// Per-job submit-to-completion latency in milliseconds, ascending.
+    latencies_ms: Vec<f64>,
+}
+
 /// Sorts `jobs` copies of `data` under `cfg` on `workers` threads,
-/// returning the batch wall time and every job's output.
+/// returning the batch wall time, every job's output, and each job's
+/// own wall time (ascending, in milliseconds).
 fn run_batch(
     cfg: SimEngineConfig,
     data: &[U32Rec],
     jobs: u64,
     workers: usize,
-) -> (Duration, Vec<JobOutput<U32Rec>>) {
+) -> (Duration, Vec<JobOutput<U32Rec>>, Vec<f64>) {
     let runtime = Runtime::start(RuntimeConfig {
         workers,
         ..RuntimeConfig::default()
@@ -39,29 +57,95 @@ fn run_batch(
     }
     let results = runtime.finish();
     let wall = start.elapsed();
+    let mut latencies_ms: Vec<f64> = results.iter().map(|r| r.wall.as_secs_f64() * 1e3).collect();
+    latencies_ms.sort_unstable_by(f64::total_cmp);
     let outputs = results
         .into_iter()
         .map(|r| r.result.unwrap_or_else(|e| panic!("job failed: {e}")))
         .collect();
-    (wall, outputs)
+    (wall, outputs, latencies_ms)
 }
 
 /// One config's smoke run: serial vs parallel wall time, with the
-/// determinism check. Returns `(serial, parallel)`.
-fn smoke(name: &str, cfg: SimEngineConfig, data: &[U32Rec], jobs: u64, cores: usize) -> (f64, f64) {
-    let (wall_1, out_1) = run_batch(cfg, data, jobs, 1);
-    let (wall_n, out_n) = run_batch(cfg, data, jobs, cores);
+/// determinism check. Returns `(serial_s, parallel_s)` and pushes both
+/// runs onto `rows` for the JSON report.
+fn smoke(
+    name: &'static str,
+    cfg: SimEngineConfig,
+    data: &[U32Rec],
+    jobs: u64,
+    cores: usize,
+    rows: &mut Vec<SmokeRow>,
+) -> (f64, f64) {
+    let (wall_1, out_1, lat_1) = run_batch(cfg, data, jobs, 1);
+    let (wall_n, out_n, lat_n) = run_batch(cfg, data, jobs, cores);
     assert_eq!(
         out_1, out_n,
         "{name}: runtime output depends on worker count"
     );
     let (s, p) = (wall_1.as_secs_f64(), wall_n.as_secs_f64());
     println!(
-        "{name:<12} {jobs} jobs x {} records: 1 worker {s:>7.3}s, {cores} workers {p:>7.3}s ({:.2}x)",
+        "{name:<12} {jobs} jobs x {} records: 1 worker {s:>7.3}s, {cores} workers {p:>7.3}s ({:.2}x) \
+         [job p50 {:.3}ms p99 {:.3}ms]",
         data.len(),
-        s / p
+        s / p,
+        percentile(&lat_n, 50.0),
+        percentile(&lat_n, 99.0),
     );
+    for (workers, elapsed_s, latencies_ms) in [(1, s, lat_1), (cores, p, lat_n)] {
+        rows.push(SmokeRow {
+            config: name,
+            workers,
+            jobs,
+            records: data.len(),
+            elapsed_s,
+            latencies_ms,
+        });
+    }
     (s, p)
+}
+
+fn render_json(rows: &[SmokeRow]) -> String {
+    let json_rows: Vec<Vec<(&str, JsonField)>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                ("config", JsonField::Str(r.config.into())),
+                ("workers", JsonField::U64(r.workers as u64)),
+                ("jobs", JsonField::U64(r.jobs)),
+                ("records", JsonField::U64(r.records as u64)),
+                (
+                    "elapsed_s",
+                    JsonField::F64 {
+                        value: r.elapsed_s,
+                        precision: 6,
+                    },
+                ),
+                (
+                    "jobs_per_s",
+                    JsonField::F64 {
+                        value: r.jobs as f64 / r.elapsed_s.max(1e-9),
+                        precision: 1,
+                    },
+                ),
+                (
+                    "lat_p50_ms",
+                    JsonField::F64 {
+                        value: percentile(&r.latencies_ms, 50.0),
+                        precision: 3,
+                    },
+                ),
+                (
+                    "lat_p99_ms",
+                    JsonField::F64 {
+                        value: percentile(&r.latencies_ms, 99.0),
+                        precision: 3,
+                    },
+                ),
+            ]
+        })
+        .collect();
+    bench_json("runtime_smoke", &json_rows)
 }
 
 fn main() {
@@ -77,10 +161,21 @@ fn main() {
     let data = uniform_u32(records, 2024);
 
     println!("== runtime_smoke ({cores} core(s), {workers} worker(s)) ==");
+    let mut rows = Vec::new();
     let dram = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
-    let (serial, parallel) = smoke("dram", dram, &data, jobs, workers);
+    let (serial, parallel) = smoke("dram", dram, &data, jobs, workers, &mut rows);
     let hbm = SimEngineConfig::with_memory(AmtConfig::new(8, 64), 4, MemoryConfig::hbm_u50());
-    smoke("hbm", hbm, &data, jobs, workers);
+    smoke("hbm", hbm, &data, jobs, workers, &mut rows);
+
+    // The positional CLI args are workload numbers, so the JSON path is
+    // env-only here (unlike the `[out.json]` benches).
+    let out_path = resolve_bench_out(
+        None,
+        std::env::var("BONSAI_BENCH_OUT").ok(),
+        "BENCH_10.json",
+    );
+    std::fs::write(&out_path, render_json(&rows)).expect("write bench json");
+    println!("wrote {out_path}");
 
     // Worker-utilization observability: one multi-pass job through the
     // runtime's pipelined DAG scheduler, reporting each pass's busy vs

@@ -58,6 +58,27 @@ pub fn no_overlap(mut r: SortReport) -> SortReport {
     r
 }
 
+/// Strips the adaptive runtime's shape-cache counters (the only fields
+/// that legitimately differ between a cold compile and a cache hit) so
+/// reports can be compared bit for bit across cache states.
+pub fn no_cache_counters(mut r: SortReport) -> SortReport {
+    r.shape_cache_hits = 0;
+    r.shape_cache_misses = 0;
+    r
+}
+
+/// Nearest-rank percentile over an *ascending-sorted* sample: `p` in
+/// `[0, 100]`, so `percentile(s, 50.0)` is the median and
+/// `percentile(s, 99.0)` the p99. Empty samples return 0 (the benches
+/// only hit that on a zero-job row, which the gates reject anyway).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// One value in a [`bench_json`] row.
 #[derive(Debug, Clone)]
 pub enum JsonField {
@@ -171,6 +192,34 @@ mod tests {
             resolve_bench_out(Some(String::new()), Some(String::new()), "default.json"),
             "default.json"
         );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&s, 50.0), 5.0);
+        assert_eq!(percentile(&s, 99.0), 10.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 10.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn no_cache_counters_strips_only_the_cache_fields() {
+        let cfg = SimEngineConfig::dram_sorter(AmtConfig::new(4, 16), 4);
+        let mut engine = bonsai_amt::SimEngine::try_new(cfg).expect("valid shape");
+        let data = bonsai_gensort::dist::uniform_u32(2_000, 3);
+        let (_, mut report) = engine.sort(data);
+        report.shape_cache_hits = 5;
+        report.shape_cache_misses = 2;
+        let stripped = no_cache_counters(report.clone());
+        assert_eq!(stripped.shape_cache_hits, 0);
+        assert_eq!(stripped.shape_cache_misses, 0);
+        // Everything else survives untouched.
+        report.shape_cache_hits = 0;
+        report.shape_cache_misses = 0;
+        assert_eq!(stripped, report);
     }
 
     #[test]

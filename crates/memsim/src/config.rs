@@ -21,7 +21,7 @@ pub const DEFAULT_FREQ_HZ: f64 = 250e6;
 /// assert_eq!(hbm.banks, 32);
 /// assert!(hbm.peak_read_bandwidth() > 200e9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryConfig {
     /// Number of independent banks, each with its own read and write port.
     pub banks: usize,
@@ -242,7 +242,7 @@ impl IoBusConfig {
 }
 
 /// Configuration of the data loader (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LoaderConfig {
     /// Batch size `b` in bytes (1–4 KB in the paper).
     pub batch_bytes: u64,

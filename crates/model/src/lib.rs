@@ -43,5 +43,7 @@ pub mod reconfig;
 pub mod resource;
 
 pub use components::{ComponentLibrary, TABLE_VI_128BIT, TABLE_VI_32BIT};
-pub use optimizer::{BonsaiOptimizer, FullConfig, OptimizerError, RankedConfig};
+pub use optimizer::{
+    latency_order, throughput_order, BonsaiOptimizer, FullConfig, OptimizerError, RankedConfig,
+};
 pub use params::{ArrayParams, HardwareParams};

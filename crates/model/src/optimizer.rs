@@ -60,6 +60,60 @@ impl core::fmt::Display for OptimizerError {
 
 impl std::error::Error for OptimizerError {}
 
+/// The identity key of a scored configuration: every enumerated entry
+/// is a distinct `(p, ℓ, λ_unrl, λ_pipe, presort)` tuple, so comparing
+/// these keys last makes both ranking orders *total* — two distinct
+/// entries never compare `Equal`, whatever their scores.
+fn identity_key(c: &RankedConfig) -> (usize, usize, usize, usize, usize) {
+    (
+        c.config.throughput_p,
+        c.config.leaves_l,
+        c.config.unroll,
+        c.config.pipeline,
+        c.presort,
+    )
+}
+
+/// The documented **total** order behind [`BonsaiOptimizer::ranked_by_latency`]:
+///
+/// 1. predicted latency, ascending (Equation 2/4);
+/// 2. leaves `ℓ`, descending — robust to larger `N`, the paper's
+///    stated §IV-A choice;
+/// 3. LUT count, ascending (cheaper design wins);
+/// 4. BRAM bytes, ascending;
+/// 5. finally the identity tuple `(p, ℓ, λ_unrl, λ_pipe, presort)`,
+///    ascending, which distinct configurations never share.
+///
+/// Step 5 makes the order total, so the ranking — and therefore every
+/// scheduler decision built on it — is independent of enumeration
+/// order. Pinned by the `ranking_orders_are_total_and_deterministic`
+/// property test.
+pub fn latency_order(a: &RankedConfig, b: &RankedConfig) -> core::cmp::Ordering {
+    a.latency_s
+        .total_cmp(&b.latency_s)
+        .then(b.config.leaves_l.cmp(&a.config.leaves_l))
+        .then(a.lut.cmp(&b.lut))
+        .then(a.bram_bytes.cmp(&b.bram_bytes))
+        .then(identity_key(a).cmp(&identity_key(b)))
+}
+
+/// The documented **total** order behind
+/// [`BonsaiOptimizer::ranked_by_throughput`]:
+///
+/// 1. sustained throughput, descending (Equation 7);
+/// 2. LUT count, ascending;
+/// 3. BRAM bytes, ascending;
+/// 4. the identity tuple `(p, ℓ, λ_unrl, λ_pipe, presort)`, ascending.
+///
+/// Total for the same reason as [`latency_order`].
+pub fn throughput_order(a: &RankedConfig, b: &RankedConfig) -> core::cmp::Ordering {
+    b.throughput
+        .total_cmp(&a.throughput)
+        .then(a.lut.cmp(&b.lut))
+        .then(a.bram_bytes.cmp(&b.bram_bytes))
+        .then(identity_key(a).cmp(&identity_key(b)))
+}
+
 /// The Bonsai optimizer: exhaustively enumerates implementable AMT
 /// configurations and ranks them by sorting time (latency-optimal) or
 /// sustained throughput (throughput-optimal), per §III-C.
@@ -227,20 +281,13 @@ impl BonsaiOptimizer {
     }
 
     /// All implementable configurations in increasing order of predicted
-    /// sorting time (ties broken by LUT count, then BRAM).
+    /// sorting time, under the total [`latency_order`] (ties broken by
+    /// leaves, LUT count, BRAM, then the identity tuple).
     pub fn ranked_by_latency(&self, array: &ArrayParams) -> Vec<RankedConfig> {
         // Pipelining does not improve single-array sorting time (§III-C),
         // so the latency search fixes λ_pipe = 1.
         let mut configs = self.enumerate(array, &[1]);
-        configs.sort_by(|a, b| {
-            // Latency first; on ties prefer more leaves (robust to larger
-            // N, the paper's stated §IV-A choice), then fewer LUTs.
-            a.latency_s
-                .total_cmp(&b.latency_s)
-                .then(b.config.leaves_l.cmp(&a.config.leaves_l))
-                .then(a.lut.cmp(&b.lut))
-                .then(a.bram_bytes.cmp(&b.bram_bytes))
-        });
+        configs.sort_by(latency_order);
         configs
     }
 
@@ -257,7 +304,8 @@ impl BonsaiOptimizer {
     }
 
     /// All implementable configurations in decreasing order of sustained
-    /// throughput, subject to the Eq. 5 capacity constraint for `array`.
+    /// throughput, subject to the Eq. 5 capacity constraint for `array`,
+    /// under the total [`throughput_order`].
     pub fn ranked_by_throughput(&self, array: &ArrayParams) -> Vec<RankedConfig> {
         let mut configs = self.enumerate(array, &[1, 2, 3, 4, 6, 8]);
         configs.retain(|c| {
@@ -272,12 +320,7 @@ impl BonsaiOptimizer {
                 c.config.unroll,
             ) >= array.n_records
         });
-        configs.sort_by(|a, b| {
-            b.throughput
-                .total_cmp(&a.throughput)
-                .then(a.lut.cmp(&b.lut))
-                .then(a.bram_bytes.cmp(&b.bram_bytes))
-        });
+        configs.sort_by(throughput_order);
         configs
     }
 

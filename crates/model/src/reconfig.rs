@@ -116,16 +116,47 @@ impl ReconfigPlanner {
     ///
     /// Returns [`OptimizerError`] when no configuration fits the device.
     pub fn plan_job(&mut self, array: &ArrayParams) -> Result<JobPlan, OptimizerError> {
+        self.plan_job_with_deadline(array, None)
+    }
+
+    /// [`ReconfigPlanner::plan_job`] with a per-job latency deadline.
+    ///
+    /// The greedy keep rule minimizes *total* time, which can strand a
+    /// deadline job on a stale design: keeping may be globally cheaper
+    /// while still missing this job's deadline. With `deadline_s` set,
+    /// a keep that misses the deadline is overridden — the planner
+    /// reprograms whenever the optimal design would meet the deadline
+    /// and the loaded one would not. A deadline neither design can meet
+    /// falls back to the plain greedy rule (the job is late either way;
+    /// minimize total time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError`] when no configuration fits the device.
+    pub fn plan_job_with_deadline(
+        &mut self,
+        array: &ArrayParams,
+        deadline_s: Option<f64>,
+    ) -> Result<JobPlan, OptimizerError> {
         let best = self.optimizer.latency_optimal(array)?;
-        let plan = match self.current_latency(array) {
-            Some(kept) if kept.latency_s <= best.latency_s + self.reprogram_seconds => JobPlan {
+        let keep = match self.current_latency(array) {
+            Some(kept) if kept.latency_s <= best.latency_s + self.reprogram_seconds => {
+                let busts_deadline = deadline_s.is_some_and(|d| {
+                    kept.latency_s > d && best.latency_s + self.reprogram_seconds <= d
+                });
+                (!busts_deadline).then_some(kept)
+            }
+            _ => None,
+        };
+        let plan = match keep {
+            Some(kept) => JobPlan {
                 decision: Decision::Keep,
                 config: kept.config,
                 presort: kept.presort,
                 sort_seconds: kept.latency_s,
                 total_seconds: kept.latency_s,
             },
-            _ => {
+            None => {
                 self.current = Some((best.config, best.presort));
                 self.reprograms += 1;
                 JobPlan {
@@ -134,6 +165,47 @@ impl ReconfigPlanner {
                     presort: best.presort,
                     sort_seconds: best.latency_s,
                     total_seconds: best.latency_s + self.reprogram_seconds,
+                }
+            }
+        };
+        self.total_seconds += plan.total_seconds;
+        Ok(plan)
+    }
+
+    /// Plans one *throughput-class* job: same keep-or-reprogram rule,
+    /// but designs are compared by sustained throughput (Equation 5)
+    /// rather than latency — `array.total_bytes() / throughput` is the
+    /// charged sort time. This is the selection a batch scheduler uses
+    /// for large jobs, where aggregate bytes/second matters more than
+    /// any single job's completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError`] when no configuration fits the device.
+    pub fn plan_throughput_job(&mut self, array: &ArrayParams) -> Result<JobPlan, OptimizerError> {
+        let best = self.optimizer.throughput_optimal(array)?;
+        let best_s = array.total_bytes() as f64 / best.throughput;
+        let keep = self
+            .current_latency(array)
+            .map(|kept| (kept, array.total_bytes() as f64 / kept.throughput))
+            .filter(|(_, kept_s)| *kept_s <= best_s + self.reprogram_seconds);
+        let plan = match keep {
+            Some((kept, kept_s)) => JobPlan {
+                decision: Decision::Keep,
+                config: kept.config,
+                presort: kept.presort,
+                sort_seconds: kept_s,
+                total_seconds: kept_s,
+            },
+            None => {
+                self.current = Some((best.config, best.presort));
+                self.reprograms += 1;
+                JobPlan {
+                    decision: Decision::Reprogram,
+                    config: best.config,
+                    presort: best.presort,
+                    sort_seconds: best_s,
+                    total_seconds: best_s + self.reprogram_seconds,
                 }
             }
         };
@@ -208,6 +280,70 @@ mod tests {
             .latency_optimal(&job(32))
             .expect("feasible");
         assert!(big.total_seconds <= best.latency_s + 1e-9);
+    }
+
+    #[test]
+    fn deadline_forces_reprogram_only_when_the_optimum_meets_it() {
+        // Load a design tuned for tiny jobs on a crawling memory, then
+        // submit a big job: keeping is greedily fine only because the
+        // optimum is also slow — but with a deadline the optimum meets
+        // and the kept design misses, the planner must reprogram.
+        let hw = HardwareParams::aws_f1().with_beta_dram(2e9);
+        let mut p = ReconfigPlanner::new(hw, 4.3);
+        p.plan_job(&job(1)).expect("feasible");
+        let kept_cfg = p.current().expect("programmed");
+        let best = BonsaiOptimizer::new(hw)
+            .latency_optimal(&job(32))
+            .expect("feasible");
+        let kept = BonsaiOptimizer::new(hw)
+            .evaluate(&job(32), kept_cfg, 16)
+            .map(|c| c.latency_s);
+        // A deadline between the optimum (+ reprogram) and the kept
+        // latency exists only if keeping is genuinely slower.
+        if let Some(kept_s) = kept.filter(|&k| k > best.latency_s + 4.3) {
+            let deadline = (best.latency_s + 4.3 + kept_s) / 2.0;
+            let plan = p
+                .plan_job_with_deadline(&job(32), Some(deadline))
+                .expect("feasible");
+            assert_eq!(plan.decision, Decision::Reprogram);
+            assert!(plan.sort_seconds <= deadline);
+        }
+        // An impossible deadline falls back to the greedy rule: an
+        // identical follow-up job keeps the (now optimal) design.
+        let next = p
+            .plan_job_with_deadline(&job(32), Some(1e-12))
+            .expect("feasible");
+        assert_eq!(next.decision, Decision::Keep);
+    }
+
+    #[test]
+    fn throughput_plan_keeps_and_charges_bytes_over_throughput() {
+        let mut p = ReconfigPlanner::new(HardwareParams::aws_f1(), 4.3);
+        let first = p.plan_throughput_job(&job(16)).expect("feasible");
+        assert_eq!(first.decision, Decision::Reprogram);
+        let best = BonsaiOptimizer::new(HardwareParams::aws_f1())
+            .throughput_optimal(&job(16))
+            .expect("feasible");
+        let expect_s = job(16).total_bytes() as f64 / best.throughput;
+        assert!((first.sort_seconds - expect_s).abs() < 1e-9);
+        // An identical job keeps the loaded throughput-optimal design.
+        let second = p.plan_throughput_job(&job(16)).expect("feasible");
+        assert_eq!(second.decision, Decision::Keep);
+        assert_eq!(p.reprograms(), 1);
+    }
+
+    #[test]
+    fn latency_and_throughput_plans_share_one_device_state() {
+        // One FPGA: a throughput plan's reprogram is visible to the next
+        // latency plan (and can satisfy it without another reprogram).
+        let mut p = ReconfigPlanner::new(HardwareParams::aws_f1(), 4.3);
+        p.plan_throughput_job(&job(16)).expect("feasible");
+        let loaded = p.current().expect("programmed");
+        let next = p.plan_job(&job(16)).expect("feasible");
+        if next.decision == Decision::Keep {
+            assert_eq!(p.current().expect("programmed"), loaded);
+        }
+        assert!(p.reprograms() >= 1);
     }
 
     #[test]

@@ -102,6 +102,60 @@ fn optimizer_outputs_are_always_feasible() {
 }
 
 #[test]
+fn ranking_orders_are_total_and_deterministic() {
+    // The adaptive runtime schedules jobs off the top of these rankings,
+    // so the order must be *total*: re-sorting any permutation of the
+    // candidate set must reproduce the exact same list, element for
+    // element, and no two distinct candidates may compare Equal.
+    let mut rng = Rng::seed_from_u64(0x40DE_0007);
+    let presets = [
+        HardwareParams::aws_f1(),
+        HardwareParams::aws_f1_single_bank(),
+        HardwareParams::hbm_u50(),
+        HardwareParams::aws_f1_ssd(),
+    ];
+    for round in 0..24 {
+        let gib = rng.range_u64(1, 63);
+        let record_bytes = [4u64, 8, 16, 32][rng.below_usize(4)];
+        let array = ArrayParams::from_bytes(gib << 30, record_bytes);
+        let opt = BonsaiOptimizer::new(presets[rng.below_usize(presets.len())]);
+        type Order = for<'a, 'b> fn(
+            &'a bonsai_model::RankedConfig,
+            &'b bonsai_model::RankedConfig,
+        ) -> core::cmp::Ordering;
+        for (ranked, order) in [
+            (
+                opt.ranked_by_latency(&array),
+                bonsai_model::latency_order as Order,
+            ),
+            (
+                opt.ranked_by_throughput(&array),
+                bonsai_model::throughput_order as Order,
+            ),
+        ] {
+            // Totality: adjacent entries are strictly ordered.
+            for w in ranked.windows(2) {
+                assert_eq!(
+                    order(&w[0], &w[1]),
+                    core::cmp::Ordering::Less,
+                    "round {round}: ranking admits a tie between {} (presort {}) \
+                     and {} (presort {})",
+                    w[0].config,
+                    w[0].presort,
+                    w[1].config,
+                    w[1].presort
+                );
+            }
+            // Determinism: any shuffle re-sorts to the identical list.
+            let mut shuffled = ranked.clone();
+            rng.shuffle(&mut shuffled);
+            shuffled.sort_by(order);
+            assert_eq!(shuffled, ranked, "round {round}: order is not total");
+        }
+    }
+}
+
+#[test]
 fn optimal_latency_is_monotone_in_bandwidth() {
     let mut rng = Rng::seed_from_u64(0x40DE_0006);
     for _ in 0..16 {

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use bonsai_amt::{AmtConfig, SimEngineConfig};
 use bonsai_records::wire::WireRecord;
-use bonsai_runtime::{JobResult, Runtime, RuntimeConfig, SortJob, SubmitError};
+use bonsai_runtime::{AdaptiveStats, JobResult, Runtime, RuntimeConfig, SortJob, SubmitError};
 
 use crate::frame::{self, RequestHeader, WireError, DEFAULT_MAX_PAYLOAD, HEADER_BYTES};
 
@@ -86,6 +86,14 @@ pub struct ServerStats {
     pub jobs_rejected: u64,
     /// Malformed frames answered with `BON070`–`BON075`.
     pub wire_errors: u64,
+    /// Shape lookups the adaptive scheduler served from its
+    /// compiled-shape cache (always 0 unless the underlying runtime
+    /// runs with `scheduler = adaptive`).
+    pub shape_cache_hits: u64,
+    /// Adaptive shape lookups that paid validation + plan lowering.
+    pub shape_cache_misses: u64,
+    /// Modeled device reprograms taken by the adaptive planner.
+    pub reprograms: u64,
 }
 
 #[derive(Debug, Default)]
@@ -98,13 +106,18 @@ struct StatsInner {
 }
 
 impl StatsInner {
-    fn snapshot(&self) -> ServerStats {
+    /// Merges the server's own frame/job counters with the runtime's
+    /// adaptive-layer counters into one client-facing snapshot.
+    fn snapshot(&self, adaptive: AdaptiveStats) -> ServerStats {
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            shape_cache_hits: adaptive.shape_cache_hits,
+            shape_cache_misses: adaptive.shape_cache_misses,
+            reprograms: adaptive.reprograms,
         }
     }
 }
@@ -164,7 +177,13 @@ impl<R: WireRecord> core::fmt::Debug for Server<R> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
-            .field("stats", &self.shared.stats.snapshot())
+            .field(
+                "stats",
+                &self
+                    .shared
+                    .stats
+                    .snapshot(self.shared.runtime.adaptive_stats()),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -213,7 +232,9 @@ impl<R: WireRecord> Server<R> {
     /// A point-in-time snapshot of the lifetime counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared
+            .stats
+            .snapshot(self.shared.runtime.adaptive_stats())
     }
 
     /// Whether shutdown has been initiated (locally or by a

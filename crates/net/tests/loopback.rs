@@ -454,3 +454,48 @@ fn dropped_client_mid_flight_does_not_wedge_the_server() {
     assert_sorts(&mut survivor, 1, &random_records(&mut rng, 100));
     server.shutdown();
 }
+
+#[test]
+fn adaptive_server_reports_cache_and_reprogram_counters() {
+    let mut config = test_config();
+    config.runtime.workers = 1;
+    config.runtime.scheduler = bonsai_runtime::PassScheduler::Adaptive;
+    let server = spawn_server(config);
+    let mut client = Client::<U32Rec>::connect(server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(21);
+    // Three same-sized jobs: one cold compile, then cache hits. The
+    // output contract is unchanged by the adaptive scheduler.
+    let data = random_records(&mut rng, 8_000);
+    for job_id in 1..=3 {
+        assert_sorts(&mut client, job_id, &data);
+    }
+    let live = server.stats();
+    assert_eq!(live.jobs_ok, 3);
+    assert!(live.shape_cache_misses >= 1, "first job compiles its shape");
+    assert!(
+        live.shape_cache_hits >= 2,
+        "repeats hit the cache: {live:?}"
+    );
+    assert!(live.reprograms >= 1, "first plan programs the device");
+    // The counters survive into the final shutdown snapshot.
+    let stats = server.shutdown();
+    assert_eq!(stats.shape_cache_hits, live.shape_cache_hits);
+    assert_eq!(stats.shape_cache_misses, live.shape_cache_misses);
+}
+
+#[test]
+fn non_adaptive_server_reports_zero_adaptive_counters() {
+    // Pinned (not `scheduler_from_env`): this test is about the
+    // non-adaptive schedulers even when CI sets the adaptive env.
+    let mut config = test_config();
+    config.runtime.scheduler = bonsai_runtime::PassScheduler::Barrier;
+    let server = spawn_server(config);
+    let mut client = Client::<U32Rec>::connect(server.local_addr()).expect("connect");
+    let mut rng = Rng::seed_from_u64(22);
+    assert_sorts(&mut client, 1, &random_records(&mut rng, 2_000));
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_ok, 1);
+    assert_eq!(stats.shape_cache_hits, 0);
+    assert_eq!(stats.shape_cache_misses, 0);
+    assert_eq!(stats.reprograms, 0);
+}

@@ -60,18 +60,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
+mod class_queue;
 mod pool;
 mod queue;
 
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bonsai_amt::{SimEngine, SimEngineConfig, SortError, SortReport};
 use bonsai_check::Diagnostic;
 use bonsai_records::Record;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveStats};
 pub use bonsai_mc::facade::{StdSync, SyncOps};
-pub use pool::WorkerPool;
+pub use class_queue::{ClassQueue, Classed, JobClass};
+pub use pool::{PoolQueue, WorkerPool};
 pub use queue::{BoundedQueue, PushError};
+
+use adaptive::AdaptiveState;
 
 /// Which scheduler a worker drives one job's merge passes with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,20 +93,33 @@ pub enum PassScheduler {
     /// bit-identical to [`PassScheduler::Barrier`] except the
     /// observability-only `pipeline_overlap_cycles` counter.
     Pipelined,
+    /// Optimizer-driven adaptive scheduling: each job is classed by
+    /// size ([`JobClass`]), dispatched through the two-lane
+    /// [`ClassQueue`] (small latency-bound jobs overtake queued batch
+    /// work), and sorted on the AMT shape the analytical optimizer
+    /// picks for it — latency-optimal for the latency class,
+    /// throughput-optimal for the throughput class — with shape
+    /// switches charged through the reconfiguration planner and
+    /// validated shapes served from a bounded compiled-shape cache
+    /// ([`bonsai_amt::ShapeCache`]). Within a job, passes run on the
+    /// pipelined group DAG. Knobs live in [`AdaptiveConfig`]; shape
+    /// checks are `BON080`–`BON083`.
+    Adaptive,
 }
 
 /// Environment variable selecting the default [`PassScheduler`] for
 /// [`RuntimeConfig::default`]: `pipelined` picks the cross-pass group
-/// DAG, anything else (or unset) the per-pass barrier. Exists so CI can
-/// run the whole suite under either scheduler, mirroring
+/// DAG, `adaptive` the optimizer-driven adaptive scheduler, anything
+/// else (or unset) the per-pass barrier. Exists so CI can run the whole
+/// suite under any scheduler, mirroring
 /// [`bonsai_amt::REFERENCE_LOOP_ENV`] for the simulation loop.
 pub const SCHEDULER_ENV: &str = "BONSAI_RUNTIME_SCHEDULER";
 
 fn scheduler_from_env() -> PassScheduler {
-    if std::env::var(SCHEDULER_ENV).is_ok_and(|v| v == "pipelined") {
-        PassScheduler::Pipelined
-    } else {
-        PassScheduler::Barrier
+    match std::env::var(SCHEDULER_ENV).as_deref() {
+        Ok("pipelined") => PassScheduler::Pipelined,
+        Ok("adaptive") => PassScheduler::Adaptive,
+        _ => PassScheduler::Barrier,
     }
 }
 
@@ -143,6 +163,11 @@ pub struct RuntimeConfig {
     /// the workers (default `true`). Disabling this leaks detached
     /// threads (BON053).
     pub join_on_drop: bool,
+    /// Knobs of the adaptive scheduler (shape cache size, small-job
+    /// cutoff, reprogram cost, deadline, fairness stride). Only
+    /// consulted when [`RuntimeConfig::scheduler`] is
+    /// [`PassScheduler::Adaptive`].
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -157,6 +182,7 @@ impl Default for RuntimeConfig {
             producers: 1,
             close_on_drop: true,
             join_on_drop: true,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -198,6 +224,15 @@ impl RuntimeConfig {
                     max_groups,
                 ));
             }
+        }
+        if self.scheduler == PassScheduler::Adaptive {
+            diagnostics.extend(bonsai_check::check_adaptive_runtime(
+                self.adaptive.cache_shapes,
+                adaptive::SHAPE_CLASSES,
+                self.adaptive.reprogram_cost_us,
+                self.adaptive.latency_deadline_us,
+                self.adaptive.fairness_stride,
+            ));
         }
         diagnostics
     }
@@ -349,20 +384,48 @@ pub struct JobResult<R> {
     pub wall: Duration,
 }
 
-/// What travels through the queue: the job plus its ticket and an
-/// optional completion channel (`None` = collect for `finish`).
+/// What travels through the queue: the job plus its ticket, scheduling
+/// class and an optional completion channel (`None` = collect for
+/// `finish`).
 struct Dispatch<R> {
     ticket: u64,
     job: SortJob<R>,
+    class: JobClass,
     reply: Option<std::sync::mpsc::Sender<JobResult<R>>>,
 }
 
-fn run_job<R: Record>(ticket: u64, job: SortJob<R>, config: &RuntimeConfig) -> JobResult<R> {
+impl<R> Classed for Dispatch<R> {
+    fn job_class(&self) -> JobClass {
+        self.class
+    }
+}
+
+fn run_job<R: Record>(
+    ticket: u64,
+    job: SortJob<R>,
+    class: JobClass,
+    config: &RuntimeConfig,
+    adaptive: Option<&Mutex<AdaptiveState>>,
+) -> JobResult<R> {
     let start = std::time::Instant::now();
     let id = job.id;
-    let result = SimEngine::try_new(job.config)
+    // Under the adaptive scheduler the shape selection (optimizer +
+    // planner + compiled-shape cache) replaces `SimEngine::try_new`'s
+    // validate-then-build; the cache outcome rides on the report.
+    let engine = match adaptive {
+        Some(state) => {
+            let mut state = state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state
+                .select(&job.config, job.data.len(), class)
+                .map(|selection| (selection.shape.engine(), Some(selection.cache_hit)))
+        }
+        None => SimEngine::try_new(job.config).map(|engine| (engine, None)),
+    };
+    let result = engine
         .map_err(JobError::Invalid)
-        .and_then(|engine| {
+        .and_then(|(engine, cache_hit)| {
             let mut engine = match config.max_pass_cycles {
                 Some(bound) => engine.with_max_pass_cycles(bound),
                 None => engine,
@@ -372,11 +435,17 @@ fn run_job<R: Record>(ticket: u64, job: SortJob<R>, config: &RuntimeConfig) -> J
             }
             match config.scheduler {
                 PassScheduler::Barrier => engine.try_sort_sharded(job.data, config.pass_workers),
-                PassScheduler::Pipelined => {
+                PassScheduler::Pipelined | PassScheduler::Adaptive => {
                     engine.try_sort_pipelined(job.data, config.pass_workers)
                 }
             }
-            .map(|(sorted, report)| JobOutput { sorted, report })
+            .map(|(sorted, mut report)| {
+                if let Some(hit) = cache_hit {
+                    report.shape_cache_hits = u64::from(hit);
+                    report.shape_cache_misses = u64::from(!hit);
+                }
+                JobOutput { sorted, report }
+            })
             .map_err(JobError::Sim)
         });
     JobResult {
@@ -411,10 +480,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct Runtime<R: Record> {
     config: RuntimeConfig,
     next_ticket: std::sync::atomic::AtomicU64,
+    // The adaptive brain (shape cache + planners), shared with the
+    // workers; `None` for the barrier/pipelined schedulers.
+    adaptive: Option<Arc<Mutex<AdaptiveState>>>,
     // Reply-path results are delivered through their channel and return
     // `None` from the runner, so an always-on service does not
     // accumulate results it will never `finish`.
-    pool: WorkerPool<Dispatch<R>, Option<JobResult<R>>, StdSync>,
+    //
+    // Every scheduler drains the two-lane class queue: the non-adaptive
+    // ones tag all jobs latency-class, which makes it an exact FIFO.
+    #[allow(clippy::type_complexity)]
+    pool: WorkerPool<Dispatch<R>, Option<JobResult<R>>, StdSync, ClassQueue<Dispatch<R>, StdSync>>,
 }
 
 impl<R: Record> Runtime<R> {
@@ -426,15 +502,23 @@ impl<R: Record> Runtime<R> {
         } else {
             config.workers
         };
+        let adaptive = (config.scheduler == PassScheduler::Adaptive)
+            .then(|| Arc::new(Mutex::new(AdaptiveState::new(&config.adaptive))));
+        let worker_adaptive = adaptive.clone();
         let runner = move |dispatch: Dispatch<R>| {
-            let Dispatch { ticket, job, reply } = dispatch;
+            let Dispatch {
+                ticket,
+                job,
+                class,
+                reply,
+            } = dispatch;
             let id = job.id;
             let start = std::time::Instant::now();
             // A panicking job must fail alone: catch it here so the
             // worker survives to drain the rest of the queue, and so
             // shutdown never has to join a dead thread.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(ticket, job, &config)
+                run_job(ticket, job, class, &config, worker_adaptive.as_deref())
             }))
             .unwrap_or_else(|payload| JobResult {
                 id,
@@ -453,13 +537,45 @@ impl<R: Record> Runtime<R> {
                 None => Some(result),
             }
         };
-        let mut pool = WorkerPool::start(workers, config.queue_depth, runner);
+        let queue = ClassQueue::new(config.queue_depth, config.adaptive.fairness_stride);
+        let mut pool = WorkerPool::start_with_queue(workers, queue, runner);
         pool.close_on_drop(config.close_on_drop)
             .join_on_drop(config.join_on_drop);
         Self {
             config,
             next_ticket: std::sync::atomic::AtomicU64::new(0),
+            adaptive,
             pool,
+        }
+    }
+
+    /// Snapshot of the adaptive layer's counters (shape-cache hit rate,
+    /// reprograms, per-lane job counts). All zero for the barrier and
+    /// pipelined schedulers.
+    #[must_use]
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        self.adaptive
+            .as_deref()
+            .map(|state| {
+                state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .stats()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The scheduling class the runtime assigns a `records`-record job:
+    /// latency for small jobs under the adaptive scheduler's cutoff
+    /// ([`AdaptiveConfig::small_job_records`]); everything is latency
+    /// class (exact FIFO) outside the adaptive scheduler.
+    #[must_use]
+    pub fn classify(&self, records: usize) -> JobClass {
+        match self.config.scheduler {
+            PassScheduler::Adaptive if records > self.config.adaptive.small_job_records => {
+                JobClass::Throughput
+            }
+            _ => JobClass::Latency,
         }
     }
 
@@ -481,7 +597,13 @@ impl<R: Record> Runtime<R> {
         let ticket = self
             .next_ticket
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        match self.pool.submit(Dispatch { ticket, job, reply }) {
+        let class = self.classify(job.data.len());
+        match self.pool.submit(Dispatch {
+            ticket,
+            job,
+            class,
+            reply,
+        }) {
             Ok(()) => Ok(ticket),
             // The blocking push only ever fails Closed; hand the job
             // back instead of dropping (or panicking over) it.
@@ -537,10 +659,12 @@ impl<R: Record> Runtime<R> {
         let ticket = self
             .next_ticket
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let class = self.classify(job.data.len());
         self.pool
             .try_submit(Dispatch {
                 ticket,
                 job,
+                class,
                 reply: None,
             })
             .map(|()| ticket)

@@ -21,23 +21,115 @@ use std::sync::Arc;
 
 use bonsai_mc::facade::{StdSync, SyncOps};
 
+use crate::class_queue::{ClassQueue, Classed};
 use crate::queue::{BoundedQueue, PushError};
 
-struct PoolShared<J: Send, R: Send, S: SyncOps> {
-    queue: BoundedQueue<J, S>,
+/// The queue interface a [`WorkerPool`] drains: the blocking
+/// push/pop/close protocol shared by [`BoundedQueue`] (plain FIFO) and
+/// [`ClassQueue`] (two-lane, class-aware). Implementations must carry
+/// the same shutdown semantics: `close` is a broadcast, pending items
+/// still drain, `pop` returns `None` once closed *and* empty.
+pub trait PoolQueue<T: Send>: Send + Sync {
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] hands the item back after shutdown.
+    fn push(&self, item: T) -> Result<(), PushError<T>>;
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// shutdown; both hand the item back.
+    fn try_push(&self, item: T) -> Result<(), PushError<T>>;
+
+    /// Dequeues the next item by the queue's policy, blocking while
+    /// empty; `None` once closed and drained.
+    fn pop(&self) -> Option<T>;
+
+    /// Closes the queue (broadcast: every parked producer and consumer
+    /// observes shutdown).
+    fn close(&self);
+
+    /// Items currently queued.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send, S: SyncOps> PoolQueue<T> for BoundedQueue<T, S> {
+    fn push(&self, item: T) -> Result<(), PushError<T>> {
+        BoundedQueue::push(self, item)
+    }
+
+    fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        BoundedQueue::try_push(self, item)
+    }
+
+    fn pop(&self) -> Option<T> {
+        BoundedQueue::pop(self)
+    }
+
+    fn close(&self) {
+        BoundedQueue::close(self);
+    }
+
+    fn len(&self) -> usize {
+        BoundedQueue::len(self)
+    }
+}
+
+impl<T: Send + Classed, S: SyncOps> PoolQueue<T> for ClassQueue<T, S> {
+    fn push(&self, item: T) -> Result<(), PushError<T>> {
+        ClassQueue::push(self, item)
+    }
+
+    fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        ClassQueue::try_push(self, item)
+    }
+
+    fn pop(&self) -> Option<T> {
+        ClassQueue::pop(self)
+    }
+
+    fn close(&self) {
+        ClassQueue::close(self);
+    }
+
+    fn len(&self) -> usize {
+        ClassQueue::len(self)
+    }
+}
+
+struct PoolShared<R: Send, S: SyncOps, Q> {
+    queue: Q,
     results: S::Mutex<Vec<R>>,
 }
 
-/// A fixed-size worker pool draining a [`BoundedQueue`].
-pub struct WorkerPool<J: Send + 'static, R: Send + 'static, S: SyncOps = StdSync> {
-    shared: Arc<PoolShared<J, R, S>>,
+/// A fixed-size worker pool draining a [`PoolQueue`] (a FIFO
+/// [`BoundedQueue`] by default).
+pub struct WorkerPool<
+    J: Send + 'static,
+    R: Send + 'static,
+    S: SyncOps = StdSync,
+    Q: PoolQueue<J> + 'static = BoundedQueue<J, S>,
+> {
+    shared: Arc<PoolShared<R, S, Q>>,
     handles: Vec<S::JoinHandle>,
     workers: usize,
     close_on_drop: bool,
     join_on_drop: bool,
+    _jobs: std::marker::PhantomData<fn(J)>,
 }
 
-impl<J: Send + 'static, R: Send + 'static, S: SyncOps> std::fmt::Debug for WorkerPool<J, R, S> {
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps, Q: PoolQueue<J> + std::fmt::Debug>
+    std::fmt::Debug for WorkerPool<J, R, S, Q>
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.workers)
@@ -49,16 +141,31 @@ impl<J: Send + 'static, R: Send + 'static, S: SyncOps> std::fmt::Debug for Worke
 }
 
 impl<J: Send + 'static, R: Send + 'static, S: SyncOps> WorkerPool<J, R, S> {
-    /// Spawns `workers ≥ 1` threads draining a queue of depth
+    /// Spawns `workers ≥ 1` threads draining a FIFO queue of depth
     /// `queue_depth`, each running jobs through `runner`.
     pub fn start(
         workers: usize,
         queue_depth: usize,
         runner: impl Fn(J) -> R + Send + Sync + 'static,
     ) -> Self {
+        Self::start_with_queue(workers, BoundedQueue::new(queue_depth), runner)
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps, Q: PoolQueue<J> + 'static>
+    WorkerPool<J, R, S, Q>
+{
+    /// Spawns `workers ≥ 1` threads draining `queue` — any
+    /// [`PoolQueue`], e.g. a [`ClassQueue`] whose pop order is
+    /// class-aware — each running jobs through `runner`.
+    pub fn start_with_queue(
+        workers: usize,
+        queue: Q,
+        runner: impl Fn(J) -> R + Send + Sync + 'static,
+    ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
-            queue: BoundedQueue::new(queue_depth),
+            queue,
             results: S::mutex_named("pool.results", Vec::new()),
         });
         let runner = Arc::new(runner);
@@ -80,6 +187,7 @@ impl<J: Send + 'static, R: Send + 'static, S: SyncOps> WorkerPool<J, R, S> {
             workers,
             close_on_drop: true,
             join_on_drop: true,
+            _jobs: std::marker::PhantomData,
         }
     }
 
@@ -168,7 +276,9 @@ impl<J: Send + 'static, R: Send + 'static, S: SyncOps> WorkerPool<J, R, S> {
     }
 }
 
-impl<J: Send + 'static, R: Send + 'static, S: SyncOps> Drop for WorkerPool<J, R, S> {
+impl<J: Send + 'static, R: Send + 'static, S: SyncOps, Q: PoolQueue<J> + 'static> Drop
+    for WorkerPool<J, R, S, Q>
+{
     fn drop(&mut self) {
         if self.close_on_drop {
             self.shared.queue.close();
